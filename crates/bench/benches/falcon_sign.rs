@@ -1,0 +1,41 @@
+//! Criterion benches behind Table 1: Falcon signing per base sampler
+//! (Level 1 only; the table1 binary covers all levels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctgauss_falcon::base::{BinaryCdtBase, ByteScanCdtBase, KnuthYaoCtBase, LinearCdtBase};
+use ctgauss_falcon::sign::BaseSampler;
+use ctgauss_falcon::{FalconParams, SecretKey};
+use ctgauss_prng::ChaChaRng;
+
+fn bench_sign(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_u64_seed(3);
+    let sk = SecretKey::generate(FalconParams::level1(), &mut rng).unwrap();
+    let mut group = c.benchmark_group("table1_sign_n256");
+    let mut samplers: Vec<Box<dyn BaseSampler>> = vec![
+        Box::new(ByteScanCdtBase::new(1)),
+        Box::new(BinaryCdtBase::new(2)),
+        Box::new(LinearCdtBase::new(3)),
+        Box::new(KnuthYaoCtBase::new(4)),
+    ];
+    for base in samplers.iter_mut() {
+        let name = base.name().to_owned();
+        let mut aux = ChaChaRng::from_u64_seed(5);
+        let mut counter = 0u64;
+        group.bench_function(BenchmarkId::new("sampler", name), |b| {
+            b.iter(|| {
+                counter += 1;
+                std::hint::black_box(
+                    sk.sign(&counter.to_le_bytes(), base.as_mut(), &mut aux).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_sign
+}
+criterion_main!(benches);

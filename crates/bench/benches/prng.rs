@@ -1,0 +1,47 @@
+//! Criterion benches behind experiment X2: raw PRNG throughput (the
+//! 60-85% overhead the paper's conclusion discusses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctgauss_prng::{ChaChaRng, KeccakRng, RandomSource, SplitMix64, Xoshiro256pp};
+
+fn bench_prngs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x2_prng_throughput");
+    let mut buf = vec![0u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    let mut chacha = ChaChaRng::from_u64_seed(1);
+    group.bench_function(BenchmarkId::new("prng", "chacha20"), |b| {
+        b.iter(|| {
+            chacha.fill_bytes(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    let mut keccak = KeccakRng::from_u64_seed(1);
+    group.bench_function(BenchmarkId::new("prng", "keccak_shake256"), |b| {
+        b.iter(|| {
+            keccak.fill_bytes(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    let mut xo = Xoshiro256pp::from_u64_seed(1);
+    group.bench_function(BenchmarkId::new("prng", "xoshiro256pp"), |b| {
+        b.iter(|| {
+            xo.fill_bytes(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    let mut sm = SplitMix64::new(1);
+    group.bench_function(BenchmarkId::new("prng", "splitmix64"), |b| {
+        b.iter(|| {
+            sm.fill_bytes(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_prngs
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches behind Table 2: sampler kernels with pre-generated
+//! randomness (PRNG excluded), simple vs split-exact minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctgauss_core::{SamplerBuilder, Strategy};
+use ctgauss_prng::{ChaChaRng, RandomSource};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_kernel_64samples");
+    for sigma in ["2", "6.15543"] {
+        let split = SamplerBuilder::new(sigma, 128)
+            .strategy(Strategy::SplitExact)
+            .build()
+            .unwrap();
+        let simple = SamplerBuilder::new(sigma, 128)
+            .strategy(Strategy::Simple)
+            .build()
+            .unwrap();
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let mut inputs = vec![0u64; 128];
+        rng.fill_u64s(&mut inputs);
+        let signs = rng.next_u64();
+        group.bench_with_input(
+            BenchmarkId::new("split_exact", sigma),
+            &sigma,
+            |b, _| b.iter(|| std::hint::black_box(split.run_batch(&inputs, signs))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simple_21", sigma),
+            &sigma,
+            |b, _| b.iter(|| std::hint::black_box(simple.run_batch(&inputs, signs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_kernels
+}
+criterion_main!(benches);

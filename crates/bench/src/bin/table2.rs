@@ -1,0 +1,113 @@
+//! Table 2 reproduction: sampler-kernel cost (per 64-sample batch,
+//! pseudorandomness excluded) — simple minimization ([21]) vs this work's
+//! split-exact minimization.
+//!
+//! Paper values (clock cycles per 64 samples, PRNG excluded):
+//!
+//! | sigma    | [21] simple | This work | Improvement |
+//! |----------|-------------|-----------|-------------|
+//! | 2        | 3787        | 2293      | 37%         |
+//! | 6.15543  | 11136       | 9880      | 11% (*)     |
+//!
+//! (*) the paper's sigma = 6.15543 baseline had been hand-optimized.
+//!
+//! We report measured cycles (interpreted straight-line program — an
+//! interpreter pays dispatch overhead the paper's compiled C does not) and
+//! the gate counts of both programs, whose ratio is the
+//! architecture-independent reproduction of the improvement.
+//!
+//! Also reproduces the Section 4 claim that the bitsliced sampler beats
+//! linear-search CDT per sample (X4).
+
+use ctgauss_bench::{cycle_unit, measure_cycles, print_table};
+use ctgauss_cdt::{CdtTable, LinearSearchCdt};
+use ctgauss_core::{SamplerBuilder, Strategy};
+use ctgauss_knuthyao::GaussianParams;
+use ctgauss_prng::{ChaChaRng, RandomSource};
+
+fn main() {
+    println!("Table 2: sampler kernel, 64 samples/batch, PRNG excluded\n");
+    let mut rows = Vec::new();
+    for (sigma, paper_simple, paper_split) in [("2", 3787u64, 2293u64), ("6.15543", 11136, 9880)] {
+        eprintln!("[table2] building samplers for sigma = {sigma} (simple takes a while) ...");
+        let split = SamplerBuilder::new(sigma, 128)
+            .strategy(Strategy::SplitExact)
+            .build()
+            .expect("valid parameters");
+        let simple = SamplerBuilder::new(sigma, 128)
+            .strategy(Strategy::Simple)
+            .build()
+            .expect("valid parameters");
+
+        // Pre-generate randomness: Table 2 excludes PRNG cost.
+        let mut rng = ChaChaRng::from_u64_seed(7);
+        let mut inputs = vec![0u64; 128];
+        rng.fill_u64s(&mut inputs);
+        let signs = rng.next_u64();
+
+        let cycles_split = measure_cycles(2001, || {
+            std::hint::black_box(split.run_batch(&inputs, signs));
+        });
+        let cycles_simple = measure_cycles(2001, || {
+            std::hint::black_box(simple.run_batch(&inputs, signs));
+        });
+        let improvement = (1.0 - cycles_split as f64 / cycles_simple as f64) * 100.0;
+        let gate_improvement =
+            (1.0 - split.report().gates as f64 / simple.report().gates as f64) * 100.0;
+        rows.push(vec![
+            format!("sigma = {sigma}"),
+            format!("{cycles_simple} ({paper_simple})"),
+            format!("{cycles_split} ({paper_split})"),
+            format!("{improvement:.0}% (paper {}%)",
+                    if sigma == "2" { 37 } else { 11 }),
+            format!("{} vs {}", simple.report().gates, split.report().gates),
+            format!("{gate_improvement:.0}%"),
+        ]);
+    }
+    print_table(
+        &[
+            "Distribution",
+            &format!("[21] simple ({})", cycle_unit()),
+            &format!("this work ({})", cycle_unit()),
+            "improvement",
+            "gates simple vs split",
+            "gate improvement",
+        ],
+        &rows,
+    );
+
+    // X4: per-sample comparison against the constant-time linear CDT.
+    println!("\nX4 (Section 4): bitsliced vs linear-search CDT per sample, sigma = 6.15543");
+    let split = SamplerBuilder::new("6.15543", 128)
+        .strategy(Strategy::SplitExact)
+        .build()
+        .expect("valid parameters");
+    let table = CdtTable::build(&GaussianParams::new("6.15543", 128, 13).unwrap()).unwrap();
+    let lin = LinearSearchCdt::new(&table);
+    let mut rng = ChaChaRng::from_u64_seed(11);
+    let cycles_batch = measure_cycles(2001, || {
+        std::hint::black_box(split.sample_batch(&mut rng));
+    });
+    let mut rng_w = ChaChaRng::from_u64_seed(13);
+    let cycles_wide = measure_cycles(501, || {
+        std::hint::black_box(split.sample_batch_wide::<8, _>(&mut rng_w));
+    }) / 8;
+    let mut rng2 = ChaChaRng::from_u64_seed(12);
+    let cycles_lin64 = measure_cycles(2001, || {
+        for _ in 0..64 {
+            std::hint::black_box(lin.sample_signed(&mut rng2));
+        }
+    });
+    println!(
+        "  per 64 samples (PRNG included, {}): bitsliced W=1: {}, W=8: {}, linear CDT: {}",
+        cycle_unit(),
+        cycles_batch,
+        cycles_wide,
+        cycles_lin64,
+    );
+    println!(
+        "  speedup vs linear CDT: {:.2}x (W=1) / {:.2}x (W=8); prior work [21] reported ~2x\n  (on compiled straight-line code; our kernel is interpreted, see EXPERIMENTS.md)",
+        cycles_lin64 as f64 / cycles_batch as f64,
+        cycles_lin64 as f64 / cycles_wide as f64
+    );
+}

@@ -1,0 +1,222 @@
+//! Lowering Boolean expressions into straight-line programs with
+//! hash-consing common-subexpression elimination.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ctgauss_boolmin::Expr;
+
+use crate::{Op, Program};
+
+/// Structural key for hash-consing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Input(u32),
+    Const(bool),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Xor(u32, u32),
+}
+
+struct Compiler {
+    ops: Vec<Op>,
+    structural: HashMap<Key, u32>,
+    by_ptr: HashMap<*const Expr, u32>,
+}
+
+impl Compiler {
+    fn emit(&mut self, key: Key) -> u32 {
+        if let Some(&r) = self.structural.get(&key) {
+            return r;
+        }
+        let op = match key {
+            Key::Input(i) => Op::Input(i),
+            Key::Const(v) => Op::Const(v),
+            Key::Not(a) => Op::Not(a),
+            Key::And(a, b) => Op::And(a, b),
+            Key::Or(a, b) => Op::Or(a, b),
+            Key::Xor(a, b) => Op::Xor(a, b),
+        };
+        let r = self.ops.len() as u32;
+        self.ops.push(op);
+        self.structural.insert(key, r);
+        r
+    }
+
+    fn lower(&mut self, e: &Rc<Expr>) -> u32 {
+        if let Some(&r) = self.by_ptr.get(&Rc::as_ptr(e)) {
+            return r;
+        }
+        let r = match &**e {
+            Expr::Const(v) => self.emit(Key::Const(*v)),
+            Expr::Var(i) => self.emit(Key::Input(*i)),
+            Expr::Not(a) => {
+                let ra = self.lower(a);
+                self.emit(Key::Not(ra))
+            }
+            Expr::And(a, b) => {
+                let (ra, rb) = (self.lower(a), self.lower(b));
+                // Canonical operand order for commutative gates.
+                self.emit(Key::And(ra.min(rb), ra.max(rb)))
+            }
+            Expr::Or(a, b) => {
+                let (ra, rb) = (self.lower(a), self.lower(b));
+                self.emit(Key::Or(ra.min(rb), ra.max(rb)))
+            }
+            Expr::Xor(a, b) => {
+                let (ra, rb) = (self.lower(a), self.lower(b));
+                self.emit(Key::Xor(ra.min(rb), ra.max(rb)))
+            }
+        };
+        self.by_ptr.insert(Rc::as_ptr(e), r);
+        r
+    }
+}
+
+/// Compiles one expression per output into a single shared straight-line
+/// program over `num_inputs` input words.
+///
+/// Structurally identical subexpressions are emitted once (hash-consing),
+/// and `Rc`-shared nodes are resolved by pointer without re-walking.
+///
+/// # Panics
+///
+/// Panics if an expression references a variable `>= num_inputs`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_bitslice::compile;
+/// use ctgauss_boolmin::Expr;
+///
+/// // Two outputs sharing the subterm x0 & x1.
+/// let shared = Expr::and(Expr::var(0), Expr::var(1));
+/// let o1 = Expr::or(shared.clone(), Expr::var(2));
+/// let o2 = Expr::not(shared);
+/// let p = compile(&[o1, o2], 3);
+/// // x0, x1, x2 loads + AND + OR + NOT = 6 ops, AND emitted once.
+/// assert_eq!(p.ops().len(), 6);
+/// ```
+pub fn compile(outputs: &[Rc<Expr>], num_inputs: u32) -> Program {
+    for e in outputs {
+        if let Some(v) = e.max_var() {
+            assert!(v < num_inputs, "expression uses x{v} but only {num_inputs} inputs declared");
+        }
+    }
+    let mut c = Compiler {
+        ops: Vec::new(),
+        structural: HashMap::new(),
+        by_ptr: HashMap::new(),
+    };
+    let out_regs: Vec<u32> = outputs.iter().map(|e| c.lower(e)).collect();
+    Program::new(num_inputs, c.ops, out_regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compiles_and_evaluates_simple() {
+        let e = Expr::mux(Expr::var(0), Expr::var(1), Expr::var(2));
+        let p = compile(&[e.clone()], 3);
+        // Check against scalar evaluation on all 8 assignments, batched in
+        // one interpretation using lanes 0..7.
+        let mut inputs = [0u64; 3];
+        for m in 0..8u64 {
+            for (bit, input) in inputs.iter_mut().enumerate() {
+                if (m >> bit) & 1 == 1 {
+                    *input |= 1 << m;
+                }
+            }
+        }
+        let out = interpret(&p, &inputs);
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!((out[0] >> m) & 1 == 1, e.evaluate(&bits), "lane {m}");
+        }
+    }
+
+    #[test]
+    fn cse_merges_structural_duplicates() {
+        // Build the same subterm twice without Rc sharing.
+        let a1 = Expr::and(Expr::var(0), Expr::var(1));
+        let a2 = Expr::and(Expr::var(1), Expr::var(0)); // commuted
+        let top = Expr::or(a1, a2);
+        let p = compile(&[top], 2);
+        // Loads x0, x1, one AND; OR(a,a) stays (no idempotence folding) —
+        // so at most 4 ops.
+        assert!(p.ops().len() <= 4, "expected <= 4 ops, got {}", p.ops().len());
+        assert_eq!(p.gate_count(), 2); // AND + OR
+    }
+
+    #[test]
+    fn shared_rc_nodes_emitted_once() {
+        let shared = Expr::and(Expr::var(0), Expr::var(1));
+        let mut exprs = Vec::new();
+        for i in 2..10 {
+            exprs.push(Expr::or(shared.clone(), Expr::var(i)));
+        }
+        let p = compile(&exprs, 10);
+        let and_count = p
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::And(_, _)))
+            .count();
+        assert_eq!(and_count, 1);
+    }
+
+    #[test]
+    fn constant_output() {
+        let p = compile(&[Expr::constant(true)], 0);
+        assert_eq!(interpret(&p, &[]), vec![u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs declared")]
+    fn rejects_out_of_range_variable() {
+        let _ = compile(&[Expr::var(5)], 3);
+    }
+
+    /// Random expression generator for semantic equivalence testing.
+    fn arb_expr(depth: u32) -> BoxedStrategy<Rc<Expr>> {
+        let leaf = prop_oneof![
+            (0u32..4).prop_map(Expr::var),
+            any::<bool>().prop_map(Expr::constant),
+        ];
+        leaf.prop_recursive(depth, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Expr::not),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::xor(a, b)),
+            ]
+        })
+        .boxed()
+    }
+
+    proptest! {
+        /// Compiled program ≡ expression semantics on all 16 assignments of
+        /// 4 variables (each assignment in its own lane).
+        #[test]
+        fn prop_compile_preserves_semantics(e in arb_expr(6)) {
+            let p = compile(&[e.clone()], 4);
+            let mut inputs = [0u64; 4];
+            for m in 0..16u64 {
+                for (bit, input) in inputs.iter_mut().enumerate() {
+                    if (m >> bit) & 1 == 1 {
+                        *input |= 1 << m;
+                    }
+                }
+            }
+            let out = interpret(&p, &inputs);
+            for m in 0..16u64 {
+                let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+                prop_assert_eq!((out[0] >> m) & 1 == 1, e.evaluate(&bits));
+            }
+        }
+    }
+}

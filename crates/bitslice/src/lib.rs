@@ -1,0 +1,44 @@
+//! Bitsliced execution of Boolean expressions — the SIMD engine of the
+//! constant-time sampler.
+//!
+//! The paper evaluates each sampler Boolean function on 64 independent
+//! inputs at once by packing one bit position of all 64 lanes into a `u64`
+//! word and replacing single-bit operators with bitwise ones (Section 3.2
+//! of the prior work, Section 5.2 here). This crate provides:
+//!
+//! * [`Program`] — a straight-line SSA program of `AND`/`OR`/`XOR`/`NOT`
+//!   word operations. Straight-line means constant-time by construction: no
+//!   branches, no data-dependent memory addressing.
+//! * [`compile`] — lowers [`ctgauss_boolmin::Expr`] trees to a [`Program`]
+//!   with structural hash-consing, so the shared selector chains
+//!   `b_0 & b_1 & ... & b_k` of Equation 2 are computed once.
+//! * [`interpret`] — executes a program over `u64` lanes.
+//! * [`transpose64`] / pack helpers — the classic bit-matrix transpose used
+//!   to move between sample-per-word and bit-position-per-word layouts.
+//! * [`audit`] — a static checker that verifies SSA well-formedness and
+//!   that every output is influenced only by declared random inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_bitslice::{compile, interpret};
+//! use ctgauss_boolmin::Expr;
+//!
+//! // out = x0 & !x1, evaluated on 64 lanes at once.
+//! let e = Expr::and(Expr::var(0), Expr::not(Expr::var(1)));
+//! let program = compile(&[e], 2);
+//! let out = interpret(&program, &[0b1100, 0b1010]);
+//! assert_eq!(out[0], 0b0100);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod compile;
+mod program;
+mod transpose;
+
+pub use audit::{audit, AuditReport};
+pub use compile::compile;
+pub use program::{interpret, interpret_wide, Op, Program};
+pub use transpose::{pack_lanes, transpose64, unpack_lanes};

@@ -1,0 +1,150 @@
+//! Bit-matrix transposition and lane packing/unpacking.
+
+/// Transposes a 64x64 bit matrix in place (`m[i]` bit `j` swaps with `m[j]`
+/// bit `i`) using the classic recursive block-swap algorithm
+/// (Hacker's Delight §7-3), `O(64 log 64)` word operations.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_bitslice::transpose64;
+///
+/// let mut m = [0u64; 64];
+/// m[3] = 1 << 10;
+/// transpose64(&mut m);
+/// assert_eq!(m[10], 1 << 3);
+/// ```
+pub fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut mask = 0x0000_0000_ffff_ffffu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            // Swap the off-diagonal j x j blocks of the 2j x 2j block at k.
+            let t = (m[k + j] ^ (m[k] >> j)) & mask;
+            m[k + j] ^= t;
+            m[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Packs per-lane bit vectors into bit-position words: `out[i]` holds bit
+/// `i` of every lane (`lanes[l]` bit `i` lands at bit `l` of `out[i]`).
+///
+/// This is the "pack" step of the paper's batch sampler when inputs are
+/// given per lane; width may be any bit count (not just 64).
+///
+/// # Panics
+///
+/// Panics if more than 64 lanes are supplied.
+pub fn pack_lanes(lanes: &[u64], width: u32) -> Vec<u64> {
+    assert!(lanes.len() <= 64, "at most 64 lanes");
+    assert!(width <= 64, "lane width capped at 64 bits");
+    let mut out = vec![0u64; width as usize];
+    for (l, &lane) in lanes.iter().enumerate() {
+        for (i, word) in out.iter_mut().enumerate() {
+            *word |= ((lane >> i) & 1) << l;
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_lanes`]: reassembles per-lane values from
+/// bit-position words.
+///
+/// # Panics
+///
+/// Panics if more than 64 words are supplied.
+pub fn unpack_lanes(words: &[u64], num_lanes: u32) -> Vec<u64> {
+    assert!(words.len() <= 64, "lane width capped at 64 bits");
+    assert!(num_lanes <= 64, "at most 64 lanes");
+    let mut out = vec![0u64; num_lanes as usize];
+    for (i, &word) in words.iter().enumerate() {
+        for (l, lane) in out.iter_mut().enumerate() {
+            *lane |= ((word >> l) & 1) << i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transpose_identity_diagonal() {
+        let mut m = [0u64; 64];
+        for (i, row) in m.iter_mut().enumerate() {
+            *row = 1 << i;
+        }
+        let before = m;
+        transpose64(&mut m);
+        assert_eq!(m, before, "diagonal is fixed by transposition");
+    }
+
+    #[test]
+    fn transpose_moves_single_bits() {
+        let mut m = [0u64; 64];
+        m[0] = 1 << 63;
+        m[17] = 1 << 2;
+        transpose64(&mut m);
+        assert_eq!(m[63], 1);
+        assert_eq!(m[2], 1 << 17);
+        assert_eq!(m[0], 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_narrow() {
+        let lanes: Vec<u64> = (0..10).map(|i| i * 37 % 256).collect();
+        let words = pack_lanes(&lanes, 8);
+        let back = unpack_lanes(&words, 10);
+        assert_eq!(lanes, back);
+    }
+
+    #[test]
+    fn pack_layout() {
+        // lane 5 has bit 3 set -> word 3 must have bit 5 set.
+        let mut lanes = vec![0u64; 8];
+        lanes[5] = 1 << 3;
+        let words = pack_lanes(&lanes, 4);
+        assert_eq!(words[3], 1 << 5);
+        assert_eq!(words[0], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(rows in proptest::collection::vec(any::<u64>(), 64)) {
+            let mut m = [0u64; 64];
+            m.copy_from_slice(&rows);
+            let original = m;
+            transpose64(&mut m);
+            transpose64(&mut m);
+            prop_assert_eq!(m, original);
+        }
+
+        #[test]
+        fn prop_transpose_is_pointwise(rows in proptest::collection::vec(any::<u64>(), 64),
+                                       i in 0usize..64, j in 0usize..64) {
+            let mut m = [0u64; 64];
+            m.copy_from_slice(&rows);
+            let original = m;
+            transpose64(&mut m);
+            prop_assert_eq!((m[j] >> i) & 1, (original[i] >> j) & 1);
+        }
+
+        #[test]
+        fn prop_pack_unpack_roundtrip(lanes in proptest::collection::vec(any::<u64>(), 0..64),
+                                      width in 1u32..64) {
+            let masked: Vec<u64> = lanes.iter()
+                .map(|&l| if width == 64 { l } else { l & ((1 << width) - 1) })
+                .collect();
+            let words = pack_lanes(&masked, width);
+            let back = unpack_lanes(&words, masked.len() as u32);
+            prop_assert_eq!(masked, back);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Covers (sums of cubes) with the unate-recursion tautology, containment
+//! and complement operations two-level minimizers are built from.
+
+use core::fmt;
+
+use crate::{Cube, VarState};
+
+/// A sum (OR) of product terms over a shared variable space.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_boolmin::{Cover, Cube, VarState};
+///
+/// // f = x0 + !x0 & x1
+/// let mut f = Cover::empty(2);
+/// f.push(Cube::full(2).with_var(0, VarState::One));
+/// f.push(Cube::full(2).with_var(0, VarState::Zero).with_var(1, VarState::One));
+/// assert!(f.evaluate(&[true, false]));
+/// assert!(!f.evaluate(&[false, false]));
+/// assert!(!f.is_tautology());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+    nvars: u32,
+}
+
+impl Cover {
+    /// The empty cover (constant false).
+    pub fn empty(nvars: u32) -> Self {
+        Cover { cubes: Vec::new(), nvars }
+    }
+
+    /// A cover holding the given cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube has a different variable count.
+    pub fn from_cubes(nvars: u32, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.nvars(), nvars, "cube variable count mismatch");
+        }
+        Cover { cubes, nvars }
+    }
+
+    /// Number of variables of the space.
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes (product terms).
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals across all cubes — the cost metric the
+    /// paper's minimization reduces.
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.nvars(), self.nvars, "cube variable count mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on a full assignment.
+    pub fn evaluate(&self, bits: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.contains_assignment(bits))
+    }
+
+    /// Removes duplicate cubes and cubes contained in another single cube.
+    pub fn remove_contained(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.cubes[i].contains(&self.cubes[j])
+                    && !(self.cubes[j].contains(&self.cubes[i]) && j < i)
+                {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// The cofactor cover with respect to `var = value` (Shannon branch).
+    pub fn cofactor(&self, var: u32, value: bool) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(var, value))
+            .collect();
+        Cover { cubes, nvars: self.nvars }
+    }
+
+    /// Selects the most binate variable (appears in both polarities, with
+    /// the highest total occurrence count), falling back to the most
+    /// frequent unate variable. Returns `None` when every cube is the full
+    /// cube or the cover is empty.
+    fn branch_variable(&self) -> Option<u32> {
+        let n = self.nvars as usize;
+        let mut zeros = vec![0u32; n];
+        let mut ones = vec![0u32; n];
+        for c in &self.cubes {
+            for v in c.support() {
+                match c.var(v) {
+                    VarState::Zero => zeros[v as usize] += 1,
+                    VarState::One => ones[v as usize] += 1,
+                    VarState::DontCare => {}
+                }
+            }
+        }
+        let mut best: Option<(bool, u32, u32)> = None; // (binate, count, var)
+        for v in 0..self.nvars {
+            let (z, o) = (zeros[v as usize], ones[v as usize]);
+            if z + o == 0 {
+                continue;
+            }
+            let binate = z > 0 && o > 0;
+            let cand = (binate, z + o, v);
+            best = match best {
+                None => Some(cand),
+                Some(prev) => {
+                    // Prefer binate, then higher count, then lower index.
+                    if (cand.0, cand.1, std::cmp::Reverse(cand.2))
+                        > (prev.0, prev.1, std::cmp::Reverse(prev.2))
+                    {
+                        Some(cand)
+                    } else {
+                        Some(prev)
+                    }
+                }
+            };
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    /// Whether the cover is a tautology (covers the whole space), via unate
+    /// recursion.
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits. The empty cover is constant false, never a tautology.
+        if self.cubes.iter().any(|c| c.literal_count() == 0) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Unate test: if some variable appears in only one polarity, cubes
+        // constraining it can never help cover the opposite half unless the
+        // rest covers it; standard reduction: a unate cover is a tautology
+        // iff it contains the full cube (checked above). Detect unateness
+        // cheaply through branch_variable's binate preference.
+        let Some(var) = self.branch_variable() else {
+            // No constrained variable at all and no full cube: empty space.
+            return false;
+        };
+        // If `var` is unate here, one branch simply drops cubes, so the
+        // recursion still terminates (the dropped side must be covered by
+        // cubes without `var`).
+        self.cofactor(var, false).is_tautology() && self.cofactor(var, true).is_tautology()
+    }
+
+    /// Whether `cube` is covered by this cover (`cube ⊆ self`), via the
+    /// cofactor-tautology reduction: after restricting the cover to the
+    /// cube's subspace, the constrained variables no longer appear, so an
+    /// ordinary tautology check over the free variables decides containment.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        let mut restricted = self.clone();
+        for v in cube.support() {
+            let value = cube.var(v) == VarState::One;
+            restricted = restricted.cofactor(v, value);
+        }
+        restricted.is_tautology()
+    }
+
+    /// The complement of the cover, via Shannon recursion. Exponential in
+    /// the worst case — intended for small variable counts (validation and
+    /// OFF-set construction in tests).
+    pub fn complement(&self) -> Cover {
+        self.complement_rec(&Cube::full(self.nvars))
+    }
+
+    fn complement_rec(&self, space: &Cube) -> Cover {
+        if self.cubes.iter().any(|c| c.literal_count() == 0) {
+            return Cover::empty(self.nvars);
+        }
+        if self.cubes.is_empty() {
+            return Cover::from_cubes(self.nvars, vec![space.clone()]);
+        }
+        let Some(var) = self.branch_variable() else {
+            return Cover::from_cubes(self.nvars, vec![space.clone()]);
+        };
+        let mut out = Vec::new();
+        for value in [false, true] {
+            let sub = self.cofactor(var, value);
+            let Some(subspace) = space.cofactor(var, value) else {
+                continue;
+            };
+            let subspace = subspace.with_var(
+                var,
+                if value { VarState::One } else { VarState::Zero },
+            );
+            out.extend(sub.complement_rec(&subspace).cubes);
+        }
+        let mut cover = Cover::from_cubes(self.nvars, out);
+        cover.remove_contained();
+        cover
+    }
+
+    /// Whether two covers compute the same function on every assignment
+    /// where `care` (if given) is true. Exhaustive — only for small spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 20`.
+    pub fn equivalent_exhaustive(&self, other: &Cover, care: Option<&Cover>) -> bool {
+        assert!(self.nvars <= 20, "exhaustive equivalence limited to 20 variables");
+        let n = self.nvars;
+        for m in 0u64..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            if let Some(c) = care {
+                if !c.evaluate(&bits) {
+                    continue;
+                }
+            }
+            if self.evaluate(&bits) != other.evaluate(&bits) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover[{} vars; ", self.nvars)?;
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cube(pattern: &str) -> Cube {
+        let mut c = Cube::full(pattern.len() as u32);
+        for (i, ch) in pattern.chars().enumerate() {
+            match ch {
+                '0' => c.set_var(i as u32, VarState::Zero),
+                '1' => c.set_var(i as u32, VarState::One),
+                '-' => {}
+                _ => panic!("bad pattern char {ch}"),
+            }
+        }
+        c
+    }
+
+    fn cover(patterns: &[&str]) -> Cover {
+        let n = patterns[0].len() as u32;
+        Cover::from_cubes(n, patterns.iter().map(|p| cube(p)).collect())
+    }
+
+    #[test]
+    fn evaluate_matches_cubes() {
+        let f = cover(&["1--", "-01"]);
+        assert!(f.evaluate(&[true, true, true]));
+        assert!(f.evaluate(&[false, false, true]));
+        assert!(!f.evaluate(&[false, true, false]));
+    }
+
+    #[test]
+    fn tautology_simple_cases() {
+        assert!(cover(&["---"]).is_tautology());
+        assert!(cover(&["1--", "0--"]).is_tautology());
+        assert!(!cover(&["1--"]).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+        // x + !x&y + !x&!y
+        assert!(cover(&["1-", "01", "00"]).is_tautology());
+    }
+
+    #[test]
+    fn tautology_xor_decomposition() {
+        // a xor b plus its complement is a tautology.
+        assert!(cover(&["10", "01", "11", "00"]).is_tautology());
+        assert!(!cover(&["10", "01", "11"]).is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_examples() {
+        let f = cover(&["1--", "01-"]);
+        assert!(f.covers_cube(&cube("11-")));
+        assert!(f.covers_cube(&cube("010")));
+        assert!(!f.covers_cube(&cube("00-")));
+        // The union covers --1? 1--covers 1-1, 01- covers 011, but 001 is
+        // uncovered.
+        assert!(!f.covers_cube(&cube("--1")));
+    }
+
+    #[test]
+    fn remove_contained_dedupes() {
+        let mut f = cover(&["1--", "1-1", "1--", "-11"]);
+        f.remove_contained();
+        assert_eq!(f.cube_count(), 2); // "1--" and "-11" survive
+        assert!(f.cubes().iter().any(|c| format!("{c:?}") == "Cube(1--)"));
+    }
+
+    #[test]
+    fn complement_of_single_literal() {
+        let f = cover(&["1--"]);
+        let g = f.complement();
+        assert_eq!(g.cube_count(), 1);
+        assert!(g.evaluate(&[false, true, true]));
+        assert!(!g.evaluate(&[true, false, false]));
+    }
+
+    #[test]
+    fn complement_roundtrip_equivalence() {
+        let f = cover(&["10-", "0-1", "11-"]);
+        let g = f.complement();
+        // f OR g must be a tautology, f AND g empty.
+        let mut union = f.clone();
+        for c in g.cubes() {
+            union.push(c.clone());
+        }
+        assert!(union.is_tautology());
+        for cf in f.cubes() {
+            for cg in g.cubes() {
+                assert!(!cf.intersects(cg), "{cf:?} meets {cg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_equivalence() {
+        let f = cover(&["10", "01"]);
+        let g = cover(&["01", "10"]);
+        assert!(f.equivalent_exhaustive(&g, None));
+        let h = cover(&["1-", "01"]);
+        assert!(!f.equivalent_exhaustive(&h, None));
+        // With a care set excluding 11, f and h agree.
+        let care = cover(&["0-", "-0"]);
+        assert!(f.equivalent_exhaustive(&h, Some(&care)));
+    }
+
+    proptest! {
+        /// Random 4-variable covers: complement really is the complement.
+        #[test]
+        fn prop_complement_correct(cube_specs in proptest::collection::vec(
+            proptest::collection::vec(0u8..3, 4), 0..6)) {
+            let cubes: Vec<Cube> = cube_specs.iter().map(|spec| {
+                let mut c = Cube::full(4);
+                for (i, &s) in spec.iter().enumerate() {
+                    match s {
+                        0 => c.set_var(i as u32, VarState::Zero),
+                        1 => c.set_var(i as u32, VarState::One),
+                        _ => {}
+                    }
+                }
+                c
+            }).collect();
+            let f = Cover::from_cubes(4, cubes);
+            let g = f.complement();
+            for m in 0u32..16 {
+                let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+                prop_assert_eq!(f.evaluate(&bits), !g.evaluate(&bits));
+            }
+        }
+
+        /// covers_cube agrees with brute force on 4 variables.
+        #[test]
+        fn prop_covers_cube_correct(cube_specs in proptest::collection::vec(
+            proptest::collection::vec(0u8..3, 4), 1..5),
+            probe in proptest::collection::vec(0u8..3, 4)) {
+            let mk = |spec: &[u8]| {
+                let mut c = Cube::full(4);
+                for (i, &s) in spec.iter().enumerate() {
+                    match s {
+                        0 => c.set_var(i as u32, VarState::Zero),
+                        1 => c.set_var(i as u32, VarState::One),
+                        _ => {}
+                    }
+                }
+                c
+            };
+            let f = Cover::from_cubes(4, cube_specs.iter().map(|s| mk(s)).collect());
+            let probe_cube = mk(&probe);
+            let brute = (0u32..16).all(|m| {
+                let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+                !probe_cube.contains_assignment(&bits) || f.evaluate(&bits)
+            });
+            prop_assert_eq!(f.covers_cube(&probe_cube), brute);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Cubes in positional-cube notation over an arbitrary number of variables.
+
+use core::fmt;
+
+/// The state of one variable inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarState {
+    /// The cube requires this variable to be 0 (`mask0` only).
+    Zero,
+    /// The cube requires this variable to be 1 (`mask1` only).
+    One,
+    /// The cube does not constrain this variable.
+    DontCare,
+}
+
+/// A product term over `nvars` Boolean variables.
+///
+/// Internally each variable carries two bits ("may be 0" / "may be 1"):
+/// `11` is a don't-care, `01`/`10` are literals, and `00` would be an empty
+/// (contradictory) cube — never representable through this API because
+/// intersections that produce `00` return `None` instead.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_boolmin::{Cube, VarState};
+///
+/// // The cube x0 & !x2 over 3 variables.
+/// let c = Cube::full(3).with_var(0, VarState::One).with_var(2, VarState::Zero);
+/// assert!(c.contains_assignment(&[true, false, false]));
+/// assert!(!c.contains_assignment(&[true, false, true]));
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Bit `i` set: variable `i` may take value 0.
+    mask0: Vec<u64>,
+    /// Bit `i` set: variable `i` may take value 1.
+    mask1: Vec<u64>,
+    nvars: u32,
+}
+
+fn words_for(nvars: u32) -> usize {
+    (nvars as usize).div_ceil(64)
+}
+
+/// A mask with ones in all positions `< nvars` of the last word.
+fn tail_mask(nvars: u32) -> u64 {
+    let rem = nvars % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+impl Cube {
+    /// The universal cube (every variable don't-care).
+    pub fn full(nvars: u32) -> Self {
+        let w = words_for(nvars);
+        let mut mask = vec![u64::MAX; w];
+        if w > 0 {
+            mask[w - 1] = tail_mask(nvars);
+        }
+        Cube { mask0: mask.clone(), mask1: mask, nvars }
+    }
+
+    /// A minterm: every variable fixed to the given assignment.
+    pub fn from_assignment(bits: &[bool]) -> Self {
+        let mut c = Cube::full(bits.len() as u32);
+        for (i, &b) in bits.iter().enumerate() {
+            c.set_var(i as u32, if b { VarState::One } else { VarState::Zero });
+        }
+        c
+    }
+
+    /// Number of variables in the cube's space.
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    /// Sets one variable's state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    pub fn set_var(&mut self, var: u32, state: VarState) {
+        assert!(var < self.nvars, "variable {var} out of range");
+        let (w, b) = ((var / 64) as usize, var % 64);
+        let bit = 1u64 << b;
+        match state {
+            VarState::Zero => {
+                self.mask0[w] |= bit;
+                self.mask1[w] &= !bit;
+            }
+            VarState::One => {
+                self.mask0[w] &= !bit;
+                self.mask1[w] |= bit;
+            }
+            VarState::DontCare => {
+                self.mask0[w] |= bit;
+                self.mask1[w] |= bit;
+            }
+        }
+    }
+
+    /// Builder-style [`set_var`](Self::set_var).
+    #[must_use]
+    pub fn with_var(mut self, var: u32, state: VarState) -> Self {
+        self.set_var(var, state);
+        self
+    }
+
+    /// Reads one variable's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    pub fn var(&self, var: u32) -> VarState {
+        assert!(var < self.nvars, "variable {var} out of range");
+        let (w, b) = ((var / 64) as usize, var % 64);
+        match ((self.mask0[w] >> b) & 1, (self.mask1[w] >> b) & 1) {
+            (1, 1) => VarState::DontCare,
+            (1, 0) => VarState::Zero,
+            (0, 1) => VarState::One,
+            _ => unreachable!("empty variable state cannot be constructed"),
+        }
+    }
+
+    /// Number of constrained variables (literals in the product term).
+    pub fn literal_count(&self) -> u32 {
+        let mut dc = 0;
+        for w in 0..self.mask0.len() {
+            dc += (self.mask0[w] & self.mask1[w]).count_ones();
+        }
+        self.nvars - dc
+    }
+
+    /// Whether the cube covers the given full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from `nvars`.
+    pub fn contains_assignment(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len() as u32, self.nvars, "assignment length mismatch");
+        bits.iter().enumerate().all(|(i, &b)| {
+            let (w, o) = ((i / 64), (i % 64) as u32);
+            let mask = if b { &self.mask1 } else { &self.mask0 };
+            (mask[w] >> o) & 1 == 1
+        })
+    }
+
+    /// Whether `self` covers every assignment of `other` (`other ⊆ self`).
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.nvars, other.nvars);
+        for w in 0..self.mask0.len() {
+            if other.mask0[w] & !self.mask0[w] != 0 || other.mask1[w] & !self.mask1[w] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The intersection of two cubes, or `None` when they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.nvars, other.nvars);
+        let mut mask0 = Vec::with_capacity(self.mask0.len());
+        let mut mask1 = Vec::with_capacity(self.mask1.len());
+        for w in 0..self.mask0.len() {
+            let m0 = self.mask0[w] & other.mask0[w];
+            let m1 = self.mask1[w] & other.mask1[w];
+            // Some variable lost both options: empty intersection.
+            if (m0 | m1) != self.full_word(w) {
+                return None;
+            }
+            mask0.push(m0);
+            mask1.push(m1);
+        }
+        Some(Cube { mask0, mask1, nvars: self.nvars })
+    }
+
+    fn full_word(&self, w: usize) -> u64 {
+        if w + 1 == self.mask0.len() {
+            tail_mask(self.nvars)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Whether the two cubes intersect.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.nvars, other.nvars);
+        for w in 0..self.mask0.len() {
+            let m0 = self.mask0[w] & other.mask0[w];
+            let m1 = self.mask1[w] & other.mask1[w];
+            if (m0 | m1) != self.full_word(w) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The cofactor of this cube with respect to `var = value`: `None` if
+    /// the cube excludes that value, otherwise the cube with `var` freed.
+    pub fn cofactor(&self, var: u32, value: bool) -> Option<Cube> {
+        match (self.var(var), value) {
+            (VarState::Zero, true) | (VarState::One, false) => None,
+            _ => Some(self.clone().with_var(var, VarState::DontCare)),
+        }
+    }
+
+    /// The smallest cube containing both inputs (component-wise union).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.nvars, other.nvars);
+        let mask0 = self
+            .mask0
+            .iter()
+            .zip(&other.mask0)
+            .map(|(a, b)| a | b)
+            .collect();
+        let mask1 = self
+            .mask1
+            .iter()
+            .zip(&other.mask1)
+            .map(|(a, b)| a | b)
+            .collect();
+        Cube { mask0, mask1, nvars: self.nvars }
+    }
+
+    /// Variables on which the cube depends, in ascending order.
+    pub fn support(&self) -> Vec<u32> {
+        (0..self.nvars)
+            .filter(|&v| self.var(v) != VarState::DontCare)
+            .collect()
+    }
+
+    /// Number of assignments the cube covers: `2^(nvars - literals)`,
+    /// saturating at `u128::MAX` for enormous spaces.
+    pub fn size_log2(&self) -> u32 {
+        self.nvars - self.literal_count()
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube(")?;
+        for v in 0..self.nvars {
+            let c = match self.var(v) {
+                VarState::Zero => '0',
+                VarState::One => '1',
+                VarState::DontCare => '-',
+            };
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in 0..self.nvars {
+            match self.var(v) {
+                VarState::DontCare => continue,
+                VarState::One => {
+                    if !first {
+                        write!(f, "&")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+                VarState::Zero => {
+                    if !first {
+                        write!(f, "&")?;
+                    }
+                    write!(f, "!x{v}")?;
+                }
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "1")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cube_covers_everything() {
+        let c = Cube::full(5);
+        assert_eq!(c.literal_count(), 0);
+        assert!(c.contains_assignment(&[true; 5]));
+        assert!(c.contains_assignment(&[false; 5]));
+        assert_eq!(c.size_log2(), 5);
+    }
+
+    #[test]
+    fn minterm_covers_only_itself() {
+        let bits = [true, false, true];
+        let c = Cube::from_assignment(&bits);
+        assert_eq!(c.literal_count(), 3);
+        assert!(c.contains_assignment(&bits));
+        assert!(!c.contains_assignment(&[true, false, false]));
+        assert_eq!(c.size_log2(), 0);
+    }
+
+    #[test]
+    fn var_states_roundtrip() {
+        let mut c = Cube::full(70); // crosses a word boundary
+        c.set_var(0, VarState::One);
+        c.set_var(63, VarState::Zero);
+        c.set_var(64, VarState::One);
+        c.set_var(69, VarState::Zero);
+        assert_eq!(c.var(0), VarState::One);
+        assert_eq!(c.var(63), VarState::Zero);
+        assert_eq!(c.var(64), VarState::One);
+        assert_eq!(c.var(69), VarState::Zero);
+        assert_eq!(c.var(5), VarState::DontCare);
+        assert_eq!(c.literal_count(), 4);
+        c.set_var(0, VarState::DontCare);
+        assert_eq!(c.var(0), VarState::DontCare);
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::full(4).with_var(0, VarState::One);
+        let small = Cube::full(4)
+            .with_var(0, VarState::One)
+            .with_var(2, VarState::Zero);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+    }
+
+    #[test]
+    fn intersection_and_disjointness() {
+        let a = Cube::full(3).with_var(0, VarState::One);
+        let b = Cube::full(3).with_var(0, VarState::Zero);
+        assert!(a.intersect(&b).is_none());
+        assert!(!a.intersects(&b));
+
+        let c = Cube::full(3).with_var(1, VarState::One);
+        let i = a.intersect(&c).unwrap();
+        assert_eq!(i.var(0), VarState::One);
+        assert_eq!(i.var(1), VarState::One);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn cofactor_frees_variable() {
+        let c = Cube::full(3)
+            .with_var(0, VarState::One)
+            .with_var(1, VarState::Zero);
+        let cf = c.cofactor(0, true).unwrap();
+        assert_eq!(cf.var(0), VarState::DontCare);
+        assert_eq!(cf.var(1), VarState::Zero);
+        assert!(c.cofactor(0, false).is_none());
+        // Cofactor on a don't-care variable keeps the cube.
+        let cf2 = c.cofactor(2, true).unwrap();
+        assert_eq!(cf2.var(1), VarState::Zero);
+    }
+
+    #[test]
+    fn supercube_is_smallest_superset() {
+        let a = Cube::from_assignment(&[true, true, false]);
+        let b = Cube::from_assignment(&[true, false, false]);
+        let s = a.supercube(&b);
+        assert_eq!(s.var(0), VarState::One);
+        assert_eq!(s.var(1), VarState::DontCare);
+        assert_eq!(s.var(2), VarState::Zero);
+    }
+
+    #[test]
+    fn support_lists_constrained_vars() {
+        let c = Cube::full(100)
+            .with_var(3, VarState::One)
+            .with_var(97, VarState::Zero);
+        assert_eq!(c.support(), vec![3, 97]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Cube::full(3)
+            .with_var(0, VarState::One)
+            .with_var(2, VarState::Zero);
+        assert_eq!(c.to_string(), "x0&!x2");
+        assert_eq!(Cube::full(2).to_string(), "1");
+        assert_eq!(format!("{c:?}"), "Cube(1-0)");
+    }
+}

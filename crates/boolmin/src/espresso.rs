@@ -1,0 +1,261 @@
+//! An Espresso-style heuristic minimizer over explicit cube lists.
+//!
+//! Used for the prior work's "simple minimization" baseline ([21], compared
+//! in Table 2), where one cover over all `n` (up to 128) input variables is
+//! minimized directly. Exact minimization is hopeless there; the classic
+//! EXPAND / IRREDUNDANT loop is not.
+//!
+//! Unlike textbook Espresso we always have the OFF-set explicitly (the DDG
+//! leaves whose sample bit is 0), so EXPAND validity checks are simple
+//! cube-disjointness tests instead of tautology calls.
+
+use crate::{Cover, Cube, VarState};
+
+/// Heuristically minimizes `on` against an explicit `off` cover; anything
+/// outside `on ∪ off` is treated as a don't-care.
+///
+/// The result covers every `on` cube, intersects no `off` cube, and is
+/// irredundant (no cube can be dropped). Runs EXPAND + IRREDUNDANT until a
+/// fixed point (usually two passes).
+///
+/// # Panics
+///
+/// Panics if an `on` cube intersects an `off` cube (the specification is
+/// contradictory).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_boolmin::{minimize_heuristic, Cover, Cube, VarState};
+///
+/// // on = {00}, off = {11}: a single literal suffices.
+/// let on = Cover::from_cubes(2, vec![Cube::from_assignment(&[false, false])]);
+/// let off = Cover::from_cubes(2, vec![Cube::from_assignment(&[true, true])]);
+/// let min = minimize_heuristic(&on, &off);
+/// assert_eq!(min.cube_count(), 1);
+/// assert_eq!(min.literal_count(), 1);
+/// ```
+pub fn minimize_heuristic(on: &Cover, off: &Cover) -> Cover {
+    let nvars = on.nvars();
+    assert_eq!(nvars, off.nvars(), "on/off variable count mismatch");
+    for c_on in on.cubes() {
+        for c_off in off.cubes() {
+            assert!(
+                !c_on.intersects(c_off),
+                "contradictory specification: on cube {c_on:?} meets off cube {c_off:?}"
+            );
+        }
+    }
+
+    let mut current: Vec<Cube> = on.cubes().to_vec();
+    let mut best_cost = cost(&current);
+    loop {
+        let expanded = expand(&current, off);
+        let irredundant = make_irredundant(expanded, nvars);
+        let new_cost = cost(&irredundant);
+        current = irredundant;
+        if new_cost >= best_cost {
+            break;
+        }
+        best_cost = new_cost;
+    }
+    let mut out = Cover::from_cubes(nvars, current);
+    out.remove_contained();
+    out
+}
+
+/// (cube count, literal count) — lexicographic cost, cubes first.
+fn cost(cubes: &[Cube]) -> (usize, u32) {
+    (cubes.len(), cubes.iter().map(Cube::literal_count).sum())
+}
+
+/// EXPAND: for each cube (largest first), greedily raise literals to
+/// don't-care while the cube stays disjoint from the OFF-set; then drop
+/// cubes contained in an already-expanded one.
+fn expand(cubes: &[Cube], off: &Cover) -> Vec<Cube> {
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    // Large cubes first: they are the most likely to swallow others.
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].size_log2()));
+
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    'outer: for &i in &order {
+        let mut cube = cubes[i].clone();
+        // Skip if an already-expanded cube covers this one.
+        for done in &result {
+            if done.contains(&cube) {
+                continue 'outer;
+            }
+        }
+        // Try raising each literal. Order: variables whose raise frees the
+        // most OFF-distance last — a simple static order suffices here.
+        for v in cube.support() {
+            let raised = cube.clone().with_var(v, VarState::DontCare);
+            if !intersects_cover(&raised, off) {
+                cube = raised;
+            }
+        }
+        result.push(cube);
+    }
+    result
+}
+
+fn intersects_cover(cube: &Cube, cover: &Cover) -> bool {
+    cover.cubes().iter().any(|c| c.intersects(cube))
+}
+
+/// IRREDUNDANT: greedily removes cubes covered by the union of the others
+/// (smallest cubes considered for removal first).
+fn make_irredundant(mut cubes: Vec<Cube>, nvars: u32) -> Vec<Cube> {
+    cubes.sort_by_key(Cube::size_log2);
+    let mut keep: Vec<bool> = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        // Build the cover of all other kept cubes.
+        let others: Vec<Cube> = (0..cubes.len())
+            .filter(|&j| j != i && keep[j])
+            .map(|j| cubes[j].clone())
+            .collect();
+        if others.is_empty() {
+            continue;
+        }
+        let others_cover = Cover::from_cubes(nvars, others);
+        if others_cover.covers_cube(&cubes[i]) {
+            keep[i] = false;
+        }
+    }
+    cubes
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cube(pattern: &str) -> Cube {
+        let mut c = Cube::full(pattern.len() as u32);
+        for (i, ch) in pattern.chars().enumerate() {
+            match ch {
+                '0' => c.set_var(i as u32, VarState::Zero),
+                '1' => c.set_var(i as u32, VarState::One),
+                '-' => {}
+                _ => panic!("bad pattern {ch}"),
+            }
+        }
+        c
+    }
+
+    fn cover(patterns: &[&str]) -> Cover {
+        let n = patterns[0].len() as u32;
+        Cover::from_cubes(n, patterns.iter().map(|p| cube(p)).collect())
+    }
+
+    fn check_result(min: &Cover, on: &Cover, off: &Cover) {
+        let n = min.nvars();
+        assert!(n <= 16, "exhaustive check limited");
+        for m in 0u32..(1 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            if on.evaluate(&bits) {
+                assert!(min.evaluate(&bits), "on point {m} lost");
+            }
+            if off.evaluate(&bits) {
+                assert!(!min.evaluate(&bits), "off point {m} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn expands_to_single_literal() {
+        let on = cover(&["00"]);
+        let off = cover(&["11"]);
+        let min = minimize_heuristic(&on, &off);
+        check_result(&min, &on, &off);
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 1);
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        let on = cover(&["000", "001", "010", "011"]);
+        let off = cover(&["1--"]);
+        let min = minimize_heuristic(&on, &off);
+        check_result(&min, &on, &off);
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 1); // !x0
+    }
+
+    #[test]
+    fn keeps_xor_structure() {
+        let on = cover(&["10", "01"]);
+        let off = cover(&["00", "11"]);
+        let min = minimize_heuristic(&on, &off);
+        check_result(&min, &on, &off);
+        assert_eq!(min.cube_count(), 2);
+    }
+
+    #[test]
+    fn removes_redundant_cubes() {
+        // Three cubes where the middle one is covered by the others after
+        // expansion: on = x0 + x0&x1 + !x0 with off empty except nothing —
+        // with an empty off-set everything expands to the full cube.
+        let on = cover(&["1-", "11", "0-"]);
+        let off = Cover::empty(2);
+        let min = minimize_heuristic(&on, &off);
+        check_result(&min, &on, &off);
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 0);
+    }
+
+    #[test]
+    fn handles_wide_variable_spaces() {
+        // 100 variables; on depends only on x7 and x93.
+        let mut on_cube = Cube::full(100);
+        on_cube.set_var(7, VarState::One);
+        on_cube.set_var(93, VarState::Zero);
+        let mut off_cube = Cube::full(100);
+        off_cube.set_var(7, VarState::Zero);
+        let mut off_cube2 = Cube::full(100);
+        off_cube2.set_var(93, VarState::One);
+        let on = Cover::from_cubes(100, vec![on_cube]);
+        let off = Cover::from_cubes(100, vec![off_cube, off_cube2]);
+        let min = minimize_heuristic(&on, &off);
+        assert_eq!(min.cube_count(), 1);
+        assert_eq!(min.literal_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn rejects_overlapping_on_off() {
+        let on = cover(&["1-"]);
+        let off = cover(&["11"]);
+        let _ = minimize_heuristic(&on, &off);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random partitions of the 5-var space into on/off/dc: the result
+        /// is always valid and never larger than the input.
+        #[test]
+        fn prop_valid_and_no_worse(labels in proptest::collection::vec(0u8..3, 32)) {
+            let mut on_cubes = Vec::new();
+            let mut off_cubes = Vec::new();
+            for (m, &l) in labels.iter().enumerate() {
+                let bits: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+                match l {
+                    0 => on_cubes.push(Cube::from_assignment(&bits)),
+                    1 => off_cubes.push(Cube::from_assignment(&bits)),
+                    _ => {}
+                }
+            }
+            prop_assume!(!on_cubes.is_empty());
+            let on = Cover::from_cubes(5, on_cubes);
+            let off = Cover::from_cubes(5, off_cubes);
+            let min = minimize_heuristic(&on, &off);
+            check_result(&min, &on, &off);
+            prop_assert!(min.cube_count() <= on.cube_count());
+        }
+    }
+}

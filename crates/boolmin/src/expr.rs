@@ -1,0 +1,319 @@
+//! Boolean expression trees with shared subterms.
+//!
+//! The constant-time sampler of the paper is a big Boolean expression per
+//! output bit: sums of products from the minimized sublist covers, chained
+//! by the constant-time if-else (`mux`) construction of Section 5.2,
+//!
+//! ```text
+//! f = c_0 ? f_0 : (c_1 ? f_1 : (... : f_n'))    with  c ? a : b = (c & a) | (!c & b)
+//! ```
+//!
+//! Expressions use reference-counted sharing so the common prefix chains
+//! `b_0 & b_1 & ... & b_k` are represented once; the bitslice compiler's
+//! hash-consing then emits each shared node once.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::{Cover, VarState};
+
+/// A Boolean expression over variables `x_0 .. x_{n-1}`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_boolmin::Expr;
+///
+/// let e = Expr::mux(Expr::var(0), Expr::var(1), Expr::constant(false));
+/// assert!(e.evaluate(&[true, true, false]));
+/// assert!(!e.evaluate(&[false, true, false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// Input variable `x_i`.
+    Var(u32),
+    /// Logical negation.
+    Not(Rc<Expr>),
+    /// Conjunction.
+    And(Rc<Expr>, Rc<Expr>),
+    /// Disjunction.
+    Or(Rc<Expr>, Rc<Expr>),
+    /// Exclusive or.
+    Xor(Rc<Expr>, Rc<Expr>),
+}
+
+/// Size metrics of an expression DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExprStats {
+    /// Distinct non-leaf nodes (gates), counting shared nodes once.
+    pub gates: usize,
+    /// Distinct variables referenced.
+    pub vars: usize,
+    /// Nodes counting repeats (tree size).
+    pub tree_nodes: usize,
+}
+
+impl Expr {
+    /// The constant expression.
+    pub fn constant(v: bool) -> Rc<Expr> {
+        Rc::new(Expr::Const(v))
+    }
+
+    /// Variable `x_i`.
+    pub fn var(i: u32) -> Rc<Expr> {
+        Rc::new(Expr::Var(i))
+    }
+
+    /// Negation with peephole simplification (`!!e = e`, constants fold).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Rc<Expr>) -> Rc<Expr> {
+        match &*e {
+            Expr::Const(v) => Expr::constant(!v),
+            Expr::Not(inner) => Rc::clone(inner),
+            _ => Rc::new(Expr::Not(e)),
+        }
+    }
+
+    /// Conjunction with constant folding.
+    pub fn and(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        match (&*a, &*b) {
+            (Expr::Const(false), _) | (_, Expr::Const(false)) => Expr::constant(false),
+            (Expr::Const(true), _) => b,
+            (_, Expr::Const(true)) => a,
+            _ => Rc::new(Expr::And(a, b)),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        match (&*a, &*b) {
+            (Expr::Const(true), _) | (_, Expr::Const(true)) => Expr::constant(true),
+            (Expr::Const(false), _) => b,
+            (_, Expr::Const(false)) => a,
+            _ => Rc::new(Expr::Or(a, b)),
+        }
+    }
+
+    /// Exclusive-or with constant folding.
+    pub fn xor(a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        match (&*a, &*b) {
+            (Expr::Const(false), _) => b,
+            (_, Expr::Const(false)) => a,
+            (Expr::Const(true), _) => Expr::not(b),
+            (_, Expr::Const(true)) => Expr::not(a),
+            _ => Rc::new(Expr::Xor(a, b)),
+        }
+    }
+
+    /// The constant-time selector of Section 5.2:
+    /// `sel ? then : other = (sel & then) | (!sel & other)`.
+    pub fn mux(sel: Rc<Expr>, then: Rc<Expr>, other: Rc<Expr>) -> Rc<Expr> {
+        Expr::or(
+            Expr::and(Rc::clone(&sel), then),
+            Expr::and(Expr::not(sel), other),
+        )
+    }
+
+    /// Sum-of-products expression for a [`Cover`], with variables remapped
+    /// through `var_map` (cover variable `i` becomes expression variable
+    /// `var_map[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_map` is shorter than the cover's variable count.
+    pub fn from_cover(cover: &Cover, var_map: &[u32]) -> Rc<Expr> {
+        assert!(
+            var_map.len() >= cover.nvars() as usize,
+            "var_map must cover all {} cover variables",
+            cover.nvars()
+        );
+        let mut sum = Expr::constant(false);
+        for cube in cover.cubes() {
+            let mut product = Expr::constant(true);
+            for v in cube.support() {
+                let lit = match cube.var(v) {
+                    VarState::One => Expr::var(var_map[v as usize]),
+                    VarState::Zero => Expr::not(Expr::var(var_map[v as usize])),
+                    VarState::DontCare => unreachable!("support excludes don't-cares"),
+                };
+                product = Expr::and(product, lit);
+            }
+            sum = Expr::or(sum, product);
+        }
+        sum
+    }
+
+    /// Evaluates on a full assignment (index = variable number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is out of range.
+    pub fn evaluate(&self, bits: &[bool]) -> bool {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(i) => bits[*i as usize],
+            Expr::Not(e) => !e.evaluate(bits),
+            Expr::And(a, b) => a.evaluate(bits) && b.evaluate(bits),
+            Expr::Or(a, b) => a.evaluate(bits) || b.evaluate(bits),
+            Expr::Xor(a, b) => a.evaluate(bits) ^ b.evaluate(bits),
+        }
+    }
+
+    /// Computes DAG statistics (shared nodes counted once via pointer
+    /// identity).
+    pub fn stats(self: &Rc<Expr>) -> ExprStats {
+        let mut seen: HashSet<*const Expr> = HashSet::new();
+        let mut vars: HashSet<u32> = HashSet::new();
+        let mut gates = 0usize;
+        let mut tree_nodes = 0usize;
+        fn walk(
+            e: &Rc<Expr>,
+            seen: &mut HashSet<*const Expr>,
+            vars: &mut HashSet<u32>,
+            gates: &mut usize,
+            tree: &mut usize,
+        ) {
+            *tree += 1;
+            let new = seen.insert(Rc::as_ptr(e));
+            match &**e {
+                Expr::Const(_) => {}
+                Expr::Var(i) => {
+                    vars.insert(*i);
+                }
+                Expr::Not(a) => {
+                    if new {
+                        *gates += 1;
+                    }
+                    walk(a, seen, vars, gates, tree);
+                }
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                    if new {
+                        *gates += 1;
+                    }
+                    walk(a, seen, vars, gates, tree);
+                    walk(b, seen, vars, gates, tree);
+                }
+            }
+        }
+        let s = self.clone();
+        // Take a reference to self (Rc) without moving.
+        walk(&s, &mut seen, &mut vars, &mut gates, &mut tree_nodes);
+        ExprStats { gates, vars: vars.len(), tree_nodes }
+    }
+
+    /// The highest variable index referenced, or `None` for constant
+    /// expressions.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Not(e) => e.max_var(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => match (a.max_var(), b.max_var())
+            {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, None) => x,
+                (None, y) => y,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(*Expr::and(Expr::constant(true), Expr::var(0)), Expr::Var(0));
+        assert_eq!(*Expr::and(Expr::constant(false), Expr::var(0)), Expr::Const(false));
+        assert_eq!(*Expr::or(Expr::constant(false), Expr::var(1)), Expr::Var(1));
+        assert_eq!(*Expr::or(Expr::constant(true), Expr::var(1)), Expr::Const(true));
+        assert_eq!(*Expr::not(Expr::not(Expr::var(2))), Expr::Var(2));
+        assert_eq!(*Expr::xor(Expr::constant(true), Expr::constant(true)), Expr::Const(false));
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let m = Expr::mux(Expr::var(0), Expr::var(1), Expr::var(2));
+        // sel=1 -> then
+        assert!(m.evaluate(&[true, true, false]));
+        assert!(!m.evaluate(&[true, false, true]));
+        // sel=0 -> other
+        assert!(m.evaluate(&[false, false, true]));
+        assert!(!m.evaluate(&[false, true, false]));
+    }
+
+    #[test]
+    fn from_cover_matches_cover() {
+        // f = x0 & !x1 + x2
+        let cover = Cover::from_cubes(
+            3,
+            vec![
+                Cube::full(3)
+                    .with_var(0, crate::VarState::One)
+                    .with_var(1, crate::VarState::Zero),
+                Cube::full(3).with_var(2, crate::VarState::One),
+            ],
+        );
+        let expr = Expr::from_cover(&cover, &[0, 1, 2]);
+        for m in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(expr.evaluate(&bits), cover.evaluate(&bits), "assignment {m:03b}");
+        }
+    }
+
+    #[test]
+    fn from_cover_remaps_variables() {
+        // Cover over 2 vars mapped to expression vars 10 and 20.
+        let cover = Cover::from_cubes(
+            2,
+            vec![Cube::full(2)
+                .with_var(0, crate::VarState::One)
+                .with_var(1, crate::VarState::Zero)],
+        );
+        let expr = Expr::from_cover(&cover, &[10, 20]);
+        let mut bits = vec![false; 21];
+        bits[10] = true;
+        assert!(expr.evaluate(&bits));
+        bits[20] = true;
+        assert!(!expr.evaluate(&bits));
+        assert_eq!(expr.max_var(), Some(20));
+    }
+
+    #[test]
+    fn empty_cover_is_false() {
+        let expr = Expr::from_cover(&Cover::empty(3), &[0, 1, 2]);
+        assert_eq!(*expr, Expr::Const(false));
+        assert_eq!(expr.max_var(), None);
+    }
+
+    #[test]
+    fn stats_count_shared_nodes_once() {
+        let shared = Expr::and(Expr::var(0), Expr::var(1));
+        let top = Expr::or(Rc::clone(&shared), Expr::not(shared));
+        let stats = top.stats();
+        // Gates: shared AND (once), NOT, OR = 3; tree nodes count the AND
+        // twice.
+        assert_eq!(stats.gates, 3);
+        assert_eq!(stats.vars, 2);
+        assert!(stats.tree_nodes > stats.gates);
+    }
+
+    #[test]
+    fn deep_mux_chain_evaluates() {
+        // Build c_0 ? v_100 : (c_1 ? v_101 : ... ) 50 deep.
+        let mut expr = Expr::var(200);
+        for i in (0..50).rev() {
+            expr = Expr::mux(Expr::var(i), Expr::var(100 + i), expr);
+        }
+        let mut bits = vec![false; 201];
+        bits[3] = true; // first true selector
+        bits[103] = true;
+        assert!(expr.evaluate(&bits));
+        bits[103] = false;
+        assert!(!expr.evaluate(&bits));
+    }
+}

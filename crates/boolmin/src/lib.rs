@@ -1,0 +1,48 @@
+//! Two-level Boolean minimization for constant-time sampler synthesis.
+//!
+//! The DAC 2019 paper minimizes the Boolean functions that map random bits
+//! to sample bits. It deliberately avoids proprietary synthesis tools: the
+//! sublist functions have at most `Delta` variables, so exact minimization
+//! is feasible with open algorithms. This crate provides:
+//!
+//! * [`Cube`] / [`Cover`] — the positional-cube algebra used by every
+//!   two-level minimizer (arbitrary variable counts, bit-parallel
+//!   containment and intersection, unate-recursion tautology and
+//!   complement).
+//! * [`minimize_exact`] — Quine-McCluskey prime generation plus essential
+//!   extraction and a branch-and-bound Petrick cover, the open equivalent of
+//!   `espresso -Dso -S1` the paper uses for each sublist function.
+//! * [`minimize_heuristic`] — an Espresso-style EXPAND / IRREDUNDANT loop
+//!   working directly on cube lists against an explicit OFF-set, used for
+//!   the prior work's "simple minimization" baseline where the function has
+//!   `n` (e.g. 128) variables and exact minimization is infeasible.
+//! * [`Expr`] — a shared-subterm Boolean expression AST with sum-of-products
+//!   construction and the constant-time `mux` combinator of Section 5.2.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_boolmin::{minimize_exact, TruthTable};
+//!
+//! // f(a, b) = a XOR b has no smaller SOP than a'b + ab'.
+//! let mut tt = TruthTable::new(2);
+//! tt.set_on(0b01);
+//! tt.set_on(0b10);
+//! let cover = minimize_exact(&tt);
+//! assert_eq!(cover.cube_count(), 2);
+//! assert_eq!(cover.literal_count(), 4);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod cube;
+mod espresso;
+mod expr;
+mod qm;
+
+pub use cover::Cover;
+pub use cube::{Cube, VarState};
+pub use espresso::minimize_heuristic;
+pub use expr::{Expr, ExprStats};
+pub use qm::{minimize_exact, TruthTable, MAX_EXACT_VARS};

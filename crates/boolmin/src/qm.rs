@@ -1,0 +1,510 @@
+//! Exact two-level minimization: Quine-McCluskey prime generation with an
+//! essential-prime pass and a branch-and-bound Petrick cover — the open
+//! equivalent of the `espresso -Dso -S1` invocation the paper uses on each
+//! sublist function.
+
+use std::collections::HashSet;
+
+use crate::{Cover, Cube, VarState};
+
+/// Maximum variable count accepted by [`minimize_exact`].
+///
+/// Prime generation enumerates minterms, so the exact path is reserved for
+/// small functions — which is the entire point of the paper's sublist
+/// split: each `f^{iota,kappa}_Delta` has only `Delta` variables.
+pub const MAX_EXACT_VARS: u32 = 14;
+
+/// A single-output truth table with don't-cares over `nvars <= 14`
+/// variables, minterms indexed by the little-endian integer of the
+/// assignment (`bit i` of the index = variable `i`).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_boolmin::TruthTable;
+///
+/// let mut tt = TruthTable::new(3);
+/// tt.set_on(0b000);
+/// tt.set_dc(0b111);
+/// assert!(tt.is_on(0));
+/// assert!(tt.is_dc(7));
+/// assert!(!tt.is_on(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TruthTable {
+    nvars: u32,
+    on: Vec<bool>,
+    dc: Vec<bool>,
+}
+
+impl TruthTable {
+    /// An all-false table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars` exceeds [`MAX_EXACT_VARS`].
+    pub fn new(nvars: u32) -> Self {
+        assert!(
+            nvars <= MAX_EXACT_VARS,
+            "exact minimization limited to {MAX_EXACT_VARS} variables, got {nvars}"
+        );
+        let size = 1usize << nvars;
+        TruthTable { nvars, on: vec![false; size], dc: vec![false; size] }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    /// Marks a minterm as ON (overrides a previous don't-care).
+    pub fn set_on(&mut self, minterm: u32) {
+        self.on[minterm as usize] = true;
+        self.dc[minterm as usize] = false;
+    }
+
+    /// Marks a minterm as don't-care (ignored if already ON).
+    pub fn set_dc(&mut self, minterm: u32) {
+        if !self.on[minterm as usize] {
+            self.dc[minterm as usize] = true;
+        }
+    }
+
+    /// Whether a minterm is ON.
+    pub fn is_on(&self, minterm: u32) -> bool {
+        self.on[minterm as usize]
+    }
+
+    /// Whether a minterm is don't-care.
+    pub fn is_dc(&self, minterm: u32) -> bool {
+        self.dc[minterm as usize]
+    }
+
+    /// All ON minterms.
+    pub fn on_minterms(&self) -> Vec<u32> {
+        (0..self.on.len() as u32).filter(|&m| self.on[m as usize]).collect()
+    }
+
+    /// All ON-or-don't-care minterms.
+    pub fn care_or_dc_minterms(&self) -> Vec<u32> {
+        (0..self.on.len() as u32)
+            .filter(|&m| self.on[m as usize] || self.dc[m as usize])
+            .collect()
+    }
+}
+
+/// An implicant as (fixed-bit values, don't-care mask) over u32 indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Implicant {
+    /// Values of the fixed bits (don't-care positions are zero).
+    value: u32,
+    /// Bit set = position is a don't-care.
+    mask: u32,
+}
+
+impl Implicant {
+    fn covers(self, minterm: u32) -> bool {
+        (minterm & !self.mask) == self.value
+    }
+
+    fn to_cube(self, nvars: u32) -> Cube {
+        let mut c = Cube::full(nvars);
+        for v in 0..nvars {
+            if self.mask >> v & 1 == 0 {
+                let state = if self.value >> v & 1 == 1 {
+                    VarState::One
+                } else {
+                    VarState::Zero
+                };
+                c.set_var(v, state);
+            }
+        }
+        c
+    }
+}
+
+/// Generates all prime implicants of `on ∪ dc` by iterative pairwise
+/// merging (classic Quine-McCluskey).
+fn prime_implicants(minterms: &[u32]) -> Vec<Implicant> {
+    let mut current: HashSet<Implicant> = minterms
+        .iter()
+        .map(|&m| Implicant { value: m, mask: 0 })
+        .collect();
+    let mut primes = Vec::new();
+    while !current.is_empty() {
+        let list: Vec<Implicant> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; list.len()];
+        let mut next = HashSet::new();
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let (a, b) = (list[i], list[j]);
+                if a.mask == b.mask {
+                    let diff = a.value ^ b.value;
+                    if diff.count_ones() == 1 {
+                        next.insert(Implicant { value: a.value & !diff, mask: a.mask | diff });
+                        merged_flags[i] = true;
+                        merged_flags[j] = true;
+                    }
+                }
+            }
+        }
+        for (i, imp) in list.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.push(*imp);
+            }
+        }
+        current = next;
+    }
+    primes
+}
+
+/// Branch-and-bound minimum set cover (Petrick's problem).
+///
+/// `cover_sets[p]` lists the ON-minterm indices prime `p` covers. Returns
+/// the indices of a minimum-cardinality prime subset (ties broken by total
+/// literal count through the caller's ordering).
+fn min_cover(num_minterms: usize, cover_sets: &[Vec<usize>]) -> Vec<usize> {
+    // covered_by[m] = primes covering minterm m.
+    let mut covered_by: Vec<Vec<usize>> = vec![Vec::new(); num_minterms];
+    for (p, set) in cover_sets.iter().enumerate() {
+        for &m in set {
+            covered_by[m].push(p);
+        }
+    }
+    let mut best: Option<Vec<usize>> = None;
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![0u32; num_minterms];
+
+    fn recurse(
+        covered_by: &[Vec<usize>],
+        cover_sets: &[Vec<usize>],
+        covered: &mut Vec<u32>,
+        chosen: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        // Find the uncovered minterm with the fewest candidate primes.
+        let mut target: Option<usize> = None;
+        for (m, &c) in covered.iter().enumerate() {
+            if c == 0 {
+                target = match target {
+                    None => Some(m),
+                    Some(t) if covered_by[m].len() < covered_by[t].len() => Some(m),
+                    keep => keep,
+                };
+            }
+        }
+        let Some(m) = target else {
+            // Everything covered: record the incumbent.
+            if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                *best = Some(chosen.clone());
+            }
+            return;
+        };
+        // Any completion needs at least one more prime.
+        if let Some(b) = best {
+            if chosen.len() + 1 >= b.len() {
+                return;
+            }
+        }
+        for &p in &covered_by[m] {
+            chosen.push(p);
+            for &mm in &cover_sets[p] {
+                covered[mm] += 1;
+            }
+            recurse(covered_by, cover_sets, covered, chosen, best);
+            for &mm in &cover_sets[p] {
+                covered[mm] -= 1;
+            }
+            chosen.pop();
+        }
+    }
+
+    recurse(&covered_by, cover_sets, &mut covered, &mut chosen, &mut best);
+    best.unwrap_or_default()
+}
+
+/// Exactly minimizes a truth table into a minimum-cube sum-of-products
+/// cover (don't-cares used freely, as `espresso -Dso` does).
+///
+/// The result is guaranteed to (a) cover every ON minterm, (b) avoid every
+/// OFF minterm, and (c) have the minimum possible number of product terms;
+/// among minimum-term covers, a small literal count is preferred via the
+/// prime ordering heuristic in the search.
+///
+/// # Panics
+///
+/// Panics if the table has more than [`MAX_EXACT_VARS`] variables (enforced
+/// at table construction).
+pub fn minimize_exact(table: &TruthTable) -> Cover {
+    let nvars = table.nvars();
+    let on = table.on_minterms();
+    if on.is_empty() {
+        return Cover::empty(nvars);
+    }
+    let all = table.care_or_dc_minterms();
+    if all.len() == 1usize << nvars {
+        // Entire space is on/dc: the full cube suffices.
+        return Cover::from_cubes(nvars, vec![Cube::full(nvars)]);
+    }
+    let primes = prime_implicants(&all);
+
+    // Essential primes: a prime is essential when it is the only cover of
+    // some ON minterm.
+    let mut cover_sets: Vec<Vec<usize>> = primes
+        .iter()
+        .map(|p| {
+            on.iter()
+                .enumerate()
+                .filter(|&(_, &m)| p.covers(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut covered = vec![false; on.len()];
+    for (mi, _) in on.iter().enumerate() {
+        let candidates: Vec<usize> = (0..primes.len())
+            .filter(|&p| cover_sets[p].contains(&mi))
+            .collect();
+        if candidates.len() == 1 && !selected.contains(&candidates[0]) {
+            let p = candidates[0];
+            selected.push(p);
+            for &m in &cover_sets[p] {
+                covered[m] = true;
+            }
+        }
+    }
+
+    // Remaining problem for Petrick.
+    let remaining: Vec<usize> = (0..on.len()).filter(|&m| !covered[m]).collect();
+    if !remaining.is_empty() {
+        // Re-index minterms and drop primes that cover nothing remaining.
+        let remap: std::collections::HashMap<usize, usize> =
+            remaining.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let mut sub_primes: Vec<usize> = Vec::new();
+        let mut sub_sets: Vec<Vec<usize>> = Vec::new();
+        for (p, set) in cover_sets.iter_mut().enumerate() {
+            let sub: Vec<usize> =
+                set.iter().filter_map(|m| remap.get(m).copied()).collect();
+            if !sub.is_empty() && !selected.contains(&p) {
+                sub_primes.push(p);
+                sub_sets.push(sub);
+            }
+        }
+        // Order candidate primes by descending coverage then ascending
+        // literals, so the search finds good incumbents early.
+        let mut order: Vec<usize> = (0..sub_primes.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(sub_sets[i].len()),
+                primes[sub_primes[i]].mask.count_ones(),
+            )
+        });
+        let ordered_sets: Vec<Vec<usize>> = order.iter().map(|&i| sub_sets[i].clone()).collect();
+        let picked = min_cover(remaining.len(), &ordered_sets);
+        for idx in picked {
+            selected.push(sub_primes[order[idx]]);
+        }
+    }
+
+    selected.sort_unstable();
+    selected.dedup();
+    let cubes = selected.iter().map(|&p| primes[p].to_cube(nvars)).collect();
+    Cover::from_cubes(nvars, cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table_from_fn(nvars: u32, f: impl Fn(u32) -> Option<bool>) -> TruthTable {
+        // f(m) = Some(true) -> on, Some(false) -> off, None -> dc.
+        let mut t = TruthTable::new(nvars);
+        for m in 0..(1u32 << nvars) {
+            match f(m) {
+                Some(true) => t.set_on(m),
+                None => t.set_dc(m),
+                Some(false) => {}
+            }
+        }
+        t
+    }
+
+    fn check_valid(table: &TruthTable, cover: &Cover) {
+        let n = table.nvars();
+        for m in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let out = cover.evaluate(&bits);
+            if table.is_on(m) {
+                assert!(out, "minterm {m} should be covered");
+            } else if !table.is_dc(m) {
+                assert!(!out, "minterm {m} must not be covered");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_needs_two_cubes() {
+        let t = table_from_fn(2, |m| Some((m.count_ones() % 2) == 1));
+        let c = minimize_exact(&t);
+        check_valid(&t, &c);
+        assert_eq!(c.cube_count(), 2);
+        assert_eq!(c.literal_count(), 4);
+    }
+
+    #[test]
+    fn constant_functions() {
+        let t0 = table_from_fn(3, |_| Some(false));
+        assert_eq!(minimize_exact(&t0).cube_count(), 0);
+        let t1 = table_from_fn(3, |_| Some(true));
+        let c = minimize_exact(&t1);
+        assert_eq!(c.cube_count(), 1);
+        assert_eq!(c.literal_count(), 0);
+    }
+
+    #[test]
+    fn single_minterm() {
+        let t = table_from_fn(4, |m| Some(m == 0b1010));
+        let c = minimize_exact(&t);
+        check_valid(&t, &c);
+        assert_eq!(c.cube_count(), 1);
+        assert_eq!(c.literal_count(), 4);
+    }
+
+    #[test]
+    fn dont_cares_merge_cubes() {
+        // on = {0}, dc = {1}: a single cube !x1 (or even fewer literals).
+        let t = table_from_fn(2, |m| match m {
+            0 => Some(true),
+            1 => None,
+            _ => Some(false),
+        });
+        let c = minimize_exact(&t);
+        check_valid(&t, &c);
+        assert_eq!(c.cube_count(), 1);
+        assert_eq!(c.literal_count(), 1); // !x1 covers {0,1}
+    }
+
+    #[test]
+    fn classic_qm_textbook_example() {
+        // f = sum m(4, 8, 10, 11, 12, 15) + d(9, 14) over 4 vars (textbook:
+        // minimal SOP has 4 terms... with MSB-first labels; here bit0 = LSB
+        // of the minterm index). The known minimum is 4 cubes.
+        let on = [4u32, 8, 10, 11, 12, 15];
+        let dc = [9u32, 14];
+        let t = table_from_fn(4, |m| {
+            if on.contains(&m) {
+                Some(true)
+            } else if dc.contains(&m) {
+                None
+            } else {
+                Some(false)
+            }
+        });
+        let c = minimize_exact(&t);
+        check_valid(&t, &c);
+        assert!(c.cube_count() <= 4, "expected <= 4 cubes, got {}", c.cube_count());
+    }
+
+    #[test]
+    fn full_dc_space_collapses() {
+        let t = table_from_fn(3, |m| if m == 0 { Some(true) } else { None });
+        let c = minimize_exact(&t);
+        assert_eq!(c.cube_count(), 1);
+        assert_eq!(c.literal_count(), 0);
+    }
+
+    #[test]
+    fn majority_function() {
+        let t = table_from_fn(3, |m| Some(m.count_ones() >= 2));
+        let c = minimize_exact(&t);
+        check_valid(&t, &c);
+        // Majority-of-3 minimal SOP: ab + ac + bc.
+        assert_eq!(c.cube_count(), 3);
+        assert_eq!(c.literal_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn too_many_vars_rejected() {
+        let _ = TruthTable::new(20);
+    }
+
+    /// Brute-force minimum cube count by trying all k-subsets of primes in
+    /// increasing k, for cross-checking optimality on tiny functions.
+    fn brute_minimum_cubes(table: &TruthTable) -> usize {
+        let on = table.on_minterms();
+        if on.is_empty() {
+            return 0;
+        }
+        let primes = prime_implicants(&table.care_or_dc_minterms());
+
+        fn choose(
+            primes: &[Implicant],
+            on: &[u32],
+            start: usize,
+            left: usize,
+            picked: &mut Vec<usize>,
+        ) -> bool {
+            if left == 0 {
+                return on
+                    .iter()
+                    .all(|&m| picked.iter().any(|&p| primes[p].covers(m)));
+            }
+            for p in start..primes.len() {
+                picked.push(p);
+                if choose(primes, on, p + 1, left - 1, picked) {
+                    picked.pop();
+                    return true;
+                }
+                picked.pop();
+            }
+            false
+        }
+
+        for k in 1..=primes.len() {
+            let mut picked = Vec::new();
+            if choose(&primes, &on, 0, k, &mut picked) {
+                return k;
+            }
+        }
+        unreachable!("the full prime set always covers the ON-set")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random 4-variable functions: result is valid and cube-minimal.
+        #[test]
+        fn prop_exact_is_minimal(bits in any::<u16>(), dc_bits in any::<u16>()) {
+            let t = table_from_fn(4, |m| {
+                if (bits >> m) & 1 == 1 {
+                    Some(true)
+                } else if (dc_bits >> m) & 1 == 1 {
+                    None
+                } else {
+                    Some(false)
+                }
+            });
+            let c = minimize_exact(&t);
+            check_valid(&t, &c);
+            let brute = brute_minimum_cubes(&t);
+            prop_assert_eq!(c.cube_count(), brute,
+                "got {} cubes, brute-force minimum {}", c.cube_count(), brute);
+        }
+
+        /// Random 6-variable functions: result is valid (minimality checked
+        /// at 4 vars above; 6-var brute force is too slow).
+        #[test]
+        fn prop_exact_is_valid_6vars(words in proptest::collection::vec(any::<u64>(), 2)) {
+            let t = table_from_fn(6, |m| {
+                let w = words[(m / 64) as usize];
+                Some((w >> (m % 64)) & 1 == 1)
+            });
+            let c = minimize_exact(&t);
+            check_valid(&t, &c);
+        }
+    }
+}

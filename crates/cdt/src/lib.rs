@@ -1,0 +1,39 @@
+//! Cumulative distribution table (CDT) Gaussian samplers — the three
+//! baselines of Table 1 of the paper.
+//!
+//! All three samplers share one [`CdtTable`] holding the cumulative
+//! probabilities of the folded Gaussian (`P[X <= v]`) to `n`-bit precision
+//! (128 bits = two `u64` words in the paper's configuration):
+//!
+//! * [`BinarySearchCdt`] — the classical sampler ("CDT" in Table 1): draw
+//!   `n` random bits, binary-search the table. Not constant time: the
+//!   comparison sequence depends on the secret sample.
+//! * [`ByteScanCdt`] — Du and Bai's lazy byte-scanning sampler
+//!   ("Byte-scanning CDT", the fastest non-constant-time baseline): draw
+//!   random *bytes* lazily and prune the candidate interval per byte;
+//!   most samples need a single byte of randomness.
+//! * [`LinearSearchCdt`] — the constant-time baseline of Bos et al. [7]:
+//!   compare the random value against *every* table entry with
+//!   branch-free arithmetic and accumulate the index.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_cdt::{CdtTable, LinearSearchCdt};
+//! use ctgauss_knuthyao::GaussianParams;
+//! use ctgauss_prng::ChaChaRng;
+//!
+//! let table = CdtTable::build(&GaussianParams::from_sigma_str("2", 128).unwrap()).unwrap();
+//! let sampler = LinearSearchCdt::new(&table);
+//! let mut rng = ChaChaRng::from_u64_seed(3);
+//! let s = sampler.sample_signed(&mut rng);
+//! assert!(s.unsigned_abs() <= 26);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod samplers;
+mod table;
+
+pub use samplers::{BinarySearchCdt, ByteScanCdt, LinearSearchCdt};
+pub use table::CdtTable;

@@ -1,0 +1,332 @@
+//! The three CDT sampling strategies compared in Table 1.
+
+use ctgauss_prng::RandomSource;
+
+use crate::CdtTable;
+
+fn draw_u128<R: RandomSource>(rng: &mut R) -> u128 {
+    let mut b = [0u8; 16];
+    rng.fill_bytes(&mut b);
+    u128::from_be_bytes(b)
+}
+
+fn apply_sign(magnitude: u32, sign_byte: u8) -> i32 {
+    let s = i32::from(sign_byte & 1);
+    (magnitude as i32 ^ s.wrapping_neg()) + s
+}
+
+/// The classical binary-search CDT sampler ("CDT" in Table 1, after
+/// Peikert [26]). Draws 128 random bits and binary-searches the table; the
+/// comparison path depends on the sample, so it is **not** constant time.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_cdt::{BinarySearchCdt, CdtTable};
+/// use ctgauss_knuthyao::GaussianParams;
+/// use ctgauss_prng::SplitMix64;
+///
+/// let t = CdtTable::build(&GaussianParams::from_sigma_str("2", 128).unwrap()).unwrap();
+/// let s = BinarySearchCdt::new(&t);
+/// let v = s.sample(&mut SplitMix64::new(1));
+/// assert!(v < t.rows());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinarySearchCdt<'t> {
+    table: &'t CdtTable,
+}
+
+impl<'t> BinarySearchCdt<'t> {
+    /// Creates a sampler over a table.
+    pub fn new(table: &'t CdtTable) -> Self {
+        BinarySearchCdt { table }
+    }
+
+    /// Samples a magnitude in `[0, rows)`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> u32 {
+        loop {
+            let r = draw_u128(rng);
+            let cdf = self.table.cdf_slice();
+            let idx = cdf.partition_point(|&c| c <= r);
+            if idx < cdf.len() {
+                return idx as u32;
+            }
+            // r fell in the truncation deficit (< rows * 2^-128): redraw.
+        }
+    }
+
+    /// Samples a signed value (uniform sign; zero unaffected).
+    pub fn sample_signed<R: RandomSource>(&self, rng: &mut R) -> i32 {
+        let m = self.sample(rng);
+        apply_sign(m, rng.next_u8())
+    }
+}
+
+/// Du and Bai's byte-scanning CDT sampler ("Byte-scanning CDT" in Table 1,
+/// [13]) — the fastest non-constant-time baseline.
+///
+/// Random bytes are drawn lazily, most significant first. After each byte
+/// the candidate row interval shrinks to the rows whose CDT entry still
+/// agrees with the drawn prefix; sampling ends as soon as one row remains.
+/// Because the first byte of the CDT entries already separates most rows,
+/// the expected randomness cost is barely more than one byte per sample —
+/// that, not the search itself, is why it wins Table 1's throughput
+/// contest while the full-width samplers pay for 16 bytes.
+#[derive(Debug, Clone)]
+pub struct ByteScanCdt<'t> {
+    table: &'t CdtTable,
+}
+
+impl<'t> ByteScanCdt<'t> {
+    /// Creates a sampler over a table.
+    pub fn new(table: &'t CdtTable) -> Self {
+        ByteScanCdt { table }
+    }
+
+    /// Samples a magnitude in `[0, rows)`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> u32 {
+        loop {
+            if let Some(v) = self.try_sample(rng) {
+                return v;
+            }
+        }
+    }
+
+    /// One lazy scan; `None` when the draw fell into the truncation
+    /// deficit beyond the last row.
+    fn try_sample<R: RandomSource>(&self, rng: &mut R) -> Option<u32> {
+        let rows = self.table.rows();
+        // Invariant: the answer A = min{v : r < cdf[v]} lies in [lo, hi],
+        // and rows in [lo, hi) agree with r on all bytes drawn so far.
+        let mut lo = 0u32;
+        let mut hi = rows;
+        for b in 0..16usize {
+            if lo == hi {
+                break;
+            }
+            let rb = rng.next_u8();
+            // Within [lo, hi): rows with byte < rb have cdf < r (below A);
+            // rows with byte > rb have cdf > r (A is at or before them).
+            let mut new_lo = lo;
+            while new_lo < hi && self.table.cdf_bytes(new_lo)[b] < rb {
+                new_lo += 1;
+            }
+            let mut new_hi = new_lo;
+            while new_hi < hi && self.table.cdf_bytes(new_hi)[b] == rb {
+                new_hi += 1;
+            }
+            lo = new_lo;
+            hi = new_hi;
+        }
+        // lo == hi: answer decided. Bytes exhausted with lo < hi means
+        // r equals those entries exactly, so r < cdf[v] first holds at hi.
+        let answer = if lo == hi { lo } else { hi };
+        if answer < rows {
+            Some(answer)
+        } else {
+            None
+        }
+    }
+
+    /// Samples a signed value.
+    pub fn sample_signed<R: RandomSource>(&self, rng: &mut R) -> i32 {
+        let m = self.sample(rng);
+        apply_sign(m, rng.next_u8())
+    }
+}
+
+/// Constant-time 64-bit less-than: returns 1 when `a < b`, else 0, with no
+/// branches (the classic borrow-propagation identity).
+#[inline(always)]
+fn ct_lt64(a: u64, b: u64) -> u64 {
+    (a ^ ((a ^ b) | (a.wrapping_sub(b) ^ b))) >> 63
+}
+
+/// Constant-time 64-bit equality: returns 1 when `a == b`.
+#[inline(always)]
+fn ct_eq64(a: u64, b: u64) -> u64 {
+    let x = a ^ b;
+    1 ^ ((x | x.wrapping_neg()) >> 63)
+}
+
+/// Constant-time 128-bit less-than via two 64-bit halves.
+#[inline(always)]
+fn ct_lt128(a: u128, b: u128) -> u64 {
+    let (a_hi, a_lo) = ((a >> 64) as u64, a as u64);
+    let (b_hi, b_lo) = ((b >> 64) as u64, b as u64);
+    ct_lt64(a_hi, b_hi) | (ct_eq64(a_hi, b_hi) & ct_lt64(a_lo, b_lo))
+}
+
+/// The constant-time linear-search CDT sampler of Bos et al. [7]
+/// ("Linear search CDT" in Table 1).
+///
+/// Every table entry is compared against the random draw with branch-free
+/// arithmetic and the results are accumulated — the time and access
+/// pattern are independent of the sample. This is the constant-time
+/// baseline the paper's sampler beats by >= 15%.
+#[derive(Debug, Clone)]
+pub struct LinearSearchCdt<'t> {
+    table: &'t CdtTable,
+}
+
+impl<'t> LinearSearchCdt<'t> {
+    /// Creates a sampler over a table.
+    pub fn new(table: &'t CdtTable) -> Self {
+        LinearSearchCdt { table }
+    }
+
+    /// Samples a magnitude in `[0, rows)`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> u32 {
+        loop {
+            let r = draw_u128(rng);
+            // count = #{v : cdf[v] <= r} = first index with r < cdf.
+            let mut count = 0u64;
+            for &c in self.table.cdf_slice() {
+                count += 1 ^ ct_lt128(r, c);
+            }
+            if count < u64::from(self.table.rows()) {
+                return count as u32;
+            }
+        }
+    }
+
+    /// Samples a signed value.
+    pub fn sample_signed<R: RandomSource>(&self, rng: &mut R) -> i32 {
+        let m = self.sample(rng);
+        apply_sign(m, rng.next_u8())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctgauss_knuthyao::GaussianParams;
+    use ctgauss_prng::{CountingSource, SplitMix64, Xoshiro256pp};
+
+    fn table(sigma: &str) -> CdtTable {
+        CdtTable::build(&GaussianParams::from_sigma_str(sigma, 128).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ct_primitives() {
+        for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0), (0, u64::MAX), (5, 5)] {
+            assert_eq!(ct_lt64(a, b), u64::from(a < b), "lt({a},{b})");
+            assert_eq!(ct_eq64(a, b), u64::from(a == b), "eq({a},{b})");
+        }
+        let pairs = [
+            (0u128, 1u128),
+            (1, 0),
+            (u128::MAX, u128::MAX),
+            (1 << 64, (1 << 64) - 1),
+            ((1 << 64) - 1, 1 << 64),
+            (u128::MAX - 1, u128::MAX),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(ct_lt128(a, b), u64::from(a < b), "lt128({a},{b})");
+        }
+    }
+
+    /// All three samplers must realize the same CDF: with the same
+    /// pre-drawn 128-bit value, binary and linear search agree exactly.
+    #[test]
+    fn binary_and_linear_agree_pointwise() {
+        let t = table("2");
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..2000 {
+            let r = draw_u128(&mut rng);
+            let bin = t.cdf_slice().partition_point(|&c| c <= r) as u32;
+            let mut count = 0u64;
+            for &c in t.cdf_slice() {
+                count += 1 ^ ct_lt128(r, c);
+            }
+            assert_eq!(bin, count as u32);
+        }
+    }
+
+    /// Byte scanning must agree with binary search when fed the same byte
+    /// stream.
+    #[test]
+    fn byte_scan_agrees_with_binary_search() {
+        let t = table("2");
+        let bs = ByteScanCdt::new(&t);
+        for seed in 0..500u64 {
+            // Byte-scan consumes a prefix of the stream; replaying the
+            // stream gives the full 16-byte value it *would* have drawn.
+            let mut rng = Xoshiro256pp::from_u64_seed(seed);
+            let got = bs.try_sample(&mut rng);
+            // Rebuild the value byte-by-byte with the same call pattern the
+            // lazy scan uses (next_u8 per byte), so the streams align.
+            let mut replay = Xoshiro256pp::from_u64_seed(seed);
+            let mut bytes = [0u8; 16];
+            for b in &mut bytes {
+                *b = replay.next_u8();
+            }
+            let r = u128::from_be_bytes(bytes);
+            let want = t.cdf_slice().partition_point(|&c| c <= r) as u32;
+            if let Some(v) = got {
+                assert_eq!(v, want, "seed {seed}");
+            } else {
+                assert_eq!(want, t.rows(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_scan_uses_few_bytes() {
+        let t = table("2");
+        let bs = ByteScanCdt::new(&t);
+        let mut src = CountingSource::new(SplitMix64::new(7));
+        let n = 10_000u64;
+        for _ in 0..n {
+            let _ = bs.sample(&mut src);
+        }
+        let avg = src.bytes_drawn() as f64 / n as f64;
+        // The lazy scan should average well under 3 bytes per sample
+        // (16 for the full-width samplers).
+        assert!(avg < 3.0, "average bytes per sample: {avg}");
+    }
+
+    #[test]
+    fn signed_samples_symmetric_and_bounded() {
+        let t = table("2");
+        let samplers: [&dyn Fn(&mut SplitMix64) -> i32; 3] = [
+            &|r| BinarySearchCdt::new(&t).sample_signed(r),
+            &|r| ByteScanCdt::new(&t).sample_signed(r),
+            &|r| LinearSearchCdt::new(&t).sample_signed(r),
+        ];
+        for (i, f) in samplers.iter().enumerate() {
+            let mut rng = SplitMix64::new(1000 + i as u64);
+            let (mut neg, mut pos) = (0u32, 0u32);
+            for _ in 0..20_000 {
+                let s = f(&mut rng);
+                assert!(s.unsigned_abs() <= 26, "sampler {i}");
+                if s < 0 {
+                    neg += 1;
+                } else if s > 0 {
+                    pos += 1;
+                }
+            }
+            let ratio = f64::from(neg) / f64::from(pos);
+            assert!((0.9..1.1).contains(&ratio), "sampler {i}: {neg} vs {pos}");
+        }
+    }
+
+    #[test]
+    fn variance_close_to_sigma_squared() {
+        let t = table("2");
+        let s = BinarySearchCdt::new(&t);
+        let mut rng = SplitMix64::new(3);
+        let n = 100_000;
+        let mut sum = 0f64;
+        let mut sq = 0f64;
+        for _ in 0..n {
+            let v = f64::from(s.sample_signed(&mut rng));
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / f64::from(n);
+        let var = sq / f64::from(n) - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+}

@@ -1,0 +1,176 @@
+//! The shared cumulative distribution table.
+
+use core::fmt;
+
+use ctgauss_knuthyao::{GaussianParams, ParamError, ProbabilityMatrix};
+
+/// A cumulative distribution table for the folded Gaussian on
+/// `[0, tau * sigma]` with up to 128 bits of precision.
+///
+/// `cdf[v] = sum_{u <= v} p_u` in units of `2^-n`, with the `p_u` taken
+/// from the same truncated probability matrix the Knuth-Yao samplers use —
+/// so every sampler in the workspace targets the *identical* distribution
+/// and their outputs can be cross-validated sample-for-sample in
+/// distribution.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_cdt::CdtTable;
+/// use ctgauss_knuthyao::GaussianParams;
+///
+/// let t = CdtTable::build(&GaussianParams::from_sigma_str("2", 64).unwrap()).unwrap();
+/// assert_eq!(t.rows(), 27);
+/// assert!(t.cdf(26) > t.cdf(0));
+/// ```
+#[derive(Clone)]
+pub struct CdtTable {
+    /// Cumulative values in units of 2^-n, ascending.
+    cdf: Vec<u128>,
+    /// The same values as big-endian 16-byte strings (for byte scanning).
+    cdf_bytes: Vec<[u8; 16]>,
+    precision: u32,
+}
+
+impl CdtTable {
+    /// Builds the table from Gaussian parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns parameter errors from the probability-matrix construction,
+    /// or [`ParamError::InvalidPrecision`] when `n > 128` (a CDT entry is a
+    /// single 128-bit word here, as in the paper).
+    pub fn build(params: &GaussianParams) -> Result<Self, ParamError> {
+        if params.precision() > 128 {
+            return Err(ParamError::InvalidPrecision(params.precision()));
+        }
+        let matrix = ProbabilityMatrix::build(params)?;
+        Ok(Self::from_matrix(&matrix))
+    }
+
+    /// Builds the table from an existing probability matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix precision exceeds 128 bits.
+    pub fn from_matrix(matrix: &ProbabilityMatrix) -> Self {
+        let n = matrix.precision();
+        assert!(n <= 128, "CDT precision capped at 128 bits");
+        let mut cdf = Vec::with_capacity(matrix.rows() as usize);
+        let mut acc: u128 = 0;
+        for v in 0..matrix.rows() {
+            let mut p: u128 = 0;
+            for j in 0..n {
+                if matrix.bit(v, j) {
+                    p += 1u128 << (n - 1 - j);
+                }
+            }
+            acc += p;
+            cdf.push(acc);
+        }
+        // Scale to the full 128-bit range so random draws are always 128
+        // bits regardless of n (shift left by 128 - n).
+        let shift = 128 - n;
+        for c in &mut cdf {
+            *c <<= shift;
+        }
+        let cdf_bytes = cdf.iter().map(|c| c.to_be_bytes()).collect();
+        CdtTable { cdf, cdf_bytes, precision: n }
+    }
+
+    /// Number of rows (support size).
+    pub fn rows(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Probability precision in bits.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// The cumulative value of row `v`, scaled to 128 bits.
+    pub fn cdf(&self, v: u32) -> u128 {
+        self.cdf[v as usize]
+    }
+
+    /// All cumulative values.
+    pub fn cdf_slice(&self) -> &[u128] {
+        &self.cdf
+    }
+
+    /// Row `v` as big-endian bytes (for the byte-scanning sampler).
+    pub fn cdf_bytes(&self, v: u32) -> &[u8; 16] {
+        &self.cdf_bytes[v as usize]
+    }
+}
+
+impl fmt::Debug for CdtTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CdtTable({} rows, {} bits, top={:#034x})",
+            self.rows(),
+            self.precision,
+            self.cdf.last().copied().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(sigma: &str, n: u32) -> CdtTable {
+        CdtTable::build(&GaussianParams::from_sigma_str(sigma, n).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cdf_is_strictly_increasing_at_head() {
+        let t = table("2", 64);
+        for v in 1..10 {
+            assert!(t.cdf(v) > t.cdf(v - 1), "row {v}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_nondecreasing_everywhere() {
+        let t = table("2", 64);
+        for v in 1..t.rows() {
+            assert!(t.cdf(v) >= t.cdf(v - 1), "row {v}");
+        }
+    }
+
+    #[test]
+    fn total_mass_just_below_one() {
+        let t = table("2", 128);
+        let top = t.cdf(t.rows() - 1);
+        // Mass is < 1 (Theorem 1) but within rows * 2^-128 of it.
+        assert!(top < u128::MAX);
+        let deficit = u128::MAX - top;
+        assert!(deficit < 4 * u128::from(t.rows()), "deficit {deficit}");
+    }
+
+    #[test]
+    fn head_probabilities_match_f64() {
+        let t = table("2", 64);
+        let norm = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        let p0 = t.cdf(0) as f64 / 2f64.powi(128);
+        assert!((p0 - norm).abs() < 1e-9);
+        let p1 = (t.cdf(1) - t.cdf(0)) as f64 / 2f64.powi(128);
+        assert!((p1 - 2.0 * norm * (-0.125f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_match_words() {
+        let t = table("3", 96);
+        for v in 0..t.rows() {
+            assert_eq!(u128::from_be_bytes(*t.cdf_bytes(v)), t.cdf(v));
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_precision() {
+        let p = GaussianParams::from_sigma_str("2", 200).unwrap();
+        assert!(matches!(CdtTable::build(&p), Err(ParamError::InvalidPrecision(200))));
+    }
+}

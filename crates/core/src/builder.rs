@@ -1,0 +1,271 @@
+//! The sampler builder: parameters in, compiled constant-time sampler out.
+
+use core::fmt;
+
+use ctgauss_bitslice::compile;
+use ctgauss_knuthyao::{
+    delta, enumerate_leaves, max_run_length, GaussianParams, ParamError, ProbabilityMatrix,
+};
+
+use crate::sampler::CtSampler;
+use crate::sublists::{combine_sublists, simple_expressions, split_by_run, synthesize_sublist};
+
+/// Which Boolean minimization pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// This paper: split by ones-run into sublists, exact minimization of
+    /// each small function, constant-time mux recombination (Equation 2).
+    #[default]
+    SplitExact,
+    /// Prior work [21]: one heuristic minimization of the full
+    /// `n`-variable functions ("simple minimization", the Table 2
+    /// baseline).
+    Simple,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::SplitExact => write!(f, "split-exact (this work)"),
+            Strategy::Simple => write!(f, "simple ([21] baseline)"),
+        }
+    }
+}
+
+/// Errors from [`SamplerBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Parameter validation failed.
+    Params(ParamError),
+    /// The distribution produced no leaves (cannot happen for valid
+    /// Gaussian parameters; guarded for defence in depth).
+    EmptyDistribution,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Params(e) => write!(f, "invalid parameters: {e}"),
+            BuildError::EmptyDistribution => write!(f, "distribution has no DDG leaves"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Params(e) => Some(e),
+            BuildError::EmptyDistribution => None,
+        }
+    }
+}
+
+impl From<ParamError> for BuildError {
+    fn from(e: ParamError) -> Self {
+        BuildError::Params(e)
+    }
+}
+
+/// Synthesis metadata for one sublist, surfaced for the Figure 3/4
+/// reproductions and ablation benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SublistInfo {
+    /// Run length `kappa`.
+    pub kappa: u32,
+    /// Leaves in the sublist.
+    pub leaves: usize,
+    /// Free-bit window width.
+    pub window: u32,
+    /// Literals across the minimized output covers.
+    pub literals: u32,
+    /// Whether exact minimization was used.
+    pub exact: bool,
+}
+
+/// A record of everything the pipeline produced, attached to the sampler.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The strategy that was run.
+    pub strategy: Strategy,
+    /// Number of DDG leaves (`|L|`).
+    pub leaves: usize,
+    /// The paper's `Delta` (maximum free-bit count).
+    pub delta: u32,
+    /// The paper's `n'` (maximum ones-run length).
+    pub max_run: u32,
+    /// Per-sublist details (empty for [`Strategy::Simple`]).
+    pub sublists: Vec<SublistInfo>,
+    /// Gates in the compiled program (cost model for Table 2).
+    pub gates: usize,
+    /// Program length including loads.
+    pub ops: usize,
+}
+
+/// Builder for [`CtSampler`] (the pipeline of Figure 4).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_core::{SamplerBuilder, Strategy};
+///
+/// let sampler = SamplerBuilder::new("1.5", 24)
+///     .tail_cut(10)
+///     .strategy(Strategy::SplitExact)
+///     .build()
+///     .unwrap();
+/// assert!(sampler.report().gates > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplerBuilder {
+    sigma: String,
+    precision: u32,
+    tail_cut: u32,
+    strategy: Strategy,
+}
+
+impl SamplerBuilder {
+    /// Starts a builder for standard deviation `sigma` (exact decimal
+    /// literal) and probability precision `n` bits.
+    pub fn new(sigma: &str, precision: u32) -> Self {
+        SamplerBuilder {
+            sigma: sigma.to_owned(),
+            precision,
+            tail_cut: GaussianParams::DEFAULT_TAIL_CUT,
+            strategy: Strategy::SplitExact,
+        }
+    }
+
+    /// Sets the tail-cut factor `tau` (default 13, as in the paper).
+    #[must_use]
+    pub fn tail_cut(mut self, tau: u32) -> Self {
+        self.tail_cut = tau;
+        self
+    }
+
+    /// Sets the minimization strategy (default [`Strategy::SplitExact`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the full pipeline: matrix, list `L`, sublist split, Boolean
+    /// minimization, Equation 2 recombination, bitslice compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Params`] for invalid `(sigma, n, tau)`.
+    pub fn build(&self) -> Result<CtSampler, BuildError> {
+        let params = GaussianParams::new(&self.sigma, self.precision, self.tail_cut)?;
+        let matrix = ProbabilityMatrix::build(&params)?;
+        let leaves = enumerate_leaves(&matrix);
+        if leaves.is_empty() {
+            return Err(BuildError::EmptyDistribution);
+        }
+        let n = matrix.precision();
+        let sample_bits = matrix.sample_bits();
+        let d = delta(&leaves);
+        let max_run = max_run_length(&leaves);
+
+        let (exprs, sublist_infos) = match self.strategy {
+            Strategy::SplitExact => {
+                let split = split_by_run(&leaves, max_run);
+                let sublists: Vec<_> = split
+                    .iter()
+                    .enumerate()
+                    .map(|(kappa, sl)| {
+                        let kappa = kappa as u32;
+                        let window = d.min(n - kappa - 1);
+                        synthesize_sublist(kappa, sl, window, sample_bits)
+                    })
+                    .collect();
+                let infos = sublists
+                    .iter()
+                    .map(|s| SublistInfo {
+                        kappa: s.kappa,
+                        leaves: s.leaves,
+                        window: s.window,
+                        literals: s.literal_count(),
+                        exact: s.exact,
+                    })
+                    .collect();
+                (combine_sublists(&sublists, sample_bits), infos)
+            }
+            Strategy::Simple => (simple_expressions(&leaves, n, sample_bits), Vec::new()),
+        };
+
+        let program = compile(&exprs, n);
+        let report = BuildReport {
+            strategy: self.strategy,
+            leaves: leaves.len(),
+            delta: d,
+            max_run,
+            sublists: sublist_infos,
+            gates: program.gate_count(),
+            ops: program.ops().len(),
+        };
+        Ok(CtSampler::from_parts(program, matrix, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_both_strategies() {
+        for strategy in [Strategy::SplitExact, Strategy::Simple] {
+            let s = SamplerBuilder::new("2", 12)
+                .strategy(strategy)
+                .build()
+                .unwrap();
+            assert!(s.report().gates > 0, "{strategy}");
+            assert_eq!(s.report().strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn split_reports_sublists() {
+        let s = SamplerBuilder::new("2", 16).build().unwrap();
+        let r = s.report();
+        assert_eq!(r.sublists.len() as u32, r.max_run + 1);
+        let total: usize = r.sublists.iter().map(|s| s.leaves).sum();
+        assert_eq!(total, r.leaves);
+        assert!(r.sublists.iter().all(|s| s.exact));
+    }
+
+    #[test]
+    fn simple_reports_no_sublists() {
+        let s = SamplerBuilder::new("2", 10)
+            .strategy(Strategy::Simple)
+            .build()
+            .unwrap();
+        assert!(s.report().sublists.is_empty());
+    }
+
+    #[test]
+    fn invalid_params_propagate() {
+        assert!(matches!(
+            SamplerBuilder::new("0.1", 16).build(),
+            Err(BuildError::Params(ParamError::SigmaTooSmall))
+        ));
+        assert!(matches!(
+            SamplerBuilder::new("x", 16).build(),
+            Err(BuildError::Params(ParamError::InvalidSigma(_)))
+        ));
+        assert!(matches!(
+            SamplerBuilder::new("2", 1).build(),
+            Err(BuildError::Params(ParamError::InvalidPrecision(1)))
+        ));
+    }
+
+    #[test]
+    fn split_has_fewer_gates_than_tree_size() {
+        // The shared prefix chains must keep the program compact: gates
+        // should be well below (sublists x outputs x window cubes) blowup.
+        let s = SamplerBuilder::new("2", 24).build().unwrap();
+        let r = s.report();
+        assert!(r.gates < 20_000, "unexpectedly large program: {} gates", r.gates);
+        assert!(r.ops as u32 >= 24, "program must at least load the inputs");
+    }
+}

@@ -1,0 +1,53 @@
+//! Constant-time bitsliced Knuth-Yao discrete Gaussian sampling — the core
+//! contribution of the DAC 2019 paper, as a library.
+//!
+//! # What this implements
+//!
+//! Given a standard deviation `sigma`, precision `n` and tail cut `tau`, the
+//! [`SamplerBuilder`] runs the full pipeline of Figure 4:
+//!
+//! 1. build the Knuth-Yao probability matrix and enumerate the list `L` of
+//!    sample-generating random bit strings ([`ctgauss_knuthyao`]);
+//! 2. sort `L` by the initial ones-run length `k` and split it into
+//!    sublists `l_0 .. l_{n'}` (Theorem 1 guarantees the normal form
+//!    `x^i (0/1)^j 0 1^k` with `j <= Delta`);
+//! 3. minimize each sublist's `Delta`-variable Boolean functions exactly
+//!    ([`ctgauss_boolmin::minimize_exact`], the open equivalent of
+//!    `espresso -Dso -S1`);
+//! 4. recombine with the constant-time selector chain of Equation 2 and
+//!    compile to a straight-line bitsliced program
+//!    ([`ctgauss_bitslice`]).
+//!
+//! The resulting [`CtSampler`] produces 64 samples per batch from `n + 1`
+//! random words (`n` bit positions plus the sign), in constant time by
+//! construction.
+//!
+//! The prior work's "simple minimization" ([21], the Table 2 baseline) is
+//! available as [`Strategy::Simple`]: one heuristic minimization of the
+//! full `n`-variable functions with no sublist split.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_core::{SamplerBuilder, Strategy};
+//! use ctgauss_prng::ChaChaRng;
+//!
+//! let sampler = SamplerBuilder::new("2", 32)
+//!     .tail_cut(13)
+//!     .strategy(Strategy::SplitExact)
+//!     .build()
+//!     .unwrap();
+//! let mut rng = ChaChaRng::from_u64_seed(1);
+//! let batch = sampler.sample_batch(&mut rng);
+//! assert_eq!(batch.len(), 64);
+//! assert!(batch.iter().all(|&s| s.unsigned_abs() <= 26));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod sampler;
+mod sublists;
+
+pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
+pub use sampler::CtSampler;

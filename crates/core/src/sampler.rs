@@ -1,0 +1,348 @@
+//! The compiled constant-time sampler.
+
+use ctgauss_bitslice::{audit, interpret, interpret_wide, AuditReport, Program};
+use ctgauss_knuthyao::ProbabilityMatrix;
+use ctgauss_prng::RandomSource;
+
+use crate::builder::BuildReport;
+
+/// A constant-time, bitsliced discrete Gaussian sampler.
+///
+/// Produces 64 signed samples per batch. Each batch consumes exactly
+/// `n + 1` random words — `n` words carrying bit position `b_i` of all 64
+/// lanes plus one sign word — and executes one straight-line bitwise
+/// program, so the time and memory-access pattern are independent of the
+/// sampled values.
+///
+/// Construct through [`SamplerBuilder`](crate::SamplerBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_core::SamplerBuilder;
+/// use ctgauss_prng::ChaChaRng;
+///
+/// let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+/// let mut rng = ChaChaRng::from_u64_seed(42);
+/// // Batch API:
+/// let batch = sampler.sample_batch(&mut rng);
+/// // Streaming API (buffers a batch internally):
+/// let mut stream = sampler.stream();
+/// let one = stream.next(&mut rng);
+/// assert!(batch.contains(&batch[0]) && one.unsigned_abs() <= 26);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtSampler {
+    program: Program,
+    matrix: ProbabilityMatrix,
+    report: BuildReport,
+}
+
+impl CtSampler {
+    pub(crate) fn from_parts(
+        program: Program,
+        matrix: ProbabilityMatrix,
+        report: BuildReport,
+    ) -> Self {
+        CtSampler { program, matrix, report }
+    }
+
+    /// The compiled straight-line program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The probability matrix the sampler was synthesized from.
+    pub fn matrix(&self) -> &ProbabilityMatrix {
+        &self.matrix
+    }
+
+    /// The synthesis report (delta, sublists, gate counts).
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// Number of random words drawn per 64-sample batch (`n` bit words plus
+    /// the sign word).
+    pub fn words_per_batch(&self) -> u32 {
+        self.program.num_inputs() + 1
+    }
+
+    /// Random bits consumed per sample (`n + 1`).
+    pub fn bits_per_sample(&self) -> u32 {
+        self.program.num_inputs() + 1
+    }
+
+    /// Statically audits the program's constant-time structure.
+    pub fn audit(&self) -> AuditReport {
+        audit(&self.program)
+    }
+
+    /// Generates one batch of 64 signed samples.
+    pub fn sample_batch<R: RandomSource>(&self, rng: &mut R) -> [i32; 64] {
+        let n = self.program.num_inputs() as usize;
+        let mut inputs = vec![0u64; n];
+        rng.fill_u64s(&mut inputs);
+        let signs = rng.next_u64();
+        self.run_batch(&inputs, signs)
+    }
+
+    /// Runs a batch on caller-provided randomness: `inputs[i]` packs bit
+    /// `b_i` of every lane, `signs` packs the sign bits. Used by the
+    /// Table 2 kernel benchmarks (PRNG cost excluded) and by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the program's input count.
+    pub fn run_batch(&self, inputs: &[u64], signs: u64) -> [i32; 64] {
+        let words = interpret(&self.program, inputs);
+        let mut out = [0i32; 64];
+        for (lane, slot) in out.iter_mut().enumerate() {
+            let mut magnitude = 0u32;
+            for (iota, w) in words.iter().enumerate() {
+                magnitude |= (((w >> lane) & 1) as u32) << iota;
+            }
+            // Constant-time sign application: (m ^ -s) + s.
+            let s = ((signs >> lane) & 1) as i32;
+            *slot = (magnitude as i32 ^ s.wrapping_neg()) + s;
+        }
+        out
+    }
+
+    /// Generates `64 * W` signed samples in one interpreter pass.
+    ///
+    /// One instruction dispatch performs `W` word operations, so wider
+    /// batches amortize interpreter overhead (the sweet spot on machines
+    /// with 256-bit vector units is `W = 4`). Statistically identical to
+    /// repeated [`sample_batch`](Self::sample_batch) calls.
+    pub fn sample_batch_wide<const W: usize, R: RandomSource>(&self, rng: &mut R) -> Vec<i32> {
+        let n = self.program.num_inputs() as usize;
+        let mut inputs = vec![[0u64; W]; n];
+        for word in &mut inputs {
+            for lane in word.iter_mut() {
+                *lane = rng.next_u64();
+            }
+        }
+        let mut signs = [0u64; W];
+        for s in &mut signs {
+            *s = rng.next_u64();
+        }
+        let words = interpret_wide(&self.program, &inputs);
+        let mut out = vec![0i32; 64 * W];
+        for w in 0..W {
+            for lane in 0..64 {
+                let mut magnitude = 0u32;
+                for (iota, word) in words.iter().enumerate() {
+                    magnitude |= (((word[w] >> lane) & 1) as u32) << iota;
+                }
+                let s = ((signs[w] >> lane) & 1) as i32;
+                out[64 * w + lane] = (magnitude as i32 ^ s.wrapping_neg()) + s;
+            }
+        }
+        out
+    }
+
+    /// Creates a buffered single-sample stream over this sampler.
+    pub fn stream(&self) -> SampleStream<'_> {
+        SampleStream { sampler: self, buf: [0; 64], pos: 64 }
+    }
+}
+
+/// A buffered stream of single samples drawn batch-by-batch from a
+/// [`CtSampler`].
+#[derive(Debug)]
+pub struct SampleStream<'s> {
+    sampler: &'s CtSampler,
+    buf: [i32; 64],
+    pos: usize,
+}
+
+impl SampleStream<'_> {
+    /// Returns the next sample, refilling the 64-sample buffer when needed.
+    pub fn next<R: RandomSource>(&mut self, rng: &mut R) -> i32 {
+        if self.pos == 64 {
+            self.buf = self.sampler.sample_batch(rng);
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SamplerBuilder, Strategy};
+    use ctgauss_knuthyao::{enumerate_leaves, ColumnScanSampler};
+    use ctgauss_prng::{ChaChaRng, SplitMix64};
+
+    /// Feed every leaf's exact bit string through a batch lane and verify
+    /// the program outputs the leaf's sample value — functional equivalence
+    /// between the constant-time program and Algorithm 1.
+    fn check_program_matches_leaves(strategy: Strategy, sigma: &str, n: u32) {
+        let sampler = SamplerBuilder::new(sigma, n)
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let leaves = enumerate_leaves(sampler.matrix());
+        for chunk in leaves.chunks(64) {
+            let mut inputs = vec![0u64; n as usize];
+            for (lane, leaf) in chunk.iter().enumerate() {
+                for (pos, bit) in leaf.bits.iter().enumerate() {
+                    if bit {
+                        inputs[pos] |= 1 << lane;
+                    }
+                }
+            }
+            let out = sampler.run_batch(&inputs, 0);
+            for (lane, leaf) in chunk.iter().enumerate() {
+                assert_eq!(
+                    out[lane] as u32, leaf.value,
+                    "{strategy}: leaf {:?} (lane {lane})",
+                    leaf.bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_program_equals_algorithm1_on_all_leaves() {
+        check_program_matches_leaves(Strategy::SplitExact, "2", 16);
+        check_program_matches_leaves(Strategy::SplitExact, "1.5", 14);
+        check_program_matches_leaves(Strategy::SplitExact, "3", 12);
+    }
+
+    #[test]
+    fn simple_program_equals_algorithm1_on_all_leaves() {
+        check_program_matches_leaves(Strategy::Simple, "2", 12);
+        check_program_matches_leaves(Strategy::Simple, "1.5", 12);
+    }
+
+    #[test]
+    fn both_strategies_agree_on_random_batches() {
+        let split = SamplerBuilder::new("2", 14).build().unwrap();
+        let simple = SamplerBuilder::new("2", 14)
+            .strategy(Strategy::Simple)
+            .build()
+            .unwrap();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..50 {
+            let mut inputs = vec![0u64; 14];
+            rng.fill_u64s(&mut inputs);
+            let signs = rng.next_u64();
+            // Both programs compute the same function wherever the walk
+            // terminates within n bits. Non-terminating lanes are
+            // don't-cares and may differ; identify them via Algorithm 1.
+            let matrix = split.matrix();
+            let alg1 = ColumnScanSampler::new(matrix);
+            let a = split.run_batch(&inputs, signs);
+            let b = simple.run_batch(&inputs, signs);
+            for lane in 0..64 {
+                let mut pos = 0u32;
+                let mut bit = || {
+                    let v = (inputs[pos as usize] >> lane) & 1 == 1;
+                    pos += 1;
+                    v
+                };
+                if alg1.walk_with(&mut bit).is_some() {
+                    assert_eq!(a[lane], b[lane], "lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sign_application_is_symmetric() {
+        let sampler = SamplerBuilder::new("2", 16).build().unwrap();
+        let mut inputs = vec![0u64; 16];
+        SplitMix64::new(5).fill_u64s(&mut inputs);
+        let pos = sampler.run_batch(&inputs, 0);
+        let neg = sampler.run_batch(&inputs, u64::MAX);
+        for lane in 0..64 {
+            assert_eq!(pos[lane], -neg[lane], "lane {lane}");
+            assert!(pos[lane] >= 0);
+        }
+    }
+
+    #[test]
+    fn stream_matches_batches() {
+        let sampler = SamplerBuilder::new("2", 16).build().unwrap();
+        let mut rng1 = ChaChaRng::from_u64_seed(7);
+        let mut rng2 = ChaChaRng::from_u64_seed(7);
+        let batch = sampler.sample_batch(&mut rng1);
+        let mut stream = sampler.stream();
+        for (i, &expected) in batch.iter().enumerate() {
+            assert_eq!(stream.next(&mut rng2), expected, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn audit_reports_constant_time() {
+        let sampler = SamplerBuilder::new("2", 16).build().unwrap();
+        let report = sampler.audit();
+        assert!(report.is_constant_time());
+        // Low sample bits must depend on the random input; high bits may be
+        // constant false when their values have probability < 2^-n.
+        assert!(!report.output_supports[0].is_empty());
+        assert!(!report.output_supports[1].is_empty());
+    }
+
+    #[test]
+    fn empirical_distribution_matches_exact() {
+        // Chi-square-style sanity: 64k samples at sigma = 2.
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        let mut rng = ChaChaRng::from_u64_seed(13);
+        let mut counts = std::collections::HashMap::new();
+        let batches = 1000;
+        for _ in 0..batches {
+            for s in sampler.sample_batch(&mut rng) {
+                *counts.entry(s).or_insert(0u64) += 1;
+            }
+        }
+        let total = (batches * 64) as f64;
+        let norm = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        for v in -6i32..=6 {
+            let expected = norm * (-(f64::from(v * v)) / 8.0).exp();
+            let got = *counts.get(&v).unwrap_or(&0) as f64 / total;
+            let tol = 4.0 * (expected / total).sqrt() + 0.002;
+            assert!(
+                (got - expected).abs() < tol,
+                "value {v}: got {got:.5}, expected {expected:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_batch_matches_distribution_and_determinism() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        // Wide batch with W=4 consumes words in a known order; verify the
+        // first 64 lanes equal a run_batch on the same per-position words.
+        let mut rng = ChaChaRng::from_u64_seed(31);
+        let wide = sampler.sample_batch_wide::<4, _>(&mut rng);
+        assert_eq!(wide.len(), 256);
+        // Statistical sanity across the whole wide batch.
+        let mut rng2 = ChaChaRng::from_u64_seed(32);
+        let mut sum = 0f64;
+        let mut sq = 0f64;
+        let n_batches = 500;
+        for _ in 0..n_batches {
+            for s in sampler.sample_batch_wide::<4, _>(&mut rng2) {
+                sum += f64::from(s);
+                sq += f64::from(s) * f64::from(s);
+            }
+        }
+        let count = f64::from(n_batches) * 256.0;
+        let mean = sum / count;
+        let var = sq / count - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn words_and_bits_accounting() {
+        let sampler = SamplerBuilder::new("2", 32).build().unwrap();
+        assert_eq!(sampler.words_per_batch(), 33);
+        assert_eq!(sampler.bits_per_sample(), 33);
+    }
+}

@@ -1,0 +1,379 @@
+//! Sublist splitting and Boolean function synthesis (Sections 5.1–5.2).
+
+use std::rc::Rc;
+
+use ctgauss_boolmin::{
+    minimize_exact, minimize_heuristic, Cover, Cube, Expr, TruthTable, VarState, MAX_EXACT_VARS,
+};
+use ctgauss_knuthyao::Leaf;
+
+/// Per-sublist synthesis record (exposed in the build report and by the
+/// Figure 3 reproduction).
+#[derive(Debug, Clone)]
+pub struct SublistFunctions {
+    /// The run length `kappa` this sublist matches (`1^kappa 0` prefix).
+    pub kappa: u32,
+    /// Number of leaves in the sublist.
+    pub leaves: usize,
+    /// Window width: how many free bits after the prefix feed the function.
+    pub window: u32,
+    /// One minimized cover per output bit (over `window` variables).
+    pub covers: Vec<Cover>,
+    /// Whether exact (QM + Petrick) minimization was used; `false` means
+    /// the window exceeded [`MAX_EXACT_VARS`] and the Espresso-style
+    /// heuristic ran instead.
+    pub exact: bool,
+}
+
+impl SublistFunctions {
+    /// Total literal count across the output covers.
+    pub fn literal_count(&self) -> u32 {
+        self.covers.iter().map(Cover::literal_count).sum()
+    }
+}
+
+/// Splits leaves by initial ones-run length: `result[kappa]` holds the
+/// leaves of sublist `l_kappa` (Figure 3's sorted-and-partitioned list).
+pub fn split_by_run(leaves: &[Leaf], max_run: u32) -> Vec<Vec<&Leaf>> {
+    let mut sublists: Vec<Vec<&Leaf>> = vec![Vec::new(); max_run as usize + 1];
+    for leaf in leaves {
+        sublists[leaf.run_length() as usize].push(leaf);
+    }
+    sublists
+}
+
+/// Synthesizes the minimized Boolean functions `f^{iota,kappa}` for one
+/// sublist.
+///
+/// Inside sublist `kappa` the first `kappa + 1` consumed bits are fixed
+/// (`1^kappa 0`), so only the next `window = min(Delta, n - kappa - 1)`
+/// bits can influence the outcome. Each leaf with `j` free bits covers all
+/// `2^(window - j)` completions; assignments covered by no leaf are
+/// don't-cares (the walk has not terminated inside the window — possible
+/// only near the precision boundary).
+///
+/// # Panics
+///
+/// Panics if two leaves of the sublist conflict (cannot happen for leaves
+/// of a DDG tree: tree paths are prefix-free).
+pub fn synthesize_sublist(
+    kappa: u32,
+    leaves: &[&Leaf],
+    window: u32,
+    sample_bits: u32,
+) -> SublistFunctions {
+    // Build one cube per leaf over the window variables.
+    // Window variable p corresponds to consumed bit b_{kappa + 1 + p}.
+    let mut on_cubes: Vec<(Cube, u32)> = Vec::with_capacity(leaves.len());
+    for leaf in leaves {
+        let j = leaf.free_bits();
+        debug_assert!(j <= window, "leaf free bits exceed window");
+        let mut cube = Cube::full(window);
+        for p in 0..j {
+            let bit = leaf.bits.get(kappa + 1 + p);
+            cube.set_var(p, if bit { VarState::One } else { VarState::Zero });
+        }
+        on_cubes.push((cube, leaf.value));
+    }
+
+    let exact = window <= MAX_EXACT_VARS;
+    let covers = if exact {
+        synthesize_exact(&on_cubes, window, sample_bits)
+    } else {
+        synthesize_heuristic(&on_cubes, window, sample_bits)
+    };
+
+    SublistFunctions { kappa, leaves: leaves.len(), window, covers, exact }
+}
+
+fn synthesize_exact(on_cubes: &[(Cube, u32)], window: u32, sample_bits: u32) -> Vec<Cover> {
+    // Truth-table per output bit: enumerate each cube's minterm completions.
+    let mut value_of: Vec<Option<u32>> = vec![None; 1usize << window];
+    for (cube, value) in on_cubes {
+        // Iterate assignments consistent with the cube.
+        for m in 0..(1u32 << window) {
+            let bits: Vec<bool> = (0..window).map(|p| (m >> p) & 1 == 1).collect();
+            if cube.contains_assignment(&bits) {
+                assert!(
+                    value_of[m as usize].is_none(),
+                    "sublist leaves must be prefix-free"
+                );
+                value_of[m as usize] = Some(*value);
+            }
+        }
+    }
+    (0..sample_bits)
+        .map(|iota| {
+            let mut tt = TruthTable::new(window);
+            for (m, v) in value_of.iter().enumerate() {
+                match v {
+                    Some(value) => {
+                        if (value >> iota) & 1 == 1 {
+                            tt.set_on(m as u32);
+                        }
+                    }
+                    None => tt.set_dc(m as u32),
+                }
+            }
+            minimize_exact(&tt)
+        })
+        .collect()
+}
+
+fn synthesize_heuristic(on_cubes: &[(Cube, u32)], window: u32, sample_bits: u32) -> Vec<Cover> {
+    (0..sample_bits)
+        .map(|iota| {
+            let mut on = Cover::empty(window);
+            let mut off = Cover::empty(window);
+            for (cube, value) in on_cubes {
+                if (value >> iota) & 1 == 1 {
+                    on.push(cube.clone());
+                } else {
+                    off.push(cube.clone());
+                }
+            }
+            if on.cube_count() == 0 {
+                return on;
+            }
+            minimize_heuristic(&on, &off)
+        })
+        .collect()
+}
+
+/// Builds the full-width Boolean expressions of Equation 2:
+///
+/// ```text
+/// f_iota = c_0 ? f_iota_0 : (c_1 ? f_iota_1 : (... : f_iota_{n'}))
+/// c_kappa = b_0 & b_1 & ... & b_{kappa-1} & !b_kappa
+/// ```
+///
+/// Because the selectors `c_kappa` are mutually exclusive (each input
+/// string has exactly one first-zero position), the nested constant-time
+/// if-else chain is logically equal to the flat one-hot sum
+/// `OR_kappa (c_kappa & f_iota_kappa)`, which needs one gate less per
+/// level per output; we emit that form (the equivalence is covered by the
+/// tests that replay every DDG leaf). The ones-run prefixes
+/// `b_0 & ... & b_{kappa-1}` are `Rc`-shared across selectors and output
+/// bits, so the bitslice compiler emits each AND once.
+pub fn combine_sublists(sublists: &[SublistFunctions], sample_bits: u32) -> Vec<Rc<Expr>> {
+    assert!(!sublists.is_empty(), "at least one sublist required");
+    let n_prime = sublists.len() - 1;
+
+    // Shared prefix chain: prefix[kappa] = b_0 & ... & b_{kappa-1}, and the
+    // one-hot selectors c_kappa = prefix[kappa] & !b_kappa (also shared).
+    let mut prefix: Vec<Rc<Expr>> = Vec::with_capacity(n_prime + 1);
+    prefix.push(Expr::constant(true));
+    for kappa in 1..=n_prime {
+        let prev = Rc::clone(&prefix[kappa - 1]);
+        prefix.push(Expr::and(prev, Expr::var(kappa as u32 - 1)));
+    }
+    let selectors: Vec<Rc<Expr>> = (0..=n_prime)
+        .map(|kappa| {
+            Expr::and(
+                Rc::clone(&prefix[kappa]),
+                Expr::not(Expr::var(kappa as u32)),
+            )
+        })
+        .collect();
+
+    (0..sample_bits)
+        .map(|iota| {
+            let mut acc = Expr::constant(false);
+            for (kappa, sl) in sublists.iter().enumerate() {
+                let term = Expr::and(Rc::clone(&selectors[kappa]), sublist_expr(sl, iota));
+                acc = Expr::or(acc, term);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The sum-of-products expression for output bit `iota` of a sublist, with
+/// window variable `p` mapped to global input `b_{kappa + 1 + p}`.
+fn sublist_expr(sl: &SublistFunctions, iota: u32) -> Rc<Expr> {
+    let var_map: Vec<u32> = (0..sl.window).map(|p| sl.kappa + 1 + p).collect();
+    Expr::from_cover(&sl.covers[iota as usize], &var_map)
+}
+
+/// Builds the prior work's "simple minimization" expressions: one heuristic
+/// minimization per output bit over all `n` input variables, no sublist
+/// split ([21], the Table 2 baseline).
+pub fn simple_expressions(leaves: &[Leaf], n: u32, sample_bits: u32) -> Vec<Rc<Expr>> {
+    (0..sample_bits)
+        .map(|iota| {
+            let mut on = Cover::empty(n);
+            let mut off = Cover::empty(n);
+            for leaf in leaves {
+                let mut cube = Cube::full(n);
+                for (pos, bit) in leaf.bits.iter().enumerate() {
+                    cube.set_var(
+                        pos as u32,
+                        if bit { VarState::One } else { VarState::Zero },
+                    );
+                }
+                if (leaf.value >> iota) & 1 == 1 {
+                    on.push(cube);
+                } else {
+                    off.push(cube);
+                }
+            }
+            if on.cube_count() == 0 {
+                return Expr::constant(false);
+            }
+            let minimized = minimize_heuristic(&on, &off);
+            let var_map: Vec<u32> = (0..n).collect();
+            Expr::from_cover(&minimized, &var_map)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctgauss_knuthyao::{enumerate_leaves, GaussianParams, ProbabilityMatrix};
+
+    fn leaves(sigma: &str, n: u32) -> Vec<Leaf> {
+        let m =
+            ProbabilityMatrix::build(&GaussianParams::from_sigma_str(sigma, n).unwrap()).unwrap();
+        enumerate_leaves(&m)
+    }
+
+    #[test]
+    fn split_preserves_all_leaves() {
+        let ls = leaves("2", 16);
+        let max_run = ctgauss_knuthyao::max_run_length(&ls);
+        let split = split_by_run(&ls, max_run);
+        let total: usize = split.iter().map(Vec::len).sum();
+        assert_eq!(total, ls.len());
+        for (kappa, sl) in split.iter().enumerate() {
+            for leaf in sl {
+                assert_eq!(leaf.run_length() as usize, kappa);
+            }
+        }
+    }
+
+    #[test]
+    fn sublist_functions_reproduce_leaf_samples() {
+        let ls = leaves("2", 16);
+        let max_run = ctgauss_knuthyao::max_run_length(&ls);
+        let delta = ctgauss_knuthyao::delta(&ls);
+        let split = split_by_run(&ls, max_run);
+        for (kappa, sl) in split.iter().enumerate() {
+            if sl.is_empty() {
+                continue;
+            }
+            let window = delta.min(16 - kappa as u32 - 1);
+            let funcs = synthesize_sublist(kappa as u32, sl, window, 5);
+            // Each leaf's free-bit assignment must evaluate to its value.
+            for leaf in sl {
+                for m in 0..(1u32 << window) {
+                    let bits: Vec<bool> = (0..window).map(|p| (m >> p) & 1 == 1).collect();
+                    // Check only assignments matching the leaf's free bits.
+                    let j = leaf.free_bits();
+                    let matches = (0..j).all(|p| bits[p as usize] == leaf.bits.get(kappa as u32 + 1 + p));
+                    if !matches {
+                        continue;
+                    }
+                    let mut value = 0u32;
+                    for (iota, cover) in funcs.covers.iter().enumerate() {
+                        if cover.evaluate(&bits) {
+                            value |= 1 << iota;
+                        }
+                    }
+                    assert_eq!(value, leaf.value, "sublist {kappa}, leaf {:?}", leaf.bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combined_expressions_reproduce_every_leaf() {
+        let n = 12u32;
+        let ls = leaves("2", n);
+        let max_run = ctgauss_knuthyao::max_run_length(&ls);
+        let delta = ctgauss_knuthyao::delta(&ls);
+        let split = split_by_run(&ls, max_run);
+        let sample_bits = 5;
+        let sublists: Vec<SublistFunctions> = split
+            .iter()
+            .enumerate()
+            .map(|(kappa, sl)| {
+                let window = delta.min(n - kappa as u32 - 1);
+                synthesize_sublist(kappa as u32, sl, window, sample_bits)
+            })
+            .collect();
+        let exprs = combine_sublists(&sublists, sample_bits);
+        for leaf in &ls {
+            // Build a full n-bit assignment: leaf bits then zeros.
+            let mut bits = vec![false; n as usize];
+            for (pos, b) in leaf.bits.iter().enumerate() {
+                bits[pos] = b;
+            }
+            let mut value = 0u32;
+            for (iota, e) in exprs.iter().enumerate() {
+                if e.evaluate(&bits) {
+                    value |= 1 << iota;
+                }
+            }
+            assert_eq!(value, leaf.value, "leaf {:?}", leaf.bits);
+        }
+    }
+
+    #[test]
+    fn simple_expressions_reproduce_every_leaf() {
+        let n = 10u32;
+        let ls = leaves("1.5", n);
+        let exprs = simple_expressions(&ls, n, 5);
+        for leaf in &ls {
+            let mut bits = vec![false; n as usize];
+            for (pos, b) in leaf.bits.iter().enumerate() {
+                bits[pos] = b;
+            }
+            let mut value = 0u32;
+            for (iota, e) in exprs.iter().enumerate() {
+                if e.evaluate(&bits) {
+                    value |= 1 << iota;
+                }
+            }
+            assert_eq!(value, leaf.value, "leaf {:?}", leaf.bits);
+        }
+    }
+
+    #[test]
+    fn dont_care_padding_does_not_change_leaf_output() {
+        // Bits beyond a leaf's significant length must not affect the
+        // output (they are x bits in Theorem 1's normal form).
+        let n = 12u32;
+        let ls = leaves("2", n);
+        let max_run = ctgauss_knuthyao::max_run_length(&ls);
+        let delta = ctgauss_knuthyao::delta(&ls);
+        let split = split_by_run(&ls, max_run);
+        let sublists: Vec<SublistFunctions> = split
+            .iter()
+            .enumerate()
+            .map(|(kappa, sl)| {
+                let window = delta.min(n - kappa as u32 - 1);
+                synthesize_sublist(kappa as u32, sl, window, 5)
+            })
+            .collect();
+        let exprs = combine_sublists(&sublists, 5);
+        let leaf = ls.iter().find(|l| l.bits.len() <= 6).expect("a shallow leaf exists");
+        for pad in 0..8u32 {
+            let mut bits = vec![false; n as usize];
+            for (pos, b) in leaf.bits.iter().enumerate() {
+                bits[pos] = b;
+            }
+            // Vary three padding bits beyond the leaf's significant length.
+            for p in 0..3 {
+                bits[leaf.bits.len() as usize + p] = (pad >> p) & 1 == 1;
+            }
+            let mut value = 0u32;
+            for (iota, e) in exprs.iter().enumerate() {
+                if e.evaluate(&bits) {
+                    value |= 1 << iota;
+                }
+            }
+            assert_eq!(value, leaf.value, "padding {pad:03b} changed the sample");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! dudect-style timing-leakage detection (Reparaz, Balasch, Verbauwhede,
+//! DATE 2017 — reference [30] of the paper).
+//!
+//! The methodology: run the operation under test many times on two input
+//! classes (a fixed input vs. fresh random inputs), interleaved in random
+//! order; compare the two timing populations with Welch's t-test, both on
+//! the raw data and on percentile-cropped versions (cropping removes the
+//! long measurement tail that hides small leaks); report the worst |t|.
+//! |t| beyond ~4.5 is the conventional "leakage detected" threshold.
+//!
+//! The paper uses the original dudect harness to affirm its sampler's
+//! constant-time behaviour (Section 5.2); the `dudect_report` binary in
+//! the bench crate reproduces that experiment, and the failure-injection
+//! tests here confirm the harness actually catches leaky code.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_dudect::{DudectConfig, run_test, Class};
+//!
+//! // A blatantly leaky operation: does work proportional to the class.
+//! let report = run_test(&DudectConfig { measurements: 2000, warmup: 100 }, |class| {
+//!     let spin = match class { Class::Fixed => 500, Class::Random => 50 };
+//!     let mut acc = 1u64;
+//!     for i in 0..spin { acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i); }
+//!     std::hint::black_box(acc);
+//! });
+//! assert!(report.max_t.abs() > 4.5, "leak must be detected");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// The two dudect measurement classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// The fixed (constant) input class.
+    Fixed,
+    /// The fresh-random input class.
+    Random,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DudectConfig {
+    /// Total timed invocations (split randomly between the classes).
+    pub measurements: usize,
+    /// Untimed warm-up invocations.
+    pub warmup: usize,
+}
+
+impl Default for DudectConfig {
+    fn default() -> Self {
+        DudectConfig { measurements: 100_000, warmup: 1_000 }
+    }
+}
+
+/// Welch's t statistic between two summarized populations.
+#[derive(Debug, Clone, Copy, Default)]
+struct OnlineStats {
+    n: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    fn push(&mut self, x: f64) {
+        self.n += 1.0;
+        let d = x - self.mean;
+        self.mean += d / self.n;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.n < 2.0 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1.0)
+        }
+    }
+}
+
+fn welch_t(a: &OnlineStats, b: &OnlineStats) -> f64 {
+    if a.n < 2.0 || b.n < 2.0 {
+        return 0.0;
+    }
+    let se = (a.variance() / a.n + b.variance() / b.n).sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    (a.mean - b.mean) / se
+}
+
+/// Leakage report.
+#[derive(Debug, Clone)]
+pub struct LeakReport {
+    /// Welch t on the uncropped populations.
+    pub raw_t: f64,
+    /// Worst |t| across the raw and all cropped tests (sign preserved).
+    pub max_t: f64,
+    /// Crop thresholds (in percentiles of the pooled distribution) tested.
+    pub crops: Vec<f64>,
+    /// Measurements per class.
+    pub fixed_count: usize,
+    /// Measurements per class.
+    pub random_count: usize,
+}
+
+impl LeakReport {
+    /// The conventional dudect decision at threshold `t_threshold`
+    /// (typically 4.5).
+    pub fn leak_detected(&self, t_threshold: f64) -> bool {
+        self.max_t.abs() > t_threshold
+    }
+}
+
+/// Runs a dudect test: `op` is invoked once per measurement with the class
+/// it must embody (prepare fixed vs. random inputs inside the closure; the
+/// closure body is what gets timed).
+///
+/// # Panics
+///
+/// Panics if `config.measurements < 100` (the statistics would be
+/// meaningless).
+pub fn run_test<F: FnMut(Class)>(config: &DudectConfig, mut op: F) -> LeakReport {
+    assert!(config.measurements >= 100, "need at least 100 measurements");
+    // Deterministic interleaving pattern from a simple LCG so runs are
+    // reproducible; class choice must not correlate with time.
+    let mut lcg: u64 = 0x5deece66d;
+    let mut next_class = || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if (lcg >> 33) & 1 == 0 {
+            Class::Fixed
+        } else {
+            Class::Random
+        }
+    };
+
+    for _ in 0..config.warmup {
+        op(next_class());
+    }
+
+    let mut samples: Vec<(Class, f64)> = Vec::with_capacity(config.measurements);
+    for _ in 0..config.measurements {
+        let class = next_class();
+        let start = Instant::now();
+        op(class);
+        let dt = start.elapsed().as_nanos() as f64;
+        samples.push((class, dt));
+    }
+
+    // Raw t-test.
+    let (mut fixed, mut random) = (OnlineStats::default(), OnlineStats::default());
+    for &(c, t) in &samples {
+        match c {
+            Class::Fixed => fixed.push(t),
+            Class::Random => random.push(t),
+        }
+    }
+    let raw_t = welch_t(&fixed, &random);
+
+    // Cropped tests: drop measurements above pooled percentiles, which
+    // exposes leaks hidden by scheduler/interrupt tails.
+    let mut sorted: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+    sorted.sort_by(f64::total_cmp);
+    let crops = vec![0.5, 0.75, 0.9, 0.95, 0.99];
+    let mut max_t = raw_t;
+    for &q in &crops {
+        let cut = sorted[((sorted.len() - 1) as f64 * q) as usize];
+        let (mut f, mut r) = (OnlineStats::default(), OnlineStats::default());
+        for &(c, t) in &samples {
+            if t <= cut {
+                match c {
+                    Class::Fixed => f.push(t),
+                    Class::Random => r.push(t),
+                }
+            }
+        }
+        let t = welch_t(&f, &r);
+        if t.abs() > max_t.abs() {
+            max_t = t;
+        }
+    }
+
+    LeakReport {
+        raw_t,
+        max_t,
+        crops,
+        fixed_count: fixed.n as usize,
+        random_count: random.n as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_t_zero_for_identical() {
+        let mut a = OnlineStats::default();
+        let mut b = OnlineStats::default();
+        for i in 0..100 {
+            a.push(f64::from(i % 7));
+            b.push(f64::from(i % 7));
+        }
+        assert!(welch_t(&a, &b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_t_large_for_shifted() {
+        let mut a = OnlineStats::default();
+        let mut b = OnlineStats::default();
+        for i in 0..1000 {
+            a.push(f64::from(i % 10));
+            b.push(f64::from(i % 10) + 100.0);
+        }
+        assert!(welch_t(&a, &b) < -100.0);
+    }
+
+    #[test]
+    fn online_stats_match_batch() {
+        let xs = [1.0, 2.0, 3.5, 7.25, -2.0, 0.0];
+        let mut s = OnlineStats::default();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_blatant_leak() {
+        let report = run_test(&DudectConfig { measurements: 4000, warmup: 200 }, |class| {
+            let spin = match class {
+                Class::Fixed => 2000u64,
+                Class::Random => 100,
+            };
+            let mut acc = 1u64;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(
+            report.leak_detected(4.5),
+            "leak not detected: max_t = {}",
+            report.max_t
+        );
+    }
+
+    #[test]
+    fn balanced_operation_not_flagged() {
+        // Identical work for both classes: |t| should stay small. Generous
+        // threshold because CI machines are noisy.
+        let report = run_test(&DudectConfig { measurements: 4000, warmup: 200 }, |_class| {
+            let mut acc = 1u64;
+            for i in 0..500u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(
+            report.max_t.abs() < 30.0,
+            "balanced op flagged hard: max_t = {}",
+            report.max_t
+        );
+        assert!(report.fixed_count + report.random_count == 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 100")]
+    fn rejects_tiny_measurement_counts() {
+        let _ = run_test(&DudectConfig { measurements: 10, warmup: 0 }, |_| {});
+    }
+}

@@ -1,0 +1,184 @@
+//! The four base-sampler configurations of Table 1, each owning a ChaCha
+//! PRNG (the paper keeps the PRNG fixed across samplers).
+
+use ctgauss_cdt::{BinarySearchCdt, ByteScanCdt, CdtTable, LinearSearchCdt};
+use ctgauss_core::{CtSampler, SamplerBuilder, Strategy};
+use ctgauss_knuthyao::GaussianParams;
+use ctgauss_prng::ChaChaRng;
+
+use crate::sign::BaseSampler;
+
+/// The paper's base-sampler parameters: sigma = 2, n = 128 bits, tau = 13.
+fn base_params() -> GaussianParams {
+    GaussianParams::new("2", 128, 13).expect("paper parameters are valid")
+}
+
+/// "This work": the constant-time bitsliced Knuth-Yao sampler, consumed
+/// through its wide (8 x 64 lanes) batch interface.
+pub struct KnuthYaoCtBase {
+    sampler: CtSampler,
+    rng: ChaChaRng,
+    buf: Vec<i32>,
+    pos: usize,
+}
+
+impl KnuthYaoCtBase {
+    /// Builds the sampler (split-exact strategy) and seeds its PRNG.
+    pub fn new(seed: u64) -> Self {
+        let sampler = SamplerBuilder::new("2", 128)
+            .tail_cut(13)
+            .strategy(Strategy::SplitExact)
+            .build()
+            .expect("paper parameters build");
+        KnuthYaoCtBase {
+            sampler,
+            rng: ChaChaRng::from_u64_seed(seed),
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Access to the inner sampler (for reports).
+    pub fn sampler(&self) -> &CtSampler {
+        &self.sampler
+    }
+}
+
+impl BaseSampler for KnuthYaoCtBase {
+    fn next(&mut self) -> i32 {
+        if self.pos == self.buf.len() {
+            self.buf = self.sampler.sample_batch_wide::<8, _>(&mut self.rng);
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "bitsliced Knuth-Yao (this work)"
+    }
+}
+
+/// "CDT": the classical binary-search CDT sampler (non-constant-time).
+pub struct BinaryCdtBase {
+    table: CdtTable,
+    rng: ChaChaRng,
+}
+
+impl BinaryCdtBase {
+    /// Builds the table and seeds the PRNG.
+    pub fn new(seed: u64) -> Self {
+        BinaryCdtBase {
+            table: CdtTable::build(&base_params()).expect("paper parameters build"),
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+}
+
+impl BaseSampler for BinaryCdtBase {
+    fn next(&mut self) -> i32 {
+        BinarySearchCdt::new(&self.table).sample_signed(&mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "binary-search CDT"
+    }
+}
+
+/// "Byte-scanning CDT": the lazy byte-wise scanner (fastest
+/// non-constant-time baseline).
+pub struct ByteScanCdtBase {
+    table: CdtTable,
+    rng: ChaChaRng,
+}
+
+impl ByteScanCdtBase {
+    /// Builds the table and seeds the PRNG.
+    pub fn new(seed: u64) -> Self {
+        ByteScanCdtBase {
+            table: CdtTable::build(&base_params()).expect("paper parameters build"),
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+}
+
+impl BaseSampler for ByteScanCdtBase {
+    fn next(&mut self) -> i32 {
+        ByteScanCdt::new(&self.table).sample_signed(&mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "byte-scanning CDT"
+    }
+}
+
+/// "Linear search CDT": the constant-time exhaustive-comparison sampler.
+pub struct LinearCdtBase {
+    table: CdtTable,
+    rng: ChaChaRng,
+}
+
+impl LinearCdtBase {
+    /// Builds the table and seeds the PRNG.
+    pub fn new(seed: u64) -> Self {
+        LinearCdtBase {
+            table: CdtTable::build(&base_params()).expect("paper parameters build"),
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+}
+
+impl BaseSampler for LinearCdtBase {
+    fn next(&mut self) -> i32 {
+        LinearSearchCdt::new(&self.table).sample_signed(&mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-search CDT (constant-time)"
+    }
+}
+
+/// Builds all four Table 1 base samplers with distinct seeds.
+pub fn all_base_samplers(seed: u64) -> Vec<Box<dyn BaseSampler>> {
+    vec![
+        Box::new(ByteScanCdtBase::new(seed)),
+        Box::new(BinaryCdtBase::new(seed + 1)),
+        Box::new(LinearCdtBase::new(seed + 2)),
+        Box::new(KnuthYaoCtBase::new(seed + 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All four base samplers target the identical distribution; check
+    /// mean/variance of each.
+    #[test]
+    fn all_bases_share_moments() {
+        for mut base in all_base_samplers(42) {
+            let n = 40_000;
+            let mut sum = 0f64;
+            let mut sq = 0f64;
+            for _ in 0..n {
+                let v = f64::from(base.next());
+                sum += v;
+                sq += v * v;
+            }
+            let mean = sum / f64::from(n);
+            let var = sq / f64::from(n) - mean * mean;
+            assert!(mean.abs() < 0.05, "{}: mean {mean}", base.name());
+            assert!((var - 4.0).abs() < 0.2, "{}: var {var}", base.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_base_samplers(1).iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(dedup.len(), 4);
+    }
+}

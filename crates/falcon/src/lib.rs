@@ -1,0 +1,57 @@
+//! A Falcon-style NTRU lattice signature scheme with pluggable base
+//! Gaussian samplers — the case-study application of the DAC 2019 paper
+//! (Table 1).
+//!
+//! # What this is
+//!
+//! The paper plugs four fixed-parameter Gaussian samplers
+//! (`D_{Z, 2, 0}`, 128-bit precision, tail cut 13) into Falcon signing and
+//! compares throughput at the round-1 security levels
+//! (N = 256 / 512 / 1024, q = 12289). This crate provides the complete
+//! substrate, built from scratch:
+//!
+//! * [`fft`] — complex FFT over `R[x]/(x^n+1)` in Falcon's half-size
+//!   representation, with `split`/`merge` for the tower of rings;
+//! * [`ntt`] — exact arithmetic mod q for public keys and verification;
+//! * [`poly`] / [`ntru`] — big-integer polynomial arithmetic and the full
+//!   NTRUSolve field-norm tower with Babai reduction, producing a secret
+//!   basis `[[g, -f], [G, -F]]` with `f G - g F = q` (verified exactly);
+//! * [`tree`] — the ffLDL* Falcon tree with per-leaf Gaussian widths;
+//! * [`sign`] — SamplerZ by rejection from the pluggable
+//!   [`BaseSampler`](sign::BaseSampler), ffSampling, SHAKE-256
+//!   hash-to-point;
+//! * [`base`] — the four Table 1 base samplers (byte-scanning CDT,
+//!   binary-search CDT, constant-time linear CDT, and the bitsliced
+//!   Knuth-Yao sampler of the paper), all driven by ChaCha20;
+//! * [`codec`] — compressed signature and public-key serialization.
+//!
+//! See `DESIGN.md` at the workspace root for the documented differences
+//! from the (unavailable) round-1 reference C implementation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ctgauss_falcon::base::KnuthYaoCtBase;
+//! use ctgauss_falcon::{FalconParams, SecretKey};
+//! use ctgauss_prng::ChaChaRng;
+//!
+//! let mut rng = ChaChaRng::from_u64_seed(1);
+//! let sk = SecretKey::generate(FalconParams::level1(), &mut rng).unwrap();
+//! let mut base = KnuthYaoCtBase::new(2);
+//! let sig = sk.sign(b"message", &mut base, &mut rng).unwrap();
+//! assert!(sk.public_key().verify(b"message", &sig));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod codec;
+pub mod fft;
+pub mod ntru;
+pub mod ntt;
+pub mod poly;
+mod scheme;
+pub mod sign;
+pub mod tree;
+
+pub use scheme::{FalconError, FalconParams, PublicKey, SecretKey, Signature};

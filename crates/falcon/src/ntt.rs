@@ -1,0 +1,290 @@
+//! Number-theoretic transform modulo the Falcon prime `q = 12289`.
+//!
+//! Used for exact public-key arithmetic (`h = g f^-1 mod q`), verification
+//! (`s0 = c - s1 h mod q`) and invertibility checks during key generation.
+//! `q - 1 = 2^12 * 3`, so negacyclic transforms exist for all ring sizes up
+//! to 2048.
+
+/// The Falcon modulus.
+pub const Q: u32 = 12289;
+
+fn pow_mod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Finds a generator of the multiplicative group mod q (order q-1).
+fn find_generator() -> u64 {
+    let q = u64::from(Q);
+    // q - 1 = 2^12 * 3; x is a generator iff x^((q-1)/2) != 1 and
+    // x^((q-1)/3) != 1.
+    for x in 2..q {
+        if pow_mod(x, (q - 1) / 2, q) != 1 && pow_mod(x, (q - 1) / 3, q) != 1 {
+            return x;
+        }
+    }
+    unreachable!("(Z/qZ)* is cyclic, a generator exists")
+}
+
+/// A negacyclic NTT context for ring size `n` (power of two, `n <= 2048`).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_falcon::ntt::{Ntt, Q};
+///
+/// let ntt = Ntt::new(8);
+/// let a = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+/// let b = ntt.inverse(&ntt.forward(&a));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ntt {
+    n: usize,
+    /// psi^i for the forward twist (psi = primitive 2n-th root).
+    psi_powers: Vec<u64>,
+    /// psi^-i scaled by n^-1 for the inverse twist.
+    psi_inv_powers_scaled: Vec<u64>,
+    /// omega^i (omega = psi^2), bit-reversal-order twiddles unnecessary: we
+    /// use a simple recursive transform.
+    omega: u64,
+    omega_inv: u64,
+}
+
+impl Ntt {
+    /// Creates a context for ring size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two in `[2, 2048]`.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && (2..=2048).contains(&n), "unsupported ring size {n}");
+        let q = u64::from(Q);
+        let g = find_generator();
+        let psi = pow_mod(g, (q - 1) / (2 * n as u64), q);
+        let psi_inv = pow_mod(psi, q - 2, q);
+        let omega = psi * psi % q;
+        let omega_inv = pow_mod(omega, q - 2, q);
+        let n_inv = pow_mod(n as u64, q - 2, q);
+        let mut psi_powers = Vec::with_capacity(n);
+        let mut psi_inv_powers_scaled = Vec::with_capacity(n);
+        let (mut p, mut pi) = (1u64, n_inv);
+        for _ in 0..n {
+            psi_powers.push(p);
+            psi_inv_powers_scaled.push(pi);
+            p = p * psi % q;
+            pi = pi * psi_inv % q;
+        }
+        Ntt { n, psi_powers, psi_inv_powers_scaled, omega, omega_inv }
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn cyclic(&self, data: &mut [u64], root: u64) {
+        // Iterative Cooley-Tukey with bit-reversal.
+        let n = data.len();
+        let q = u64::from(Q);
+        // Bit-reverse permutation.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u32).reverse_bits() >> (32 - bits);
+            let j = j as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let w_len = pow_mod(root, (self.n / len) as u64, q);
+            for start in (0..n).step_by(len) {
+                let mut w = 1u64;
+                for i in 0..len / 2 {
+                    let u = data[start + i];
+                    let v = data[start + i + len / 2] * w % q;
+                    data[start + i] = (u + v) % q;
+                    data[start + i + len / 2] = (u + q - v) % q;
+                    w = w * w_len % q;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `n`.
+    pub fn forward(&self, coeffs: &[u32]) -> Vec<u32> {
+        assert_eq!(coeffs.len(), self.n, "length mismatch");
+        let q = u64::from(Q);
+        let mut data: Vec<u64> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| u64::from(c) % q * self.psi_powers[i] % q)
+            .collect();
+        self.cyclic(&mut data, self.omega);
+        data.into_iter().map(|x| x as u32).collect()
+    }
+
+    /// Inverse negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `n`.
+    pub fn inverse(&self, values: &[u32]) -> Vec<u32> {
+        assert_eq!(values.len(), self.n, "length mismatch");
+        let q = u64::from(Q);
+        let mut data: Vec<u64> = values.iter().map(|&v| u64::from(v)).collect();
+        self.cyclic(&mut data, self.omega_inv);
+        data.iter()
+            .enumerate()
+            .map(|(i, &x)| (x * self.psi_inv_powers_scaled[i] % q) as u32)
+            .collect()
+    }
+
+    /// Negacyclic product of two polynomials mod q.
+    pub fn mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let fa = self.forward(a);
+        let fb = self.forward(b);
+        let prod: Vec<u32> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| (u64::from(x) * u64::from(y) % u64::from(Q)) as u32)
+            .collect();
+        self.inverse(&prod)
+    }
+
+    /// Pointwise inverse in the NTT domain, or `None` if any evaluation is
+    /// zero (poly not invertible).
+    pub fn invert(&self, a: &[u32]) -> Option<Vec<u32>> {
+        let fa = self.forward(a);
+        if fa.contains(&0) {
+            return None;
+        }
+        let q = u64::from(Q);
+        let inv: Vec<u32> = fa
+            .iter()
+            .map(|&x| pow_mod(u64::from(x), q - 2, q) as u32)
+            .collect();
+        Some(self.inverse(&inv))
+    }
+}
+
+/// Reduces a signed coefficient into `[0, q)`.
+pub fn to_mod_q(v: i64) -> u32 {
+    v.rem_euclid(i64::from(Q)) as u32
+}
+
+/// Centers a mod-q value into `(-q/2, q/2]`.
+pub fn center(v: u32) -> i32 {
+    let v = v as i32;
+    if v > (Q as i32) / 2 {
+        v - Q as i32
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_negacyclic_mul_mod_q(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let n = a.len();
+        let q = i64::from(Q);
+        let mut out = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = i64::from(a[i]) * i64::from(b[j]) % q;
+                if i + j < n {
+                    out[i + j] = (out[i + j] + p) % q;
+                } else {
+                    out[i + j - n] = (out[i + j - n] - p).rem_euclid(q);
+                }
+            }
+        }
+        out.into_iter().map(|x| x.rem_euclid(q) as u32).collect()
+    }
+
+    #[test]
+    fn generator_is_valid() {
+        let g = find_generator();
+        let q = u64::from(Q);
+        assert_eq!(pow_mod(g, q - 1, q), 1);
+        assert_ne!(pow_mod(g, (q - 1) / 2, q), 1);
+        assert_ne!(pow_mod(g, (q - 1) / 3, q), 1);
+    }
+
+    #[test]
+    fn roundtrip_many_sizes() {
+        for n in [2usize, 8, 64, 256, 1024] {
+            let ntt = Ntt::new(n);
+            let a: Vec<u32> = (0..n).map(|i| (i * 7919 + 13) as u32 % Q).collect();
+            assert_eq!(ntt.inverse(&ntt.forward(&a)), a, "n={n}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_naive() {
+        for n in [4usize, 16, 64] {
+            let ntt = Ntt::new(n);
+            let a: Vec<u32> = (0..n).map(|i| (i * i + 5) as u32 % Q).collect();
+            let b: Vec<u32> = (0..n).map(|i| (3 * i + 1) as u32 % Q).collect();
+            assert_eq!(ntt.mul(&a, &b), naive_negacyclic_mul_mod_q(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn x_times_x_pow_nminus1_is_minus_one() {
+        // x * x^(n-1) = x^n = -1 in the negacyclic ring.
+        let n = 16;
+        let ntt = Ntt::new(n);
+        let mut x = vec![0u32; n];
+        x[1] = 1;
+        let mut xn1 = vec![0u32; n];
+        xn1[n - 1] = 1;
+        let prod = ntt.mul(&x, &xn1);
+        let mut expected = vec![0u32; n];
+        expected[0] = Q - 1;
+        assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn inversion() {
+        let n = 32;
+        let ntt = Ntt::new(n);
+        let mut a: Vec<u32> = (0..n).map(|i| (i * 31 + 7) as u32 % Q).collect();
+        a[0] = 1; // nudge away from pathological zeros
+        if let Some(inv) = ntt.invert(&a) {
+            let prod = ntt.mul(&a, &inv);
+            let mut one = vec![0u32; n];
+            one[0] = 1;
+            assert_eq!(prod, one);
+        }
+        // x^n/... the zero polynomial is never invertible.
+        assert!(ntt.invert(&vec![0u32; n]).is_none());
+    }
+
+    #[test]
+    fn centering() {
+        assert_eq!(center(0), 0);
+        assert_eq!(center(1), 1);
+        assert_eq!(center(Q - 1), -1);
+        assert_eq!(center(6144), 6144);
+        assert_eq!(center(6145), -6144);
+        assert_eq!(to_mod_q(-1), Q - 1);
+        assert_eq!(to_mod_q(i64::from(Q)), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Integer polynomial arithmetic over `Z[x]/(x^n + 1)` with big-integer
+//! coefficients — the workhorse of NTRUSolve's field-norm tower.
+
+use ctgauss_fixedpoint::BigInt;
+
+/// Negacyclic product `a * b mod (x^n + 1)` (schoolbook; the tower's
+/// degrees shrink as fast as its coefficients grow, so schoolbook with
+/// Karatsuba limbs underneath is plenty).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn negacyclic_mul(a: &[BigInt], b: &[BigInt]) -> Vec<BigInt> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    let mut out = vec![BigInt::zero(); n];
+    for i in 0..n {
+        if a[i].is_zero() {
+            continue;
+        }
+        for j in 0..n {
+            if b[j].is_zero() {
+                continue;
+            }
+            let p = a[i].mul(&b[j]);
+            if i + j < n {
+                out[i + j] = out[i + j].add(&p);
+            } else {
+                out[i + j - n] = out[i + j - n].sub(&p);
+            }
+        }
+    }
+    out
+}
+
+/// `f(-x)`: negates odd-index coefficients.
+pub fn galois_conjugate(f: &[BigInt]) -> Vec<BigInt> {
+    f.iter()
+        .enumerate()
+        .map(|(i, c)| if i % 2 == 1 { c.neg() } else { c.clone() })
+        .collect()
+}
+
+/// The field norm `N(f)(y) = f(x) f(-x)` with `y = x^2`: a polynomial of
+/// half the degree over `Z[y]/(y^(n/2) + 1)`.
+///
+/// # Panics
+///
+/// Panics if the length is odd or less than 2.
+pub fn field_norm(f: &[BigInt]) -> Vec<BigInt> {
+    let n = f.len();
+    assert!(n >= 2 && n.is_multiple_of(2), "field norm needs even length");
+    let prod = negacyclic_mul(f, &galois_conjugate(f));
+    // f(x) f(-x) is invariant under x -> -x, so odd coefficients vanish.
+    for (i, c) in prod.iter().enumerate() {
+        if i % 2 == 1 {
+            debug_assert!(c.is_zero(), "odd coefficient of a field norm must vanish");
+        }
+    }
+    (0..n / 2).map(|i| prod[2 * i].clone()).collect()
+}
+
+/// Expands `p(y)` to `p(x^2)` at double length.
+pub fn expand_even(p: &[BigInt]) -> Vec<BigInt> {
+    let mut out = vec![BigInt::zero(); 2 * p.len()];
+    for (i, c) in p.iter().enumerate() {
+        out[2 * i] = c.clone();
+    }
+    out
+}
+
+/// `a - k * b` coefficient-wise scaled subtraction where `k` is a
+/// polynomial: `a -= k * b` in the ring.
+pub fn sub_mul_assign(a: &mut [BigInt], k: &[BigInt], b: &[BigInt]) {
+    let prod = negacyclic_mul(k, b);
+    for (x, p) in a.iter_mut().zip(prod) {
+        *x = x.sub(&p);
+    }
+}
+
+/// Maximum coefficient bit length of a polynomial.
+pub fn max_bit_len(p: &[BigInt]) -> u32 {
+    p.iter().map(BigInt::bit_len).max().unwrap_or(0)
+}
+
+/// Converts a coefficient to `f64` after dividing by `2^shift` —
+/// `to_f64_scaled(c, s) ~= c / 2^s` with 53-bit precision and no overflow
+/// for any coefficient size as long as `bit_len - shift` stays within the
+/// `f64` exponent range.
+pub fn to_f64_scaled(c: &BigInt, shift: u32) -> f64 {
+    let bits = c.bit_len();
+    if bits == 0 {
+        return 0.0;
+    }
+    // Take the top 53 bits.
+    let take = bits.min(53);
+    let top = c.magnitude().shr(bits - take).to_u64().expect("<= 53 bits fits") as f64;
+    let exp = i64::from(bits) - i64::from(take) - i64::from(shift);
+    let v = top * 2f64.powi(exp as i32);
+    if c.is_negative() {
+        -v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(vals: &[i64]) -> Vec<BigInt> {
+        vals.iter().map(|&v| BigInt::from_i64(v)).collect()
+    }
+
+    #[test]
+    fn negacyclic_wraps_with_sign() {
+        // (x) * (x) = x^2 = -1 in Z[x]/(x^2+1).
+        let x = poly(&[0, 1]);
+        assert_eq!(negacyclic_mul(&x, &x), poly(&[-1, 0]));
+        // (1 + x)(1 - x) = 1 - x^2 = 2 mod x^2+1.
+        assert_eq!(negacyclic_mul(&poly(&[1, 1]), &poly(&[1, -1])), poly(&[2, 0]));
+    }
+
+    #[test]
+    fn galois_conjugate_signs() {
+        assert_eq!(galois_conjugate(&poly(&[1, 2, 3, 4])), poly(&[1, -2, 3, -4]));
+    }
+
+    #[test]
+    fn field_norm_degree_one() {
+        // f = a + bx over Z[x]/(x^2+1): N(f) = f(x) f(-x) = a^2 + b^2.
+        let f = poly(&[3, 5]);
+        assert_eq!(field_norm(&f), poly(&[34]));
+    }
+
+    #[test]
+    fn field_norm_multiplicative() {
+        // N(fg) = N(f) N(g).
+        let f = poly(&[2, -1, 0, 3]);
+        let g = poly(&[1, 4, -2, 1]);
+        let fg = negacyclic_mul(&f, &g);
+        let lhs = field_norm(&fg);
+        let rhs = negacyclic_mul(&field_norm(&f), &field_norm(&g));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn norm_tower_identity() {
+        // N(f)(x^2) = f(x) * f(-x) as full-length polynomials.
+        let f = poly(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let lhs = expand_even(&field_norm(&f));
+        let rhs = negacyclic_mul(&f, &galois_conjugate(&f));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sub_mul() {
+        let mut a = poly(&[10, 10]);
+        sub_mul_assign(&mut a, &poly(&[2, 0]), &poly(&[1, 3]));
+        assert_eq!(a, poly(&[8, 4]));
+    }
+
+    #[test]
+    fn scaled_f64_conversion() {
+        let c = BigInt::from_i64(3) .shl(100); // 3 * 2^100
+        let v = to_f64_scaled(&c, 100);
+        assert!((v - 3.0).abs() < 1e-12);
+        let v2 = to_f64_scaled(&c.neg(), 90);
+        assert!((v2 + 3.0 * 1024.0).abs() < 1e-9);
+        assert_eq!(to_f64_scaled(&BigInt::zero(), 10), 0.0);
+    }
+
+    #[test]
+    fn bit_len_of_poly() {
+        assert_eq!(max_bit_len(&poly(&[0, 0])), 0);
+        assert_eq!(max_bit_len(&poly(&[5, -9])), 4);
+    }
+}

@@ -1,0 +1,454 @@
+//! Binary fixed-point numbers with explicit fractional precision.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::{ArithmeticError, BigUint};
+
+/// A non-negative fixed-point number `mantissa / 2^frac_bits`.
+///
+/// The mantissa is an arbitrary-precision integer, so values may have any
+/// integer part; the fractional resolution is exactly `2^-frac_bits`.
+/// Operations between two `Fixed` values require equal `frac_bits` — mixing
+/// precisions is almost always a bug in probability computations, so it is
+/// an error rather than an implicit conversion.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::Fixed;
+///
+/// let half = Fixed::from_decimal_str("0.5", 64).unwrap();
+/// let three = Fixed::from_u64(3, 64);
+/// assert_eq!(half.mul(&three).to_f64(), 1.5);
+/// // Fractional bits index from 1 at weight 1/2:
+/// assert!(half.frac_bit(1));
+/// assert!(!half.frac_bit(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    mantissa: BigUint,
+    frac_bits: u32,
+}
+
+/// Error returned when parsing a decimal string into a [`Fixed`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFixedError {
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseFixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fixed-point literal: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseFixedError {}
+
+impl Fixed {
+    /// The value zero at the given precision.
+    pub fn zero(frac_bits: u32) -> Self {
+        Fixed { mantissa: BigUint::zero(), frac_bits }
+    }
+
+    /// The value one at the given precision.
+    pub fn one(frac_bits: u32) -> Self {
+        Fixed { mantissa: BigUint::one().shl(frac_bits), frac_bits }
+    }
+
+    /// Creates the integer value `v` at the given precision.
+    pub fn from_u64(v: u64, frac_bits: u32) -> Self {
+        Fixed { mantissa: BigUint::from_u64(v).shl(frac_bits), frac_bits }
+    }
+
+    /// Creates a value from a raw mantissa: the result is
+    /// `mantissa / 2^frac_bits`.
+    pub fn from_mantissa(mantissa: BigUint, frac_bits: u32) -> Self {
+        Fixed { mantissa, frac_bits }
+    }
+
+    /// Parses a decimal literal such as `"2"`, `"6.15543"` or `"0.75"`
+    /// exactly (the decimal fraction is converted with one big division,
+    /// rounding toward zero at bit `frac_bits`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty strings, multiple dots, or non-digit
+    /// characters.
+    pub fn from_decimal_str(s: &str, frac_bits: u32) -> Result<Self, ParseFixedError> {
+        if s.is_empty() {
+            return Err(ParseFixedError { reason: "empty string" });
+        }
+        let mut parts = s.splitn(2, '.');
+        let int_part = parts.next().unwrap_or("");
+        let frac_part = parts.next().unwrap_or("");
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(ParseFixedError { reason: "no digits" });
+        }
+        let int_val = if int_part.is_empty() {
+            BigUint::zero()
+        } else {
+            BigUint::from_decimal_str(int_part)
+                .ok_or(ParseFixedError { reason: "non-digit in integer part" })?
+        };
+        let mut mantissa = int_val.shl(frac_bits);
+        if !frac_part.is_empty() {
+            let digits = BigUint::from_decimal_str(frac_part)
+                .ok_or(ParseFixedError { reason: "non-digit in fractional part" })?;
+            // digits / 10^len scaled to 2^frac_bits, truncated.
+            let mut denom = BigUint::one();
+            for _ in 0..frac_part.len() {
+                denom = denom.mul_u64(10);
+            }
+            let (q, _r) = digits.shl(frac_bits).divmod(&denom);
+            mantissa.add_assign(&q);
+        }
+        Ok(Fixed { mantissa, frac_bits })
+    }
+
+    /// Creates a value from a non-negative `f64` exactly (the binary
+    /// expansion of an `f64` is finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative, NaN or infinite.
+    pub fn from_f64(v: f64, frac_bits: u32) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "Fixed::from_f64 requires a finite non-negative value");
+        if v == 0.0 {
+            return Self::zero(frac_bits);
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa53, e) = if exp == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp - 1075)
+        };
+        // value = mantissa53 * 2^e; result mantissa = value * 2^frac_bits.
+        let shift = e + i64::from(frac_bits);
+        let m = BigUint::from_u64(mantissa53);
+        let mantissa = if shift >= 0 {
+            m.shl(shift as u32)
+        } else {
+            m.shr((-shift) as u32)
+        };
+        Fixed { mantissa, frac_bits }
+    }
+
+    /// The fractional precision in bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The raw mantissa (`self * 2^frac_bits`).
+    pub fn mantissa(&self) -> &BigUint {
+        &self.mantissa
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa.is_zero()
+    }
+
+    fn check(&self, other: &Fixed) -> Result<(), ArithmeticError> {
+        if self.frac_bits == other.frac_bits {
+            Ok(())
+        } else {
+            Err(ArithmeticError::PrecisionMismatch {
+                left: self.frac_bits,
+                right: other.frac_bits,
+            })
+        }
+    }
+
+    /// `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched precisions.
+    pub fn add(&self, other: &Fixed) -> Fixed {
+        self.check(other).expect("Fixed::add precision mismatch");
+        Fixed {
+            mantissa: self.mantissa.add(&other.mantissa),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// `self - other`, truncating at zero would be wrong, so this panics on
+    /// underflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched precisions or if `other > self`.
+    pub fn sub(&self, other: &Fixed) -> Fixed {
+        self.check(other).expect("Fixed::sub precision mismatch");
+        Fixed {
+            mantissa: self.mantissa.sub(&other.mantissa),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// `self - other`, or `None` when the result would be negative.
+    pub fn checked_sub(&self, other: &Fixed) -> Option<Fixed> {
+        self.check(other).ok()?;
+        Some(Fixed {
+            mantissa: self.mantissa.checked_sub(&other.mantissa)?,
+            frac_bits: self.frac_bits,
+        })
+    }
+
+    /// `self * other`, truncated (rounded toward zero) at the shared
+    /// precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched precisions.
+    pub fn mul(&self, other: &Fixed) -> Fixed {
+        self.check(other).expect("Fixed::mul precision mismatch");
+        Fixed {
+            mantissa: self.mantissa.mul(&other.mantissa).shr(self.frac_bits),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// `self * v` for an integer factor (exact).
+    pub fn mul_u64(&self, v: u64) -> Fixed {
+        Fixed { mantissa: self.mantissa.mul_u64(v), frac_bits: self.frac_bits }
+    }
+
+    /// `self / other`, truncated at the shared precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on division by zero or mismatched precisions.
+    pub fn div(&self, other: &Fixed) -> Result<Fixed, ArithmeticError> {
+        self.check(other)?;
+        if other.is_zero() {
+            return Err(ArithmeticError::DivisionByZero);
+        }
+        let (q, _r) = self.mantissa.shl(self.frac_bits).divmod(&other.mantissa);
+        Ok(Fixed { mantissa: q, frac_bits: self.frac_bits })
+    }
+
+    /// `self / v` for an integer divisor (truncated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is zero.
+    pub fn div_u64(&self, v: u64) -> Fixed {
+        let (q, _r) = self.mantissa.divmod_u64(v);
+        Fixed { mantissa: q, frac_bits: self.frac_bits }
+    }
+
+    /// `self / 2^bits` (exact shift).
+    pub fn shr(&self, bits: u32) -> Fixed {
+        Fixed { mantissa: self.mantissa.shr(bits), frac_bits: self.frac_bits }
+    }
+
+    /// `self * 2^bits` (exact shift).
+    pub fn shl(&self, bits: u32) -> Fixed {
+        Fixed { mantissa: self.mantissa.shl(bits), frac_bits: self.frac_bits }
+    }
+
+    /// The integer part `floor(self)`.
+    pub fn floor_u64(&self) -> Option<u64> {
+        self.mantissa.shr(self.frac_bits).to_u64()
+    }
+
+    /// Fractional bit `i`, where bit 1 has weight `1/2`, bit 2 has weight
+    /// `1/4`, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or exceeds `frac_bits`.
+    pub fn frac_bit(&self, i: u32) -> bool {
+        assert!(i >= 1 && i <= self.frac_bits, "fractional bit index out of range");
+        self.mantissa.bit(self.frac_bits - i)
+    }
+
+    /// Truncates the fraction to its `n` most significant bits
+    /// (`floor(self * 2^n) / 2^n`), keeping the same declared precision.
+    pub fn truncate_frac(&self, n: u32) -> Fixed {
+        assert!(n <= self.frac_bits, "cannot truncate to more bits than available");
+        let drop = self.frac_bits - n;
+        Fixed {
+            mantissa: self.mantissa.shr(drop).shl(drop),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Re-scales to a different fractional precision (truncating when
+    /// reducing precision).
+    pub fn with_frac_bits(&self, frac_bits: u32) -> Fixed {
+        let mantissa = if frac_bits >= self.frac_bits {
+            self.mantissa.shl(frac_bits - self.frac_bits)
+        } else {
+            self.mantissa.shr(self.frac_bits - frac_bits)
+        };
+        Fixed { mantissa, frac_bits }
+    }
+
+    /// Nearest `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // mantissa may be huge; use the scaled conversion.
+        let m = self.mantissa.to_f64();
+        m * (-(f64::from(self.frac_bits))).exp2()
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.frac_bits != other.frac_bits {
+            return None;
+        }
+        Some(self.mantissa.cmp(&other.mantissa))
+    }
+}
+
+impl fmt::Debug for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed({} /2^{})", self.mantissa, self.frac_bits)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decimal_parsing_exact() {
+        let f = Fixed::from_decimal_str("0.5", 8).unwrap();
+        assert_eq!(f.mantissa().to_u64().unwrap(), 128);
+        let f = Fixed::from_decimal_str("2", 8).unwrap();
+        assert_eq!(f.mantissa().to_u64().unwrap(), 512);
+        let f = Fixed::from_decimal_str("6.15543", 64).unwrap();
+        assert!((f.to_f64() - 6.15543).abs() < 1e-12);
+        let f = Fixed::from_decimal_str(".25", 4).unwrap();
+        assert_eq!(f.mantissa().to_u64().unwrap(), 4);
+    }
+
+    #[test]
+    fn decimal_parsing_errors() {
+        assert!(Fixed::from_decimal_str("", 8).is_err());
+        assert!(Fixed::from_decimal_str(".", 8).is_err());
+        assert!(Fixed::from_decimal_str("1.2.3", 8).is_err());
+        assert!(Fixed::from_decimal_str("abc", 8).is_err());
+        assert!(Fixed::from_decimal_str("-1", 8).is_err());
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(Fixed::from_f64(0.75, 16).mantissa().to_u64().unwrap(), 3 << 14);
+        assert_eq!(Fixed::from_f64(0.0, 16), Fixed::zero(16));
+        assert_eq!(Fixed::from_f64(5.0, 16), Fixed::from_u64(5, 16));
+        let tiny = Fixed::from_f64(2f64.powi(-100), 128);
+        assert_eq!(tiny.mantissa().bit_len(), 29); // bit at position 128-100=28 -> length 29
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_f64_rejects_negative() {
+        let _ = Fixed::from_f64(-1.0, 8);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Fixed::from_decimal_str("1.5", 32).unwrap();
+        let b = Fixed::from_decimal_str("2.25", 32).unwrap();
+        assert_eq!(a.add(&b).to_f64(), 3.75);
+        assert_eq!(b.sub(&a).to_f64(), 0.75);
+        assert_eq!(a.mul(&b).to_f64(), 3.375);
+        assert_eq!(b.div(&a).unwrap().to_f64(), 1.5);
+        assert_eq!(a.mul_u64(4).to_f64(), 6.0);
+        assert_eq!(a.div_u64(2).to_f64(), 0.75);
+    }
+
+    #[test]
+    fn precision_mismatch_is_error() {
+        let a = Fixed::one(8);
+        let b = Fixed::one(16);
+        assert!(a.div(&b).is_err());
+        assert!(a.partial_cmp(&b).is_none());
+        assert!(a.checked_sub(&b).is_none());
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let a = Fixed::one(8);
+        assert_eq!(a.div(&Fixed::zero(8)).unwrap_err(), ArithmeticError::DivisionByZero);
+    }
+
+    #[test]
+    fn frac_bit_indexing() {
+        // 0.8125 = 0.1101b
+        let f = Fixed::from_decimal_str("0.8125", 4).unwrap();
+        assert!(f.frac_bit(1));
+        assert!(f.frac_bit(2));
+        assert!(!f.frac_bit(3));
+        assert!(f.frac_bit(4));
+    }
+
+    #[test]
+    fn truncate_frac_floor() {
+        // 0.1999... in 16 bits truncated to 6 bits = floor(0.19947*64)/64 = 12/64
+        let f = Fixed::from_f64(0.199_471, 16);
+        let t = f.truncate_frac(6);
+        assert_eq!(t.mantissa().to_u64().unwrap() >> 10, 12);
+    }
+
+    #[test]
+    fn floor_and_rescale() {
+        let f = Fixed::from_decimal_str("13.7", 32).unwrap();
+        assert_eq!(f.floor_u64().unwrap(), 13);
+        let g = f.with_frac_bits(8);
+        assert_eq!(g.frac_bits(), 8);
+        assert!((g.to_f64() - 13.7).abs() < 1.0 / 128.0);
+        let h = f.with_frac_bits(64);
+        assert_eq!(h.to_f64(), f.to_f64());
+    }
+
+    #[test]
+    fn shifts_are_powers_of_two() {
+        let f = Fixed::from_u64(3, 32);
+        assert_eq!(f.shr(1).to_f64(), 1.5);
+        assert_eq!(f.shl(2).to_f64(), 12.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parse_matches_f64(int_part in 0u32..1000, frac in 0u32..1_000_000) {
+            let s = format!("{int_part}.{frac:06}");
+            let fx = Fixed::from_decimal_str(&s, 96).unwrap();
+            let fl: f64 = s.parse().unwrap();
+            prop_assert!((fx.to_f64() - fl).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_mul_div_roundtrip(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let fa = Fixed::from_u64(a, 64);
+            let fb = Fixed::from_u64(b, 64);
+            let q = fa.div(&fb).unwrap();
+            let back = q.mul(&fb);
+            // One truncation each way: error below 2^-62 relative to a.
+            let err = (back.to_f64() - a as f64).abs();
+            prop_assert!(err < 1e-9, "err = {err}");
+        }
+
+        #[test]
+        fn prop_add_monotone(a in any::<u32>(), b in any::<u32>()) {
+            let fa = Fixed::from_u64(u64::from(a), 32);
+            let fb = Fixed::from_u64(u64::from(b), 32);
+            let s = fa.add(&fb);
+            prop_assert!(s >= fa);
+            prop_assert!(s >= fb);
+        }
+    }
+}

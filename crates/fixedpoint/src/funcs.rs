@@ -1,0 +1,303 @@
+//! Transcendental functions and constants on [`Fixed`] values.
+//!
+//! Everything here is computed at runtime from integer series — there are no
+//! hard-coded digit strings that could be silently wrong. Internal
+//! computations carry guard bits; results are truncated to the caller's
+//! precision with an error of at most a few units in the last place.
+
+use crate::{BigUint, Fixed};
+
+/// Guard bits used internally by the series evaluations.
+const GUARD_BITS: u32 = 32;
+
+/// Natural logarithm of 2 at the given fractional precision.
+///
+/// Evaluated via `ln 2 = sum_{k>=1} 1 / (k 2^k)`, which contributes one bit
+/// per term.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::funcs::ln2;
+/// assert!((ln2(80).to_f64() - std::f64::consts::LN_2).abs() < 1e-15);
+/// ```
+pub fn ln2(frac_bits: u32) -> Fixed {
+    let work = frac_bits + GUARD_BITS;
+    let mut sum = BigUint::zero();
+    // Terms beyond `work` shift to zero; stop there.
+    for k in 1..=work {
+        let term = BigUint::one().shl(work - k).divmod_u64(u64::from(k)).0;
+        sum.add_assign(&term);
+    }
+    Fixed::from_mantissa(sum.shr(GUARD_BITS), frac_bits)
+}
+
+/// The constant pi at the given fractional precision.
+///
+/// Evaluated with Machin's formula `pi = 16 atan(1/5) - 4 atan(1/239)`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::funcs::pi;
+/// assert!((pi(80).to_f64() - std::f64::consts::PI).abs() < 1e-15);
+/// ```
+pub fn pi(frac_bits: u32) -> Fixed {
+    let work = frac_bits + GUARD_BITS;
+    let a = atan_inv_u64(5, work);
+    let b = atan_inv_u64(239, work);
+    let result = a.shl(4).sub(&b.shl(2)); // 16a - 4b, both scaled by 2^work
+    Fixed::from_mantissa(result.shr(GUARD_BITS).mantissa().clone(), frac_bits)
+}
+
+/// `atan(1/x) * 2^work` for integer `x >= 2`, as a `Fixed` with `work`
+/// fractional bits.
+fn atan_inv_u64(x: u64, work: u32) -> Fixed {
+    let one = BigUint::one().shl(work);
+    let x_sq = BigUint::from_u64(x).mul(&BigUint::from_u64(x));
+    let mut power = BigUint::from_u64(x); // x^(2j+1)
+    let mut positive = BigUint::zero();
+    let mut negative = BigUint::zero();
+    let mut j = 0u64;
+    loop {
+        let (by_power, _) = one.divmod(&power);
+        let (term, _) = by_power.divmod_u64(2 * j + 1);
+        if term.is_zero() {
+            break;
+        }
+        if j.is_multiple_of(2) {
+            positive.add_assign(&term);
+        } else {
+            negative.add_assign(&term);
+        }
+        power = power.mul(&x_sq);
+        j += 1;
+    }
+    Fixed::from_mantissa(positive.sub(&negative), work)
+}
+
+/// `exp(-x)` for a non-negative fixed-point `x`.
+///
+/// Range reduction `x = k ln2 + r` with `r` in `[0, ln2)` followed by the
+/// alternating Taylor series for `exp(-r)`; the result is `exp(-r) >> k`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::{Fixed, funcs::exp_neg};
+/// let x = Fixed::from_decimal_str("1.25", 128).unwrap();
+/// assert!((exp_neg(&x).to_f64() - (-1.25f64).exp()).abs() < 1e-15);
+/// ```
+pub fn exp_neg(x: &Fixed) -> Fixed {
+    let frac_bits = x.frac_bits();
+    let work = frac_bits + GUARD_BITS;
+    let xw = x.with_frac_bits(work);
+    if xw.is_zero() {
+        return Fixed::one(frac_bits);
+    }
+    let ln2_w = ln2(work);
+    let k = xw
+        .div(&ln2_w)
+        .expect("ln2 is non-zero")
+        .floor_u64()
+        .expect("argument reduction quotient fits u64 for any practical input");
+    // If the result underflows the working precision entirely, return zero.
+    if k >= u64::from(work) {
+        return Fixed::zero(frac_bits);
+    }
+    let r = xw.sub(&ln2_w.mul_u64(k));
+
+    // exp(-r) = sum_j (-r)^j / j!  with r in [0, ln2).
+    let one = Fixed::one(work);
+    let mut term = one.clone(); // r^j / j!
+    let mut positive = one.clone();
+    let mut negative = Fixed::zero(work);
+    let mut j = 1u64;
+    loop {
+        term = term.mul(&r).div_u64(j);
+        if term.is_zero() {
+            break;
+        }
+        if j % 2 == 1 {
+            negative = negative.add(&term);
+        } else {
+            positive = positive.add(&term);
+        }
+        j += 1;
+    }
+    let exp_r = positive.sub(&negative);
+    exp_r.shr(k as u32).with_frac_bits(frac_bits)
+}
+
+/// Integer square root: the largest `s` with `s*s <= n`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::{BigUint, funcs::isqrt};
+/// assert_eq!(isqrt(&BigUint::from_u64(99)), BigUint::from_u64(9));
+/// assert_eq!(isqrt(&BigUint::from_u64(100)), BigUint::from_u64(10));
+/// ```
+pub fn isqrt(n: &BigUint) -> BigUint {
+    if n.is_zero() {
+        return BigUint::zero();
+    }
+    // Newton's method with a power-of-two initial overestimate.
+    let mut x = BigUint::one().shl(n.bit_len().div_ceil(2));
+    loop {
+        // x' = (x + n/x) / 2
+        let (q, _) = n.divmod(&x);
+        let next = x.add(&q).shr(1);
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// `sqrt(x)` for a non-negative fixed-point `x`, truncated at `x`'s
+/// precision.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_fixedpoint::{Fixed, funcs::sqrt};
+/// let two = Fixed::from_u64(2, 128);
+/// assert!((sqrt(&two).to_f64() - std::f64::consts::SQRT_2).abs() < 1e-15);
+/// ```
+pub fn sqrt(x: &Fixed) -> Fixed {
+    let f = x.frac_bits();
+    // value = m / 2^f; sqrt = sqrt(m * 2^f) / 2^f.
+    let scaled = x.mantissa().shl(f);
+    Fixed::from_mantissa(isqrt(&scaled), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Returns the first 64 fractional bits of `x` as a `u64`.
+    fn first_64_frac_bits(x: &Fixed) -> u64 {
+        let f = x.frac_bits();
+        assert!(f >= 64);
+        let frac_only = x
+            .mantissa()
+            .clone()
+            .sub(&x.mantissa().shr(f).shl(f));
+        frac_only.shr(f - 64).to_u64().unwrap()
+    }
+
+    #[test]
+    fn ln2_known_hex_expansion() {
+        // ln 2 = 0.B17217F7 D1CF79AB C9E3B398... (hexadecimal)
+        let v = ln2(128);
+        assert_eq!(first_64_frac_bits(&v), 0xB17217F7D1CF79AB);
+    }
+
+    #[test]
+    fn pi_known_hex_expansion() {
+        // pi = 3.243F6A88 85A308D3 13198A2E... (hexadecimal)
+        let v = pi(128);
+        assert_eq!(v.floor_u64().unwrap(), 3);
+        assert_eq!(first_64_frac_bits(&v), 0x243F6A8885A308D3);
+    }
+
+    #[test]
+    fn sqrt2_known_hex_expansion() {
+        // sqrt(2) = 1.6A09E667 F3BCC908... (hexadecimal)
+        let v = sqrt(&Fixed::from_u64(2, 128));
+        assert_eq!(v.floor_u64().unwrap(), 1);
+        assert_eq!(first_64_frac_bits(&v), 0x6A09E667F3BCC908);
+    }
+
+    #[test]
+    fn exp_neg_matches_f64() {
+        for (s, x) in [("0", 0.0f64), ("0.125", 0.125), ("1", 1.0), ("2.5", 2.5), ("10", 10.0), ("33.3", 33.3)] {
+            let fx = Fixed::from_decimal_str(s, 160).unwrap();
+            let got = exp_neg(&fx).to_f64();
+            let want = (-x).exp();
+            assert!(
+                (got - want).abs() <= want * 1e-14 + 1e-300,
+                "exp(-{s}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_neg_extreme_underflow_is_zero() {
+        let big = Fixed::from_u64(10_000, 64);
+        assert!(exp_neg(&big).is_zero());
+    }
+
+    #[test]
+    fn exp_neg_is_monotone_decreasing() {
+        let xs = ["0", "0.5", "1", "1.5", "2", "3", "5"];
+        let mut prev = Fixed::one(96).add(&Fixed::one(96)); // 2 > exp(0)
+        for s in xs {
+            let v = exp_neg(&Fixed::from_decimal_str(s, 96).unwrap());
+            assert!(v < prev, "exp(-{s}) not decreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn isqrt_exhaustive_small() {
+        for n in 0u64..2000 {
+            let s = isqrt(&BigUint::from_u64(n)).to_u64().unwrap();
+            assert!(s * s <= n, "isqrt({n}) = {s} too big");
+            assert!((s + 1) * (s + 1) > n, "isqrt({n}) = {s} too small");
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_f64() {
+        for v in [1u64, 2, 3, 5, 10, 12289, 1_000_003] {
+            let got = sqrt(&Fixed::from_u64(v, 128)).to_f64();
+            let want = (v as f64).sqrt();
+            assert!((got - want).abs() < want * 1e-14, "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn gaussian_normalization_constant() {
+        // 1 / (sigma sqrt(2 pi)) for sigma = 2 should match f64.
+        let f = 160;
+        let sigma = Fixed::from_u64(2, f);
+        let two_pi = pi(f).mul_u64(2);
+        let denom = sigma.mul(&sqrt(&two_pi));
+        let inv = Fixed::one(f).div(&denom).unwrap();
+        let want = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((inv.to_f64() - want).abs() < 1e-14);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_isqrt_bounds(limbs in proptest::collection::vec(any::<u64>(), 0..4)) {
+            let n = BigUint::from_limbs(limbs);
+            let s = isqrt(&n);
+            prop_assert!(s.mul(&s) <= n);
+            let s1 = s.add(&BigUint::one());
+            prop_assert!(s1.mul(&s1) > n);
+        }
+
+        #[test]
+        fn prop_exp_neg_in_unit_interval(x_milli in 1u64..50_000) {
+            // x in (0, 50]
+            let x = Fixed::from_u64(x_milli, 96).div_u64(1000);
+            let v = exp_neg(&x);
+            prop_assert!(v < Fixed::one(96));
+            prop_assert!(v >= Fixed::zero(96));
+        }
+
+        #[test]
+        fn prop_exp_neg_product_rule(a in 1u32..1000, b in 1u32..1000) {
+            // exp(-a/100) * exp(-b/100) ~= exp(-(a+b)/100)
+            let fa = Fixed::from_u64(u64::from(a), 160).div_u64(100);
+            let fb = Fixed::from_u64(u64::from(b), 160).div_u64(100);
+            let lhs = exp_neg(&fa).mul(&exp_neg(&fb)).to_f64();
+            let rhs = exp_neg(&fa.add(&fb)).to_f64();
+            prop_assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Variable-length bit strings in the sampler's consumption order.
+
+use core::fmt;
+
+/// A bit string `b_0 b_1 ... b_{len-1}` where `b_0` is the **first bit the
+/// sampler consumes**.
+///
+/// The paper evaluates strings "in reverse order": written right-to-left,
+/// the right-most character is `b_0`. [`Display`](fmt::Display) uses that
+/// convention (so output lines up with Figure 3); indexing uses consumption
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_knuthyao::BitString;
+///
+/// // The string consumed as 1,1,0,1 — i.e. k = 2 leading ones.
+/// let s = BitString::from_bits(&[true, true, false, true]);
+/// assert_eq!(s.leading_ones(), 2);
+/// assert_eq!(s.to_string(), "1011"); // paper order: b_0 right-most
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl BitString {
+    /// The empty bit string.
+    pub fn new() -> Self {
+        BitString { words: Vec::new(), len: 0 }
+    }
+
+    /// Builds from a slice of bits in consumption order (`bits[0]` = `b_0`).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut s = Self::new();
+        for &b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit (becomes `b_{len}`).
+    pub fn push(&mut self, bit: bool) {
+        let word = (self.len / 64) as usize;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Returns `b_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Length of the initial run of ones `b_0 b_1 ...` — the `k` of
+    /// Theorem 1's normal form `x^i (0/1)^j 0 1^k`.
+    pub fn leading_ones(&self) -> u32 {
+        let mut k = 0;
+        while k < self.len && self.get(k) {
+            k += 1;
+        }
+        k
+    }
+
+    /// The bits as a vector in consumption order.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterates over bits in consumption order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+impl Default for BitString {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for BitString {
+    /// Paper convention: written right-to-left (`b_0` is the right-most
+    /// character).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"{self}\", len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut s = BitString::new();
+        assert!(s.is_empty());
+        s.push(true);
+        s.push(false);
+        s.push(true);
+        assert_eq!(s.len(), 3);
+        assert!(s.get(0));
+        assert!(!s.get(1));
+        assert!(s.get(2));
+    }
+
+    #[test]
+    fn display_is_reversed() {
+        let s = BitString::from_bits(&[true, false, false]);
+        assert_eq!(s.to_string(), "001");
+    }
+
+    #[test]
+    fn leading_ones_counts_run() {
+        assert_eq!(BitString::from_bits(&[]).leading_ones(), 0);
+        assert_eq!(BitString::from_bits(&[false]).leading_ones(), 0);
+        assert_eq!(BitString::from_bits(&[true, true, false, true]).leading_ones(), 2);
+        assert_eq!(BitString::from_bits(&[true, true, true]).leading_ones(), 3);
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        let mut s = BitString::new();
+        for i in 0..130 {
+            s.push(i % 3 == 0);
+        }
+        assert_eq!(s.len(), 130);
+        for i in 0..130 {
+            assert_eq!(s.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(s.to_bits().len(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitString::from_bits(&[true]).get(1);
+    }
+}

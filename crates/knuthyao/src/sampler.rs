@@ -1,0 +1,171 @@
+//! Algorithm 1 of the paper: the column-scanning Knuth-Yao sampler.
+
+use ctgauss_prng::BitSource;
+
+use crate::ProbabilityMatrix;
+
+/// The non-constant-time column-scanning Knuth-Yao sampler (Algorithm 1).
+///
+/// This is the reference the constant-time construction must match in
+/// distribution, and the "leaky" baseline the dudect experiment (X3)
+/// detects: its running time depends on which leaf the secret-dependent
+/// random walk hits.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_knuthyao::{ColumnScanSampler, GaussianParams, ProbabilityMatrix};
+/// use ctgauss_prng::{BitBuffer, SplitMix64};
+///
+/// let m = ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 32).unwrap()).unwrap();
+/// let sampler = ColumnScanSampler::new(&m);
+/// let mut bits = BitBuffer::new(SplitMix64::new(7));
+/// let magnitude = sampler.sample(&mut bits);
+/// assert!(magnitude < m.rows());
+/// let signed = sampler.sample_signed(&mut bits);
+/// assert!(signed.unsigned_abs() < m.rows());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnScanSampler<'m> {
+    matrix: &'m ProbabilityMatrix,
+}
+
+impl<'m> ColumnScanSampler<'m> {
+    /// Creates a sampler over a probability matrix.
+    pub fn new(matrix: &'m ProbabilityMatrix) -> Self {
+        ColumnScanSampler { matrix }
+    }
+
+    /// The matrix this sampler walks.
+    pub fn matrix(&self) -> &ProbabilityMatrix {
+        self.matrix
+    }
+
+    /// Runs one random walk with an explicit bit supplier.
+    ///
+    /// Returns `None` when the walk exhausts all `n` columns without
+    /// hitting a leaf (probability < `rows * 2^-n`); callers restart in
+    /// that case. This is Algorithm 1 verbatim: `d <- 2d + r`, then scan
+    /// the column from the bottom row upward, decrementing `d` per set bit
+    /// until it reaches -1.
+    pub fn walk_with(&self, next_bit: &mut impl FnMut() -> bool) -> Option<u32> {
+        let m = self.matrix;
+        let mut d: i64 = 0;
+        for col in 0..m.precision() {
+            let r = i64::from(next_bit());
+            d = 2 * d + r;
+            for row in (0..m.rows()).rev() {
+                d -= i64::from(m.bit(row, col));
+                if d == -1 {
+                    return Some(row);
+                }
+            }
+        }
+        None
+    }
+
+    /// Samples a magnitude from `[0, tau * sigma]`, restarting on the
+    /// (astronomically rare at n = 128) walk overflow.
+    pub fn sample<B: BitSource>(&self, bits: &mut B) -> u32 {
+        loop {
+            if let Some(v) = self.walk_with(&mut || bits.next_bit()) {
+                return v;
+            }
+        }
+    }
+
+    /// Samples a signed value from the full centred Gaussian.
+    ///
+    /// The matrix stores `D(0)` for row 0 and `2 D(v)` for rows `v >= 1`, so
+    /// applying a uniform sign to a magnitude sample reproduces `D_sigma`
+    /// exactly (the sign bit is a no-op on zero).
+    pub fn sample_signed<B: BitSource>(&self, bits: &mut B) -> i32 {
+        let magnitude = self.sample(bits) as i32;
+        let negative = bits.next_bit();
+        if negative {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GaussianParams;
+    use ctgauss_prng::{BitBuffer, SplitMix64};
+
+    fn matrix(sigma: &str, n: u32) -> ProbabilityMatrix {
+        ProbabilityMatrix::build(&GaussianParams::from_sigma_str(sigma, n).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn all_zero_bits_walk() {
+        // With all-zero bits, d stays 0 entering every column and the walk
+        // terminates at the first column with weight > 0, on its bottom-most
+        // set row... precisely: d=0 after shift, scanning subtracts 1 at the
+        // bottom set bit -> d = -1 there.
+        let m = matrix("2", 8);
+        let sampler = ColumnScanSampler::new(&m);
+        let first_col = (0..8).find(|&j| m.column_weight(j) > 0).unwrap();
+        let expected = m.column_samples_bottom_up(first_col)[0];
+        let got = sampler.walk_with(&mut || false).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn all_one_bits_never_terminate() {
+        // Theorem 1: the all-ones string hits no leaf.
+        let m = matrix("2", 16);
+        let sampler = ColumnScanSampler::new(&m);
+        assert_eq!(sampler.walk_with(&mut || true), None);
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let m = matrix("1.5", 32);
+        let sampler = ColumnScanSampler::new(&m);
+        let mut bits = BitBuffer::new(SplitMix64::new(123));
+        for _ in 0..2000 {
+            assert!(sampler.sample(&mut bits) < m.rows());
+        }
+    }
+
+    #[test]
+    fn signed_samples_roughly_symmetric() {
+        let m = matrix("2", 32);
+        let sampler = ColumnScanSampler::new(&m);
+        let mut bits = BitBuffer::new(SplitMix64::new(77));
+        let (mut neg, mut pos) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            let s = sampler.sample_signed(&mut bits);
+            if s < 0 {
+                neg += 1;
+            } else if s > 0 {
+                pos += 1;
+            }
+        }
+        let ratio = f64::from(neg) / f64::from(pos);
+        assert!((0.9..1.1).contains(&ratio), "asymmetric signs: {neg} vs {pos}");
+    }
+
+    #[test]
+    fn empirical_mean_and_variance() {
+        let m = matrix("2", 40);
+        let sampler = ColumnScanSampler::new(&m);
+        let mut bits = BitBuffer::new(SplitMix64::new(5));
+        let n = 100_000;
+        let mut sum = 0f64;
+        let mut sum_sq = 0f64;
+        for _ in 0..n {
+            let s = f64::from(sampler.sample_signed(&mut bits));
+            sum += s;
+            sum_sq += s * s;
+        }
+        let mean = sum / f64::from(n);
+        let var = sum_sq / f64::from(n) - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var} (expected ~4)");
+    }
+}

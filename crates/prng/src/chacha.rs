@@ -1,0 +1,223 @@
+//! The ChaCha20 stream cipher (RFC 8439), used as a PRNG.
+
+use crate::RandomSource;
+
+/// The ChaCha20 block function.
+///
+/// State layout per RFC 8439: four constant words, eight key words, one
+/// block counter and three nonce words. [`block`](ChaCha20::block) produces
+/// one 64-byte keystream block.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_prng::ChaCha20;
+///
+/// let cipher = ChaCha20::new(&[0u8; 32], &[0u8; 12]);
+/// let block = cipher.block(0);
+/// assert_eq!(block.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance from a 256-bit key and 96-bit nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte keystream block for the given counter value.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[0..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let initial = state;
+
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// A PRNG backed by the ChaCha20 keystream, as in the Falcon reference
+/// implementation and the paper's Table 1 measurements.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_prng::{ChaChaRng, RandomSource};
+///
+/// let mut a = ChaChaRng::from_seed([1u8; 32]);
+/// let mut b = ChaChaRng::from_seed([1u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaChaRng {
+    cipher: ChaCha20,
+    counter: u32,
+    buf: [u8; 64],
+    pos: usize,
+}
+
+impl ChaChaRng {
+    /// Creates a generator from a 256-bit seed (zero nonce, counter 0).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        ChaChaRng {
+            cipher: ChaCha20::new(&seed, &[0u8; 12]),
+            counter: 0,
+            buf: [0u8; 64],
+            pos: 64,
+        }
+    }
+
+    /// Creates a generator from a 64-bit convenience seed (expanded into the
+    /// key by repetition with a counter mixed in).
+    pub fn from_u64_seed(seed: u64) -> Self {
+        let mut key = [0u8; 32];
+        for (i, chunk) in key.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(seed.wrapping_add(i as u64)).to_le_bytes());
+        }
+        Self::from_seed(key)
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.cipher.block(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+}
+
+impl RandomSource for ChaChaRng {
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let mut written = 0;
+        while written < dst.len() {
+            if self.pos == 64 {
+                self.refill();
+            }
+            let n = (dst.len() - written).min(64 - self.pos);
+            dst[written..written + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            written += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 section 2.3.2: key = 00..1f, nonce = 00 00 00 09 00 00 00 4a
+    /// 00 00 00 00, counter = 1.
+    #[test]
+    fn rfc8439_block_test_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0u8, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    /// RFC 8439 section 2.4.2 keystream (encrypting the known plaintext and
+    /// comparing to the ciphertext of the RFC exercises blocks 1 and 2).
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0u8, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut keystream = Vec::new();
+        let mut counter = 1;
+        while keystream.len() < plaintext.len() {
+            keystream.extend_from_slice(&cipher.block(counter));
+            counter += 1;
+        }
+        let ciphertext: Vec<u8> = plaintext
+            .iter()
+            .zip(&keystream)
+            .map(|(p, k)| p ^ k)
+            .collect();
+        let expected_prefix: [u8; 16] = [
+            0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+            0x69, 0x81,
+        ];
+        assert_eq!(&ciphertext[..16], &expected_prefix);
+        let expected_suffix: [u8; 8] = [0x8e, 0xed, 0xf2, 0x78, 0x5e, 0x42, 0x87, 0x4d];
+        assert_eq!(&ciphertext[ciphertext.len() - 8..], &expected_suffix);
+    }
+
+    #[test]
+    fn rng_streams_across_block_boundaries() {
+        let mut rng = ChaChaRng::from_seed([3u8; 32]);
+        let mut all = vec![0u8; 200];
+        rng.fill_bytes(&mut all);
+        // Same bytes drawn one at a time.
+        let mut rng2 = ChaChaRng::from_seed([3u8; 32]);
+        for (i, &expected) in all.iter().enumerate() {
+            assert_eq!(rng2.next_u8(), expected, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaChaRng::from_u64_seed(1);
+        let mut b = ChaChaRng::from_u64_seed(2);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

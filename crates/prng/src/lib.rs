@@ -1,0 +1,45 @@
+//! From-scratch pseudorandom generators and randomness-source traits.
+//!
+//! The DAC 2019 paper keeps the pseudorandom generator fixed across all
+//! compared samplers (ChaCha, as in the Falcon reference implementation) and
+//! observes in its conclusion that 60–85% of total sampling time is spent
+//! producing randomness. To reproduce those measurements this crate
+//! implements, without external dependencies:
+//!
+//! * [`ChaCha20`] / [`ChaChaRng`] — the RFC 8439 stream cipher, the PRNG used
+//!   by Falcon's reference implementation and by Table 1 of the paper.
+//! * [`KeccakF1600`] / [`Shake`] / [`KeccakRng`] — the Keccak permutation and
+//!   SHAKE XOFs; the PRNG used by the prior work (IEEE TC 2018) and by the
+//!   paper's conclusion for the 80–85% overhead figure. SHAKE-256 also backs
+//!   Falcon's hash-to-point.
+//! * [`SplitMix64`] / [`Xoshiro256pp`] — fast non-cryptographic generators
+//!   for tests and workload generation.
+//! * [`RandomSource`] / [`BitSource`] — the traits samplers consume, plus
+//!   [`CountingSource`] for measuring exactly how much randomness a sampler
+//!   draws (byte-scanning CDT draws lazily; this is how we verify it).
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_prng::{BitBuffer, BitSource, ChaChaRng, RandomSource};
+//!
+//! let mut rng = ChaChaRng::from_seed([7u8; 32]);
+//! let word = rng.next_u64();
+//! let mut bits = BitBuffer::new(rng);
+//! let bit = bits.next_bit();
+//! let _ = (word, bit);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chacha;
+mod counting;
+mod keccak;
+mod traits;
+mod xoshiro;
+
+pub use chacha::{ChaCha20, ChaChaRng};
+pub use counting::CountingSource;
+pub use keccak::{KeccakF1600, KeccakRng, Shake, ShakeVariant};
+pub use traits::{BitBuffer, BitSource, RandomSource};
+pub use xoshiro::{SplitMix64, Xoshiro256pp};

@@ -1,0 +1,156 @@
+//! The randomness-source traits consumed by every sampler in the workspace.
+
+/// A source of uniformly random bytes.
+///
+/// Implemented by all generators in this crate. Samplers are generic over
+/// `R: RandomSource` so the same code runs on ChaCha (the paper's Table 1
+/// configuration), Keccak (the prior work's configuration) or a fast
+/// non-cryptographic generator in tests.
+pub trait RandomSource {
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+
+    /// Returns the next random `u64` (little-endian from the byte stream).
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Returns the next random byte.
+    fn next_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.fill_bytes(&mut b);
+        b[0]
+    }
+
+    /// Fills a slice of `u64` words.
+    fn fill_u64s(&mut self, dst: &mut [u64]) {
+        for w in dst {
+            *w = self.next_u64();
+        }
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A source of individual random bits, as consumed by the Knuth-Yao random
+/// walk (`RandomBit()` in Algorithm 1 of the paper).
+///
+/// The blanket implementation serves bits from buffered `u64` words,
+/// least-significant bit first. Each implementor of [`RandomSource`] can be
+/// wrapped in a [`BitBuffer`] to obtain an efficient `BitSource`; the
+/// convenience blanket impl below does exactly that per call site.
+pub trait BitSource {
+    /// Returns the next random bit.
+    fn next_bit(&mut self) -> bool;
+}
+
+/// Buffers a [`RandomSource`] to serve single bits (LSB-first within each
+/// 64-bit word).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_prng::{BitBuffer, BitSource, SplitMix64};
+///
+/// let mut bits = BitBuffer::new(SplitMix64::new(1));
+/// let first: bool = bits.next_bit();
+/// let _ = first;
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitBuffer<R> {
+    src: R,
+    word: u64,
+    avail: u32,
+}
+
+impl<R: RandomSource> BitBuffer<R> {
+    /// Wraps a byte source into a bit source.
+    pub fn new(src: R) -> Self {
+        BitBuffer { src, word: 0, avail: 0 }
+    }
+
+    /// Returns the wrapped source.
+    pub fn into_inner(self) -> R {
+        self.src
+    }
+}
+
+impl<R: RandomSource> BitSource for BitBuffer<R> {
+    fn next_bit(&mut self) -> bool {
+        if self.avail == 0 {
+            self.word = self.src.next_u64();
+            self.avail = 64;
+        }
+        let bit = self.word & 1 == 1;
+        self.word >>= 1;
+        self.avail -= 1;
+        bit
+    }
+}
+
+impl<B: BitSource + ?Sized> BitSource for &mut B {
+    fn next_bit(&mut self) -> bool {
+        (**self).next_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn bit_buffer_is_lsb_first() {
+        struct Fixed(u64);
+        impl RandomSource for Fixed {
+            fn fill_bytes(&mut self, dst: &mut [u8]) {
+                for (i, b) in dst.iter_mut().enumerate() {
+                    *b = self.0.to_le_bytes()[i % 8];
+                }
+            }
+        }
+        let mut bits = BitBuffer::new(Fixed(0b1011));
+        assert!(bits.next_bit());
+        assert!(bits.next_bit());
+        assert!(!bits.next_bit());
+        assert!(bits.next_bit());
+        assert!(!bits.next_bit());
+    }
+
+    #[test]
+    fn bit_buffer_refills_after_64_bits() {
+        let mut bits = BitBuffer::new(SplitMix64::new(42));
+        // Consume 200 bits without panicking; determinism check.
+        let seq1: Vec<bool> = (0..200).map(|_| bits.next_bit()).collect();
+        let mut bits2 = BitBuffer::new(SplitMix64::new(42));
+        let seq2: Vec<bool> = (0..200).map(|_| bits2.next_bit()).collect();
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn default_word_methods_consistent_with_fill_bytes() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let w = a.next_u64();
+        let mut bytes = [0u8; 8];
+        b.fill_bytes(&mut bytes);
+        assert_eq!(w, u64::from_le_bytes(bytes));
+    }
+}

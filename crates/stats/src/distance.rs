@@ -1,0 +1,196 @@
+//! Distance and divergence measures between discrete distributions.
+//!
+//! The paper's conclusion singles out Rényi divergence [28] and the
+//! max-log distance [25] as the tools for reducing the precision (and
+//! hence the randomness cost) of Gaussian sampling; they are provided here
+//! alongside the classical statistical distance used to pick `(n, tau)`.
+
+/// Statistical (total variation) distance `1/2 sum |p_i - q_i|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_stats::statistical_distance;
+/// let d = statistical_distance(&[0.5, 0.5], &[0.6, 0.4]);
+/// assert!((d - 0.1).abs() < 1e-12);
+/// ```
+pub fn statistical_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback-Leibler divergence `sum p_i ln(p_i / q_i)` in nats.
+///
+/// Terms with `p_i = 0` contribute zero; a point with `p_i > 0, q_i = 0`
+/// yields infinity (absolute continuity violation).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            if a == 0.0 {
+                0.0
+            } else if b == 0.0 {
+                f64::INFINITY
+            } else {
+                a * (a / b).ln()
+            }
+        })
+        .sum()
+}
+
+/// Rényi divergence of order `alpha > 1`:
+/// `R_alpha(p || q) = 1/(alpha-1) * ln( sum p_i^alpha / q_i^(alpha-1) )`.
+///
+/// The security arguments of Prest and of Bai et al. use small constant
+/// orders (e.g. 2 or 512); `alpha -> infinity` approaches the max-log
+/// distance regime.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 1` or the slices have different lengths.
+pub fn renyi_divergence(p: &[f64], q: &[f64], alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "Renyi order must exceed 1");
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let mut sum = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a == 0.0 {
+            continue;
+        }
+        if b == 0.0 {
+            return f64::INFINITY;
+        }
+        // p^alpha / q^(alpha-1) evaluated in log space: the direct powers
+        // underflow to 0/0 for large orders (e.g. 512) even when the term
+        // itself is ~p.
+        sum += (alpha * a.ln() - (alpha - 1.0) * b.ln()).exp();
+    }
+    sum.ln() / (alpha - 1.0)
+}
+
+/// Max-log distance `max_i |ln p_i - ln q_i|` over the common support
+/// (Micciancio-Walter [25]).
+///
+/// Points where exactly one distribution vanishes give infinity; points
+/// where both vanish are ignored.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_log_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share support");
+    let mut worst: f64 = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a == 0.0 && b == 0.0 {
+            continue;
+        }
+        if a == 0.0 || b == 0.0 {
+            return f64::INFINITY;
+        }
+        worst = worst.max((a.ln() - b.ln()).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIFORM4: [f64; 4] = [0.25; 4];
+
+    #[test]
+    fn identical_distributions_are_at_zero() {
+        assert_eq!(statistical_distance(&UNIFORM4, &UNIFORM4), 0.0);
+        assert_eq!(kl_divergence(&UNIFORM4, &UNIFORM4), 0.0);
+        assert!(renyi_divergence(&UNIFORM4, &UNIFORM4, 2.0).abs() < 1e-15);
+        assert_eq!(max_log_distance(&UNIFORM4, &UNIFORM4), 0.0);
+    }
+
+    #[test]
+    fn statistical_distance_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert_eq!(statistical_distance(&p, &q), 1.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([1/2,1/2] || [1/4,3/4]) = 0.5 ln 2 + 0.5 ln(2/3).
+        let d = kl_divergence(&[0.5, 0.5], &[0.25, 0.75]);
+        let expected = 0.5 * 2f64.ln() + 0.5 * (2.0 / 3.0f64).ln();
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_when_support_escapes() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn renyi_increases_with_order() {
+        let p = [0.5, 0.5];
+        let q = [0.4, 0.6];
+        let r2 = renyi_divergence(&p, &q, 2.0);
+        let r8 = renyi_divergence(&p, &q, 8.0);
+        assert!(r2 > 0.0);
+        assert!(r8 >= r2, "Renyi must be non-decreasing in order: {r2} vs {r8}");
+    }
+
+    #[test]
+    fn renyi_2_known_value() {
+        // R_2(p||q) = ln( sum p^2/q ).
+        let p = [0.5, 0.5];
+        let q = [0.25, 0.75];
+        let expected = (0.25 / 0.25 + 0.25 / 0.75f64).ln();
+        assert!((renyi_divergence(&p, &q, 2.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_log_matches_worst_ratio() {
+        let p = [0.5, 0.5];
+        let q = [0.25, 0.75];
+        let expected = (0.5f64 / 0.25).ln(); // the worse of ln2 and ln(3/2)
+        assert!((max_log_distance(&p, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_gaussian_distances_shrink_with_precision() {
+        // The n-bit truncation error seen through these measures must
+        // shrink as n grows — the property the paper's parameter choice
+        // relies on.
+        let exact = crate::discrete_gaussian_pmf(2.0, 26);
+        let truncate = |n: u32| -> Vec<f64> {
+            let scale = 2f64.powi(n as i32);
+            let mut t: Vec<f64> = exact.iter().map(|p| (p * scale).floor() / scale).collect();
+            let total: f64 = t.iter().sum();
+            for x in &mut t {
+                *x /= total;
+            }
+            t
+        };
+        let d8 = statistical_distance(&exact, &truncate(8));
+        let d16 = statistical_distance(&exact, &truncate(16));
+        let d24 = statistical_distance(&exact, &truncate(24));
+        assert!(d8 > d16 && d16 > d24, "{d8} {d16} {d24}");
+    }
+
+    #[test]
+    #[should_panic(expected = "share support")]
+    fn mismatched_lengths_rejected() {
+        let _ = statistical_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must exceed")]
+    fn renyi_rejects_bad_order() {
+        let _ = renyi_divergence(&UNIFORM4, &UNIFORM4, 1.0);
+    }
+}

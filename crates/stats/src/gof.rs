@@ -1,0 +1,235 @@
+//! Chi-square goodness-of-fit testing.
+
+use crate::Histogram;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (bins after merging minus one).
+    pub dof: u32,
+    /// `P[X >= statistic]` under the chi-square distribution with `dof`
+    /// degrees of freedom.
+    pub p_value: f64,
+    /// Number of bins actually tested (small-expectation bins are merged
+    /// into their neighbours).
+    pub bins: u32,
+}
+
+impl ChiSquare {
+    /// Conventional rejection check at significance level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a chi-square goodness-of-fit test of `histogram` against the
+/// expected probabilities `pmf` (index 0 = histogram minimum; must span
+/// the histogram's range).
+///
+/// Bins with expected count below 5 are pooled left-to-right (the standard
+/// Cochran rule) so the asymptotic chi-square distribution is valid.
+///
+/// # Panics
+///
+/// Panics if `pmf` length does not match the histogram range, or the
+/// histogram is empty.
+pub fn chi_square_test(histogram: &Histogram, pmf: &[f64]) -> ChiSquare {
+    let span = (i64::from(histogram.max_value()) - i64::from(histogram.min_value()) + 1) as usize;
+    assert_eq!(pmf.len(), span, "pmf must cover the histogram range");
+    let total = histogram.total();
+    assert!(total > 0, "empty histogram");
+    let total_f = total as f64;
+
+    // Pool adjacent bins until each has expected count >= 5.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for i in 0..span {
+        let v = histogram.min_value() + i as i32;
+        acc_obs += histogram.count(v) as f64;
+        acc_exp += pmf[i] * total_f;
+        if acc_exp >= 5.0 {
+            pooled.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    // Fold any remainder into the last pooled bin.
+    if acc_exp > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_obs;
+            last.1 += acc_exp;
+        } else {
+            pooled.push((acc_obs, acc_exp));
+        }
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum();
+    let bins = pooled.len() as u32;
+    let dof = bins.saturating_sub(1).max(1);
+    let p_value = chi_square_sf(statistic, f64::from(dof));
+    ChiSquare { statistic, dof, p_value, bins }
+}
+
+/// Survival function of the chi-square distribution:
+/// `Q(dof/2, x/2)` — the regularized upper incomplete gamma function.
+fn chi_square_sf(x: f64, dof: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    regularized_gamma_q(dof / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` via the series (x < a + 1)
+/// or continued fraction (x >= a + 1), as in Numerical Recipes.
+fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Lanczos approximation of `ln Gamma(a)`.
+fn ln_gamma(a: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let x = a;
+    let mut y = a;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -f64::from(i) * (f64::from(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // dof=1: Q(3.841) ~ 0.05; dof=10: Q(18.307) ~ 0.05.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 0.001);
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 0.001);
+        // Q(0) = 1; huge statistic -> ~0.
+        assert_eq!(chi_square_sf(0.0, 5.0), 1.0);
+        assert!(chi_square_sf(1000.0, 5.0) < 1e-10);
+    }
+
+    #[test]
+    fn perfect_fit_high_p() {
+        let pmf = [0.25, 0.25, 0.25, 0.25];
+        let mut h = Histogram::new(0, 3);
+        for v in 0..4 {
+            h.add_count(v, 1000);
+        }
+        let r = chi_square_test(&h, &pmf);
+        assert!(r.p_value > 0.99, "p = {}", r.p_value);
+        assert!(!r.rejects_at(0.01));
+    }
+
+    #[test]
+    fn gross_misfit_rejected() {
+        let pmf = [0.25, 0.25, 0.25, 0.25];
+        let mut h = Histogram::new(0, 3);
+        h.add_count(0, 4000);
+        h.add_count(1, 10);
+        h.add_count(2, 10);
+        h.add_count(3, 10);
+        let r = chi_square_test(&h, &pmf);
+        assert!(r.p_value < 1e-10);
+        assert!(r.rejects_at(0.001));
+    }
+
+    #[test]
+    fn small_bins_are_pooled() {
+        // Tail bins with tiny expectation must merge, not blow up the
+        // statistic.
+        let pmf = [0.9, 0.09, 0.009, 0.0009, 0.00009, 0.00001];
+        let mut h = Histogram::new(0, 5);
+        h.add_count(0, 9000);
+        h.add_count(1, 900);
+        h.add_count(2, 90);
+        h.add_count(3, 9);
+        h.add_count(4, 1);
+        let r = chi_square_test(&h, &pmf);
+        assert!(r.bins < 6);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "pmf must cover")]
+    fn mismatched_pmf_rejected() {
+        let h = Histogram::new(0, 3);
+        let _ = chi_square_test(&h, &[0.5, 0.5]);
+    }
+}

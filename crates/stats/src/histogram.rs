@@ -1,0 +1,214 @@
+//! Integer histograms with text rendering (the Figure 5 artifact).
+
+use core::fmt;
+
+/// A histogram over a contiguous integer range.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_stats::Histogram;
+///
+/// let mut h = Histogram::new(-3, 3);
+/// h.add(0);
+/// h.add(0);
+/// h.add(-2);
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    min: i32,
+    max: i32,
+    counts: Vec<u64>,
+    outliers: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `[min, max]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: i32, max: i32) -> Self {
+        assert!(min <= max, "invalid histogram range");
+        let size = (i64::from(max) - i64::from(min) + 1) as usize;
+        Histogram { min, max, counts: vec![0; size], outliers: 0 }
+    }
+
+    /// Records one sample (out-of-range samples are counted separately).
+    pub fn add(&mut self, value: i32) {
+        self.add_count(value, 1);
+    }
+
+    /// Records `count` occurrences of `value`.
+    pub fn add_count(&mut self, value: i32, count: u64) {
+        if value < self.min || value > self.max {
+            self.outliers += count;
+        } else {
+            self.counts[(i64::from(value) - i64::from(self.min)) as usize] += count;
+        }
+    }
+
+    /// The count for one value (0 outside the range).
+    pub fn count(&self, value: i32) -> u64 {
+        if value < self.min || value > self.max {
+            0
+        } else {
+            self.counts[(i64::from(value) - i64::from(self.min)) as usize]
+        }
+    }
+
+    /// Samples recorded outside `[min, max]`.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Range minimum.
+    pub fn min_value(&self) -> i32 {
+        self.min
+    }
+
+    /// Range maximum.
+    pub fn max_value(&self) -> i32 {
+        self.max
+    }
+
+    /// Empirical frequencies (index 0 = `min`).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Empirical mean.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (self.min..=self.max)
+            .map(|v| f64::from(v) * self.count(v) as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Empirical variance.
+    pub fn variance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let sum: f64 = (self.min..=self.max)
+            .map(|v| {
+                let d = f64::from(v) - mean;
+                d * d * self.count(v) as f64
+            })
+            .sum();
+        sum / total as f64
+    }
+
+    /// Renders an ASCII bar chart (the Figure 5 artifact), `width` columns
+    /// for the tallest bar, skipping leading/trailing all-zero tails.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let first = self.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut out = String::new();
+        for i in first..=last {
+            let v = self.min + i as i32;
+            let c = self.counts[i];
+            let bar_len = ((c as u128 * width as u128) / peak as u128) as usize;
+            out.push_str(&format!("{v:>5} | {:<width$} {c}\n", "#".repeat(bar_len)));
+        }
+        out
+    }
+
+    /// Renders `value,count,frequency` CSV lines (with header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("value,count,frequency\n");
+        let total = self.total().max(1) as f64;
+        for v in self.min..=self.max {
+            let c = self.count(v);
+            out.push_str(&format!("{v},{c},{}\n", c as f64 / total));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_ascii(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counting() {
+        let mut h = Histogram::new(-2, 2);
+        for v in [-2, -1, 0, 0, 1, 2, 2, 2] {
+            h.add(v);
+        }
+        assert_eq!(h.count(-2), 1);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn outliers_tracked_separately() {
+        let mut h = Histogram::new(0, 1);
+        h.add(5);
+        h.add(-1);
+        h.add(0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.count(5), 0);
+    }
+
+    #[test]
+    fn moments() {
+        let mut h = Histogram::new(-10, 10);
+        // Symmetric: mean 0, variance 1 (values -1, 1 each once).
+        h.add(-1);
+        h.add(1);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.variance(), 1.0);
+    }
+
+    #[test]
+    fn ascii_render_scales_to_peak() {
+        let mut h = Histogram::new(0, 2);
+        h.add_count(0, 10);
+        h.add_count(1, 5);
+        let s = h.render_ascii(20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2); // value 2 has no samples, tail skipped
+        assert!(lines[0].contains(&"#".repeat(20)));
+        assert!(lines[1].contains(&"#".repeat(10)));
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let mut h = Histogram::new(-1, 1);
+        h.add(0);
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 values
+        assert!(csv.contains("0,1,1\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(1, 0);
+    }
+}

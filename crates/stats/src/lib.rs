@@ -1,0 +1,78 @@
+//! Statistical validation tools for sampler outputs.
+//!
+//! Used by the Figure 5 reproduction (histograms of 64 x 10^7 samples) and
+//! by distribution-correctness tests throughout the workspace. Also
+//! implements the divergence measures the paper's conclusion points to as
+//! the route to lower-precision sampling: Rényi divergence [28] and the
+//! max-log distance [25].
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_stats::{chi_square_test, discrete_gaussian_pmf, Histogram};
+//!
+//! let pmf = discrete_gaussian_pmf(2.0, 26);
+//! let mut h = Histogram::new(-26, 26);
+//! // A fake perfectly-shaped sample set:
+//! for (i, p) in pmf.iter().enumerate() {
+//!     let v = i as i32 - 26;
+//!     h.add_count(v, (p * 1e6) as u64);
+//! }
+//! let gof = chi_square_test(&h, &pmf);
+//! assert!(gof.p_value > 0.99);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod gof;
+mod histogram;
+
+pub use distance::{kl_divergence, max_log_distance, renyi_divergence, statistical_distance};
+pub use gof::{chi_square_test, ChiSquare};
+pub use histogram::Histogram;
+
+/// The probability mass function of the centred discrete Gaussian
+/// `D_sigma` restricted to `[-bound, bound]`, computed in `f64` and
+/// normalized over that support. Index `i` corresponds to value
+/// `i - bound`.
+///
+/// This is the reference distribution for goodness-of-fit tests; `f64`
+/// precision (~1e-16 relative) is far below the statistical resolution of
+/// any feasible sample count.
+pub fn discrete_gaussian_pmf(sigma: f64, bound: u32) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let b = bound as i64;
+    let mut pmf: Vec<f64> = (-b..=b)
+        .map(|z| (-((z * z) as f64) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let total: f64 = pmf.iter().sum();
+    for p in &mut pmf {
+        *p /= total;
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_is_normalized_and_symmetric() {
+        let pmf = discrete_gaussian_pmf(2.0, 26);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for i in 0..pmf.len() {
+            assert!((pmf[i] - pmf[pmf.len() - 1 - i]).abs() < 1e-15, "index {i}");
+        }
+        // Mode at the centre.
+        let centre = pmf.len() / 2;
+        assert!(pmf[centre] > pmf[centre + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pmf_rejects_bad_sigma() {
+        let _ = discrete_gaussian_pmf(0.0, 5);
+    }
+}

@@ -1,0 +1,1 @@
+//! See the `[[bin]]` targets; this lib exists only to anchor the package.

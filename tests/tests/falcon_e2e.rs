@@ -1,0 +1,142 @@
+//! End-to-end Falcon integration: every Table 1 base sampler must produce
+//! valid, interchangeable signatures; wire formats round-trip; forgeries
+//! fail.
+
+use ctgauss_falcon::base::{
+    all_base_samplers, BinaryCdtBase, ByteScanCdtBase, KnuthYaoCtBase, LinearCdtBase,
+};
+use ctgauss_falcon::codec::{
+    decode_public_key, decode_signature, encode_public_key, encode_signature,
+};
+use ctgauss_falcon::sign::BaseSampler;
+use ctgauss_falcon::{FalconParams, SecretKey};
+use ctgauss_prng::ChaChaRng;
+
+fn test_key(seed: u64) -> SecretKey {
+    let mut rng = ChaChaRng::from_u64_seed(seed);
+    SecretKey::generate(FalconParams::new(5), &mut rng).expect("keygen")
+}
+
+#[test]
+fn every_base_sampler_signs_verifiably() {
+    let sk = test_key(1);
+    let mut rng = ChaChaRng::from_u64_seed(2);
+    for mut base in all_base_samplers(10) {
+        let msg = format!("message signed via {}", base.name());
+        let sig = sk
+            .sign(msg.as_bytes(), base.as_mut(), &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e}", base.name()));
+        assert!(
+            sk.public_key().verify(msg.as_bytes(), &sig),
+            "{} signature rejected",
+            base.name()
+        );
+    }
+}
+
+#[test]
+fn signatures_are_interchangeable_across_base_samplers() {
+    // A verifier cannot tell which base sampler produced a signature: all
+    // four sign the same message under the same key and all verify.
+    let sk = test_key(3);
+    let mut rng = ChaChaRng::from_u64_seed(4);
+    let msg = b"sampler-agnostic";
+    let mut byte_scan = ByteScanCdtBase::new(20);
+    let mut binary = BinaryCdtBase::new(21);
+    let mut linear = LinearCdtBase::new(22);
+    let mut ky = KnuthYaoCtBase::new(23);
+    let bases: [&mut dyn BaseSampler; 4] = [&mut byte_scan, &mut binary, &mut linear, &mut ky];
+    for base in bases {
+        let sig = sk.sign(msg, base, &mut rng).expect("signs");
+        assert!(sk.public_key().verify(msg, &sig));
+    }
+}
+
+#[test]
+fn full_wire_roundtrip() {
+    let sk = test_key(5);
+    let mut rng = ChaChaRng::from_u64_seed(6);
+    let mut base = KnuthYaoCtBase::new(30);
+    let msg = b"wire format";
+    let sig = sk.sign(msg, &mut base, &mut rng).expect("signs");
+
+    let sig_bytes = encode_signature(&sig).expect("encodes");
+    let pk_bytes = encode_public_key(sk.public_key().h());
+
+    // A fresh verifier reconstructs everything from bytes.
+    let sig2 = decode_signature(&sig_bytes, 32).expect("decodes");
+    let h2 = decode_public_key(&pk_bytes, 32).expect("decodes");
+    assert_eq!(sig2, sig);
+    assert_eq!(h2, sk.public_key().h());
+    assert!(sk.public_key().verify(msg, &sig2));
+}
+
+#[test]
+fn forgery_attempts_fail() {
+    let sk = test_key(7);
+    let other = test_key(8);
+    let mut rng = ChaChaRng::from_u64_seed(9);
+    let mut base = KnuthYaoCtBase::new(40);
+    let sig = sk.sign(b"genuine", &mut base, &mut rng).expect("signs");
+
+    // Wrong message.
+    assert!(!sk.public_key().verify(b"forged", &sig));
+    // Wrong key.
+    assert!(!other.public_key().verify(b"genuine", &sig));
+    // Bit flips across the signature.
+    for i in [0usize, 7, 31] {
+        let mut bad = sig.clone();
+        bad.s1[i] = bad.s1[i].wrapping_add(3);
+        assert!(!sk.public_key().verify(b"genuine", &bad), "flip at {i}");
+    }
+    // Nonce tampering changes the hash point.
+    let mut bad = sig.clone();
+    bad.nonce[0] ^= 1;
+    assert!(!sk.public_key().verify(b"genuine", &bad));
+    // Scaled-up signature violates the norm bound.
+    let mut bad = sig;
+    for c in &mut bad.s1 {
+        *c = c.saturating_mul(13);
+    }
+    assert!(!sk.public_key().verify(b"genuine", &bad));
+}
+
+#[test]
+fn many_signatures_same_key_all_distinct_and_valid() {
+    let sk = test_key(10);
+    let mut rng = ChaChaRng::from_u64_seed(11);
+    let mut base = ByteScanCdtBase::new(50);
+    let msg = b"repeat";
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..20 {
+        let sig = sk.sign(msg, &mut base, &mut rng).expect("signs");
+        assert!(sk.public_key().verify(msg, &sig));
+        // Fresh nonce each time means distinct signatures.
+        assert!(seen.insert(sig.nonce), "nonce reuse");
+    }
+}
+
+#[test]
+fn signature_norms_concentrate_below_bound() {
+    // ||(s0, s1)|| should concentrate around sigma_sig * sqrt(2N), well
+    // below beta; check the s1 half empirically.
+    let params = FalconParams::new(5);
+    let sk = {
+        let mut rng = ChaChaRng::from_u64_seed(12);
+        SecretKey::generate(params, &mut rng).expect("keygen")
+    };
+    let mut rng = ChaChaRng::from_u64_seed(13);
+    let mut base = BinaryCdtBase::new(60);
+    let mut norms = Vec::new();
+    for i in 0..10u64 {
+        let sig = sk.sign(&i.to_le_bytes(), &mut base, &mut rng).expect("signs");
+        let norm_sq: f64 = sig.s1.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        norms.push(norm_sq.sqrt());
+    }
+    let expected = params.sigma_sig() * (params.n() as f64).sqrt();
+    let mean = norms.iter().sum::<f64>() / norms.len() as f64;
+    assert!(
+        (mean - expected).abs() < expected * 0.35,
+        "mean ||s1|| = {mean:.1}, expected ~{expected:.1}"
+    );
+}
