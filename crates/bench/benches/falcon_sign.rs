@@ -25,7 +25,8 @@ fn bench_sign(c: &mut Criterion) {
             b.iter(|| {
                 counter += 1;
                 std::hint::black_box(
-                    sk.sign(&counter.to_le_bytes(), base.as_mut(), &mut aux).unwrap(),
+                    sk.sign(&counter.to_le_bytes(), base.as_mut(), &mut aux)
+                        .unwrap(),
                 )
             })
         });

@@ -20,16 +20,12 @@ fn bench_kernels(c: &mut Criterion) {
         let mut inputs = vec![0u64; 128];
         rng.fill_u64s(&mut inputs);
         let signs = rng.next_u64();
-        group.bench_with_input(
-            BenchmarkId::new("split_exact", sigma),
-            &sigma,
-            |b, _| b.iter(|| std::hint::black_box(split.run_batch(&inputs, signs))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("simple_21", sigma),
-            &sigma,
-            |b, _| b.iter(|| std::hint::black_box(simple.run_batch(&inputs, signs))),
-        );
+        group.bench_with_input(BenchmarkId::new("split_exact", sigma), &sigma, |b, _| {
+            b.iter(|| std::hint::black_box(split.run_batch(&inputs, signs)))
+        });
+        group.bench_with_input(BenchmarkId::new("simple_21", sigma), &sigma, |b, _| {
+            b.iter(|| std::hint::black_box(simple.run_batch(&inputs, signs)))
+        });
     }
     group.finish();
 }

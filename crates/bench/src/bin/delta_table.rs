@@ -6,7 +6,9 @@
 //! preserving the log2(tau * sigma) + O(1) shape.
 
 use ctgauss_bench::print_table;
-use ctgauss_knuthyao::{delta, enumerate_leaves, max_run_length, GaussianParams, ProbabilityMatrix};
+use ctgauss_knuthyao::{
+    delta, enumerate_leaves, max_run_length, GaussianParams, ProbabilityMatrix,
+};
 
 fn main() {
     println!("X1: Delta = max free bits j over the list L (n = 128, tau = 13)\n");
@@ -30,7 +32,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["Distribution", "rows", "|L|", "Delta (ours)", "Delta (paper)", "log2(tau*sigma)", "n'"],
+        &[
+            "Distribution",
+            "rows",
+            "|L|",
+            "Delta (ours)",
+            "Delta (paper)",
+            "log2(tau*sigma)",
+            "n'",
+        ],
         &rows,
     );
     println!("\nDelta tracks log2(tau * sigma) + O(1); exact values depend on");

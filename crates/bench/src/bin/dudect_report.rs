@@ -51,7 +51,11 @@ fn main() {
         "bitsliced KY (this work)".into(),
         format!("{:.2}", report.raw_t),
         format!("{:.2}", report.max_t),
-        if report.leak_detected(threshold) { "LEAK".into() } else { "pass".into() },
+        if report.leak_detected(threshold) {
+            "LEAK".into()
+        } else {
+            "pass".into()
+        },
         "pass (constant time)".into(),
     ]);
 
@@ -82,7 +86,11 @@ fn main() {
         "column-scan KY (Alg. 1)".into(),
         format!("{:.2}", report2.raw_t),
         format!("{:.2}", report2.max_t),
-        if report2.leak_detected(threshold) { "LEAK".into() } else { "pass".into() },
+        if report2.leak_detected(threshold) {
+            "LEAK".into()
+        } else {
+            "pass".into()
+        },
         "LEAK (input-dependent walk)".into(),
     ]);
 
@@ -102,10 +110,17 @@ fn main() {
         "deliberately leaky toy".into(),
         format!("{:.2}", report3.raw_t),
         format!("{:.2}", report3.max_t),
-        if report3.leak_detected(threshold) { "LEAK".into() } else { "pass".into() },
+        if report3.leak_detected(threshold) {
+            "LEAK".into()
+        } else {
+            "pass".into()
+        },
         "LEAK (sanity check)".into(),
     ]);
 
     println!("X3: dudect-style leakage detection (|t| > {threshold} = leak)\n");
-    print_table(&["subject", "raw t", "max |t|", "verdict", "expected"], &rows);
+    print_table(
+        &["subject", "raw t", "max |t|", "verdict", "expected"],
+        &rows,
+    );
 }

@@ -14,11 +14,22 @@ fn main() {
     println!("Figure 1: probability matrix for sigma = 2, n = 6");
     println!("(the paper prints rows P0..P5; rows below 2^-6 are all-zero)\n");
     for v in 0..6 {
-        println!("  P{v}  {}", matrix.row_string(v).chars().map(|c| format!("{c}   ")).collect::<String>());
+        println!(
+            "  P{v}  {}",
+            matrix
+                .row_string(v)
+                .chars()
+                .map(|c| format!("{c}   "))
+                .collect::<String>()
+        );
     }
     let expected = ["001100", "010110", "001111", "001000", "000011", "000001"];
     for (v, want) in expected.iter().enumerate() {
-        assert_eq!(matrix.row_string(v as u32), *want, "row {v} departs from the paper");
+        assert_eq!(
+            matrix.row_string(v as u32),
+            *want,
+            "row {v} departs from the paper"
+        );
     }
     println!("\n  [check] all six rows match the paper's Figure 1 exactly");
 
@@ -27,7 +38,10 @@ fn main() {
     println!("{tree}");
 
     let leaves = enumerate_leaves(&matrix);
-    println!("leaves per level (column Hamming weights): {:?}", matrix.column_weights());
+    println!(
+        "leaves per level (column Hamming weights): {:?}",
+        matrix.column_weights()
+    );
     println!("total leaves: {}", leaves.len());
 
     if show_boolean {
@@ -42,7 +56,10 @@ fn main() {
             "inputs: b0..b7 (random bits); outputs: s0..s{} (sample bits)",
             sampler.program().outputs().len() - 1
         );
-        println!("compiled program: {} ops, {} gates", report.ops, report.gates);
+        println!(
+            "compiled program: {} ops, {} gates",
+            report.ops, report.gates
+        );
         println!("\n{}", sampler.program());
         println!("\nmapping check (each DDG leaf string evaluated through the program):");
         let leaves8 = enumerate_leaves(sampler.matrix());

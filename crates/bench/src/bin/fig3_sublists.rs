@@ -3,7 +3,9 @@
 //! `--explain`) the Figure 4 pipeline walkthrough with stage sizes.
 
 use ctgauss_core::{SamplerBuilder, Strategy};
-use ctgauss_knuthyao::{delta, enumerate_leaves, max_run_length, GaussianParams, ProbabilityMatrix};
+use ctgauss_knuthyao::{
+    delta, enumerate_leaves, max_run_length, GaussianParams, ProbabilityMatrix,
+};
 
 fn main() {
     let explain = std::env::args().any(|a| a == "--explain");
@@ -14,7 +16,10 @@ fn main() {
 
     println!("Figure 3: list L for sigma = 2, n = 16, sorted by the length k of");
     println!("the ones-run at the LSB end (paper convention: b0 is right-most).\n");
-    println!("{:>6}  {:>18}  {:>6}  sublist", "k", "random bit string", "sample");
+    println!(
+        "{:>6}  {:>18}  {:>6}  sublist",
+        "k", "random bit string", "sample"
+    );
 
     leaves.sort_by_key(|l| (l.run_length(), l.level, l.rank));
     let mut current_k = u32::MAX;
@@ -44,9 +49,16 @@ fn main() {
 
     if explain {
         println!("\nFigure 4: pipeline walkthrough (sigma = 2, n = 16)\n");
-        println!("  stage 1: probability matrix     {} rows x {} bits", matrix.rows(), matrix.precision());
+        println!(
+            "  stage 1: probability matrix     {} rows x {} bits",
+            matrix.rows(),
+            matrix.precision()
+        );
         println!("  stage 2: enumerate list L       {} strings", leaves.len());
-        println!("  stage 3: sort + split by k      {} sublists (Delta = {d})", np + 1);
+        println!(
+            "  stage 3: sort + split by k      {} sublists (Delta = {d})",
+            np + 1
+        );
         let sampler = SamplerBuilder::new("2", 16)
             .strategy(Strategy::SplitExact)
             .build()
@@ -61,7 +73,11 @@ fn main() {
                     info.leaves,
                     info.window,
                     info.literals,
-                    if info.exact { "exact (QM+Petrick)" } else { "heuristic" }
+                    if info.exact {
+                        "exact (QM+Petrick)"
+                    } else {
+                        "heuristic"
+                    }
                 );
             }
         }

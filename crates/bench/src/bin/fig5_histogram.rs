@@ -27,7 +27,10 @@ fn main() {
 
     for sigma in ["2", "6.15543"] {
         let sigma_f: f64 = sigma.parse().expect("numeric sigma");
-        println!("\nFigure 5: sigma = {sigma}, {} samples (paper: 64 x 10^7)", batches * 64);
+        println!(
+            "\nFigure 5: sigma = {sigma}, {} samples (paper: 64 x 10^7)",
+            batches * 64
+        );
         let sampler = SamplerBuilder::new(sigma, 64).build().expect("builds");
         let bound = sampler.matrix().rows() - 1;
         let mut rng = ChaChaRng::from_u64_seed(0xF16_5);
@@ -52,7 +55,11 @@ fn main() {
             gof.statistic,
             gof.dof,
             gof.p_value,
-            if gof.rejects_at(0.001) { "REJECTED" } else { "consistent" }
+            if gof.rejects_at(0.001) {
+                "REJECTED"
+            } else {
+                "consistent"
+            }
         );
         let sd = statistical_distance(&hist.frequencies(), &pmf);
         println!("statistical distance (empirical vs exact): {sd:.2e}");

@@ -2,7 +2,7 @@
 //! precision — and therefore how many random bits per sample — does each
 //! statistical measure actually require?
 //!
-//! The paper points to Renyi divergence [28] and the max-log distance [25]
+//! The paper points to Renyi divergence \[28\] and the max-log distance \[25\]
 //! as the route to lower-precision sampling. This binary measures, for the
 //! paper's two distributions, the distance between the exact discrete
 //! Gaussian and its n-bit Knuth-Yao truncation as n grows, under four

@@ -54,7 +54,10 @@ fn main() {
             "80-85%".into(),
         ]);
     }
-    print_table(&["PRNG", "batch total", "PRNG only", "PRNG share", "paper"], &rows);
+    print_table(
+        &["PRNG", "batch total", "PRNG only", "PRNG share", "paper"],
+        &rows,
+    );
     println!();
     println!("note: the paper's shares assume a compiled ~36-cycle/sample kernel;");
     println!("our interpreted kernel is larger, lowering the PRNG share. The");

@@ -1,10 +1,10 @@
 //! Table 2 reproduction: sampler-kernel cost (per 64-sample batch,
-//! pseudorandomness excluded) — simple minimization ([21]) vs this work's
+//! pseudorandomness excluded) — simple minimization (\[21\]) vs this work's
 //! split-exact minimization.
 //!
 //! Paper values (clock cycles per 64 samples, PRNG excluded):
 //!
-//! | sigma    | [21] simple | This work | Improvement |
+//! | sigma    | \[21\] simple | This work | Improvement |
 //! |----------|-------------|-----------|-------------|
 //! | 2        | 3787        | 2293      | 37%         |
 //! | 6.15543  | 11136       | 9880      | 11% (*)     |
@@ -58,8 +58,10 @@ fn main() {
             format!("sigma = {sigma}"),
             format!("{cycles_simple} ({paper_simple})"),
             format!("{cycles_split} ({paper_split})"),
-            format!("{improvement:.0}% (paper {}%)",
-                    if sigma == "2" { 37 } else { 11 }),
+            format!(
+                "{improvement:.0}% (paper {}%)",
+                if sigma == "2" { 37 } else { 11 }
+            ),
             format!("{} vs {}", simple.report().gates, split.report().gates),
             format!("{gate_improvement:.0}%"),
         ]);

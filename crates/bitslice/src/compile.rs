@@ -101,7 +101,10 @@ impl Compiler {
 pub fn compile(outputs: &[Rc<Expr>], num_inputs: u32) -> Program {
     for e in outputs {
         if let Some(v) = e.max_var() {
-            assert!(v < num_inputs, "expression uses x{v} but only {num_inputs} inputs declared");
+            assert!(
+                v < num_inputs,
+                "expression uses x{v} but only {num_inputs} inputs declared"
+            );
         }
     }
     let mut c = Compiler {
@@ -149,7 +152,11 @@ mod tests {
         let p = compile(&[top], 2);
         // Loads x0, x1, one AND; OR(a,a) stays (no idempotence folding) —
         // so at most 4 ops.
-        assert!(p.ops().len() <= 4, "expected <= 4 ops, got {}", p.ops().len());
+        assert!(
+            p.ops().len() <= 4,
+            "expected <= 4 ops, got {}",
+            p.ops().len()
+        );
         assert_eq!(p.gate_count(), 2); // AND + OR
     }
 

@@ -79,13 +79,23 @@ impl Program {
                 );
             }
             if let Op::Input(i) = op {
-                assert!(*i < num_inputs, "input index {i} out of range ({num_inputs} inputs)");
+                assert!(
+                    *i < num_inputs,
+                    "input index {i} out of range ({num_inputs} inputs)"
+                );
             }
         }
         for &o in &outputs {
-            assert!((o as usize) < ops.len(), "output register {o} does not exist");
+            assert!(
+                (o as usize) < ops.len(),
+                "output register {o} does not exist"
+            );
         }
-        Program { num_inputs, ops, outputs }
+        Program {
+            num_inputs,
+            ops,
+            outputs,
+        }
     }
 
     /// Number of declared input words.
@@ -112,7 +122,13 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program: {} inputs, {} ops, {} outputs", self.num_inputs, self.ops.len(), self.outputs.len())?;
+        writeln!(
+            f,
+            "program: {} inputs, {} ops, {} outputs",
+            self.num_inputs,
+            self.ops.len(),
+            self.outputs.len()
+        )?;
         for (r, op) in self.ops.iter().enumerate() {
             writeln!(f, "  r{r} = {op:?}")?;
         }
@@ -299,11 +315,7 @@ mod tests {
             ],
             vec![6, 7],
         );
-        let inputs_wide: Vec<[u64; 4]> = vec![
-            [1, 2, 3, 4],
-            [5, 6, 7, 8],
-            [9, 10, 11, 12],
-        ];
+        let inputs_wide: Vec<[u64; 4]> = vec![[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]];
         let wide = interpret_wide(&p, &inputs_wide);
         for w in 0..4 {
             let scalar_inputs: Vec<u64> = inputs_wide.iter().map(|v| v[w]).collect();

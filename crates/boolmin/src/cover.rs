@@ -29,7 +29,10 @@ pub struct Cover {
 impl Cover {
     /// The empty cover (constant false).
     pub fn empty(nvars: u32) -> Self {
-        Cover { cubes: Vec::new(), nvars }
+        Cover {
+            cubes: Vec::new(),
+            nvars,
+        }
     }
 
     /// A cover holding the given cubes.
@@ -113,7 +116,10 @@ impl Cover {
             .iter()
             .filter_map(|c| c.cofactor(var, value))
             .collect();
-        Cover { cubes, nvars: self.nvars }
+        Cover {
+            cubes,
+            nvars: self.nvars,
+        }
     }
 
     /// Selects the most binate variable (appears in both polarities, with
@@ -219,10 +225,8 @@ impl Cover {
             let Some(subspace) = space.cofactor(var, value) else {
                 continue;
             };
-            let subspace = subspace.with_var(
-                var,
-                if value { VarState::One } else { VarState::Zero },
-            );
+            let subspace =
+                subspace.with_var(var, if value { VarState::One } else { VarState::Zero });
             out.extend(sub.complement_rec(&subspace).cubes);
         }
         let mut cover = Cover::from_cubes(self.nvars, out);
@@ -237,7 +241,10 @@ impl Cover {
     ///
     /// Panics if `nvars > 20`.
     pub fn equivalent_exhaustive(&self, other: &Cover, care: Option<&Cover>) -> bool {
-        assert!(self.nvars <= 20, "exhaustive equivalence limited to 20 variables");
+        assert!(
+            self.nvars <= 20,
+            "exhaustive equivalence limited to 20 variables"
+        );
         let n = self.nvars;
         for m in 0u64..(1u64 << n) {
             let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();

@@ -62,7 +62,11 @@ impl Cube {
         if w > 0 {
             mask[w - 1] = tail_mask(nvars);
         }
-        Cube { mask0: mask.clone(), mask1: mask, nvars }
+        Cube {
+            mask0: mask.clone(),
+            mask1: mask,
+            nvars,
+        }
     }
 
     /// A minterm: every variable fixed to the given assignment.
@@ -176,7 +180,11 @@ impl Cube {
             mask0.push(m0);
             mask1.push(m1);
         }
-        Some(Cube { mask0, mask1, nvars: self.nvars })
+        Some(Cube {
+            mask0,
+            mask1,
+            nvars: self.nvars,
+        })
     }
 
     fn full_word(&self, w: usize) -> u64 {
@@ -224,7 +232,11 @@ impl Cube {
             .zip(&other.mask1)
             .map(|(a, b)| a | b)
             .collect();
-        Cube { mask0, mask1, nvars: self.nvars }
+        Cube {
+            mask0,
+            mask1,
+            nvars: self.nvars,
+        }
     }
 
     /// Variables on which the cube depends, in ascending order.

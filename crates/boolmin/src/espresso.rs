@@ -1,6 +1,6 @@
 //! An Espresso-style heuristic minimizer over explicit cube lists.
 //!
-//! Used for the prior work's "simple minimization" baseline ([21], compared
+//! Used for the prior work's "simple minimization" baseline (\[21\], compared
 //! in Table 2), where one cover over all `n` (up to 128) input variables is
 //! minimized directly. Exact minimization is hopeless there; the classic
 //! EXPAND / IRREDUNDANT loop is not.

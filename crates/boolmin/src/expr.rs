@@ -200,7 +200,11 @@ impl Expr {
         let s = self.clone();
         // Take a reference to self (Rc) without moving.
         walk(&s, &mut seen, &mut vars, &mut gates, &mut tree_nodes);
-        ExprStats { gates, vars: vars.len(), tree_nodes }
+        ExprStats {
+            gates,
+            vars: vars.len(),
+            tree_nodes,
+        }
     }
 
     /// The highest variable index referenced, or `None` for constant
@@ -210,12 +214,13 @@ impl Expr {
             Expr::Const(_) => None,
             Expr::Var(i) => Some(*i),
             Expr::Not(e) => e.max_var(),
-            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => match (a.max_var(), b.max_var())
-            {
-                (Some(x), Some(y)) => Some(x.max(y)),
-                (x, None) => x,
-                (None, y) => y,
-            },
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                match (a.max_var(), b.max_var()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, None) => x,
+                    (None, y) => y,
+                }
+            }
         }
     }
 }
@@ -228,11 +233,20 @@ mod tests {
     #[test]
     fn constant_folding() {
         assert_eq!(*Expr::and(Expr::constant(true), Expr::var(0)), Expr::Var(0));
-        assert_eq!(*Expr::and(Expr::constant(false), Expr::var(0)), Expr::Const(false));
+        assert_eq!(
+            *Expr::and(Expr::constant(false), Expr::var(0)),
+            Expr::Const(false)
+        );
         assert_eq!(*Expr::or(Expr::constant(false), Expr::var(1)), Expr::Var(1));
-        assert_eq!(*Expr::or(Expr::constant(true), Expr::var(1)), Expr::Const(true));
+        assert_eq!(
+            *Expr::or(Expr::constant(true), Expr::var(1)),
+            Expr::Const(true)
+        );
         assert_eq!(*Expr::not(Expr::not(Expr::var(2))), Expr::Var(2));
-        assert_eq!(*Expr::xor(Expr::constant(true), Expr::constant(true)), Expr::Const(false));
+        assert_eq!(
+            *Expr::xor(Expr::constant(true), Expr::constant(true)),
+            Expr::Const(false)
+        );
     }
 
     #[test]
@@ -261,7 +275,11 @@ mod tests {
         let expr = Expr::from_cover(&cover, &[0, 1, 2]);
         for m in 0u32..8 {
             let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
-            assert_eq!(expr.evaluate(&bits), cover.evaluate(&bits), "assignment {m:03b}");
+            assert_eq!(
+                expr.evaluate(&bits),
+                cover.evaluate(&bits),
+                "assignment {m:03b}"
+            );
         }
     }
 

@@ -49,7 +49,11 @@ impl TruthTable {
             "exact minimization limited to {MAX_EXACT_VARS} variables, got {nvars}"
         );
         let size = 1usize << nvars;
-        TruthTable { nvars, on: vec![false; size], dc: vec![false; size] }
+        TruthTable {
+            nvars,
+            on: vec![false; size],
+            dc: vec![false; size],
+        }
     }
 
     /// Number of variables.
@@ -82,7 +86,9 @@ impl TruthTable {
 
     /// All ON minterms.
     pub fn on_minterms(&self) -> Vec<u32> {
-        (0..self.on.len() as u32).filter(|&m| self.on[m as usize]).collect()
+        (0..self.on.len() as u32)
+            .filter(|&m| self.on[m as usize])
+            .collect()
     }
 
     /// All ON-or-don't-care minterms.
@@ -141,7 +147,10 @@ fn prime_implicants(minterms: &[u32]) -> Vec<Implicant> {
                 if a.mask == b.mask {
                     let diff = a.value ^ b.value;
                     if diff.count_ones() == 1 {
-                        next.insert(Implicant { value: a.value & !diff, mask: a.mask | diff });
+                        next.insert(Implicant {
+                            value: a.value & !diff,
+                            mask: a.mask | diff,
+                        });
                         merged_flags[i] = true;
                         merged_flags[j] = true;
                     }
@@ -219,7 +228,13 @@ fn min_cover(num_minterms: usize, cover_sets: &[Vec<usize>]) -> Vec<usize> {
         }
     }
 
-    recurse(&covered_by, cover_sets, &mut covered, &mut chosen, &mut best);
+    recurse(
+        &covered_by,
+        cover_sets,
+        &mut covered,
+        &mut chosen,
+        &mut best,
+    );
     best.unwrap_or_default()
 }
 
@@ -280,13 +295,15 @@ pub fn minimize_exact(table: &TruthTable) -> Cover {
     let remaining: Vec<usize> = (0..on.len()).filter(|&m| !covered[m]).collect();
     if !remaining.is_empty() {
         // Re-index minterms and drop primes that cover nothing remaining.
-        let remap: std::collections::HashMap<usize, usize> =
-            remaining.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = remaining
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let mut sub_primes: Vec<usize> = Vec::new();
         let mut sub_sets: Vec<Vec<usize>> = Vec::new();
         for (p, set) in cover_sets.iter_mut().enumerate() {
-            let sub: Vec<usize> =
-                set.iter().filter_map(|m| remap.get(m).copied()).collect();
+            let sub: Vec<usize> = set.iter().filter_map(|m| remap.get(m).copied()).collect();
             if !sub.is_empty() && !selected.contains(&p) {
                 sub_primes.push(p);
                 sub_sets.push(sub);
@@ -405,7 +422,11 @@ mod tests {
         });
         let c = minimize_exact(&t);
         check_valid(&t, &c);
-        assert!(c.cube_count() <= 4, "expected <= 4 cubes, got {}", c.cube_count());
+        assert!(
+            c.cube_count() <= 4,
+            "expected <= 4 cubes, got {}",
+            c.cube_count()
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   ("Byte-scanning CDT", the fastest non-constant-time baseline): draw
 //!   random *bytes* lazily and prune the candidate interval per byte;
 //!   most samples need a single byte of randomness.
-//! * [`LinearSearchCdt`] — the constant-time baseline of Bos et al. [7]:
+//! * [`LinearSearchCdt`] — the constant-time baseline of Bos et al. \[7\]:
 //!   compare the random value against *every* table entry with
 //!   branch-free arithmetic and accumulate the index.
 //!

@@ -16,7 +16,7 @@ fn apply_sign(magnitude: u32, sign_byte: u8) -> i32 {
 }
 
 /// The classical binary-search CDT sampler ("CDT" in Table 1, after
-/// Peikert [26]). Draws 128 random bits and binary-searches the table; the
+/// Peikert \[26\]). Draws 128 random bits and binary-searches the table; the
 /// comparison path depends on the sample, so it is **not** constant time.
 ///
 /// # Examples
@@ -63,7 +63,7 @@ impl<'t> BinarySearchCdt<'t> {
 }
 
 /// Du and Bai's byte-scanning CDT sampler ("Byte-scanning CDT" in Table 1,
-/// [13]) — the fastest non-constant-time baseline.
+/// \[13\]) — the fastest non-constant-time baseline.
 ///
 /// Random bytes are drawn lazily, most significant first. After each byte
 /// the candidate row interval shrinks to the rows whose CDT entry still
@@ -157,7 +157,7 @@ fn ct_lt128(a: u128, b: u128) -> u64 {
     ct_lt64(a_hi, b_hi) | (ct_eq64(a_hi, b_hi) & ct_lt64(a_lo, b_lo))
 }
 
-/// The constant-time linear-search CDT sampler of Bos et al. [7]
+/// The constant-time linear-search CDT sampler of Bos et al. \[7\]
 /// ("Linear search CDT" in Table 1).
 ///
 /// Every table entry is compared against the random draw with branch-free
@@ -209,7 +209,14 @@ mod tests {
 
     #[test]
     fn ct_primitives() {
-        for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0), (0, u64::MAX), (5, 5)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 2),
+            (2, 1),
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (5, 5),
+        ] {
             assert_eq!(ct_lt64(a, b), u64::from(a < b), "lt({a},{b})");
             assert_eq!(ct_eq64(a, b), u64::from(a == b), "eq({a},{b})");
         }

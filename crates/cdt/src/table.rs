@@ -75,7 +75,11 @@ impl CdtTable {
             *c <<= shift;
         }
         let cdf_bytes = cdf.iter().map(|c| c.to_be_bytes()).collect();
-        CdtTable { cdf, cdf_bytes, precision: n }
+        CdtTable {
+            cdf,
+            cdf_bytes,
+            precision: n,
+        }
     }
 
     /// Number of rows (support size).
@@ -171,6 +175,9 @@ mod tests {
     #[test]
     fn rejects_oversized_precision() {
         let p = GaussianParams::from_sigma_str("2", 200).unwrap();
-        assert!(matches!(CdtTable::build(&p), Err(ParamError::InvalidPrecision(200))));
+        assert!(matches!(
+            CdtTable::build(&p),
+            Err(ParamError::InvalidPrecision(200))
+        ));
     }
 }

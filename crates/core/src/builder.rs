@@ -17,7 +17,7 @@ pub enum Strategy {
     /// each small function, constant-time mux recombination (Equation 2).
     #[default]
     SplitExact,
-    /// Prior work [21]: one heuristic minimization of the full
+    /// Prior work \[21\]: one heuristic minimization of the full
     /// `n`-variable functions ("simple minimization", the Table 2
     /// baseline).
     Simple,
@@ -265,7 +265,11 @@ mod tests {
         // should be well below (sublists x outputs x window cubes) blowup.
         let s = SamplerBuilder::new("2", 24).build().unwrap();
         let r = s.report();
-        assert!(r.gates < 20_000, "unexpectedly large program: {} gates", r.gates);
+        assert!(
+            r.gates < 20_000,
+            "unexpectedly large program: {} gates",
+            r.gates
+        );
         assert!(r.ops as u32 >= 24, "program must at least load the inputs");
     }
 }

@@ -22,7 +22,7 @@
 //! random words (`n` bit positions plus the sign), in constant time by
 //! construction.
 //!
-//! The prior work's "simple minimization" ([21], the Table 2 baseline) is
+//! The prior work's "simple minimization" (\[21\], the Table 2 baseline) is
 //! available as [`Strategy::Simple`]: one heuristic minimization of the
 //! full `n`-variable functions with no sublist split.
 //!
@@ -51,3 +51,6 @@ mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
 pub use sampler::CtSampler;
+pub use sublists::{
+    combine_sublists, simple_expressions, split_by_run, synthesize_sublist, SublistFunctions,
+};

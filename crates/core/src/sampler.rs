@@ -44,7 +44,11 @@ impl CtSampler {
         matrix: ProbabilityMatrix,
         report: BuildReport,
     ) -> Self {
-        CtSampler { program, matrix, report }
+        CtSampler {
+            program,
+            matrix,
+            report,
+        }
     }
 
     /// The compiled straight-line program.
@@ -144,7 +148,11 @@ impl CtSampler {
 
     /// Creates a buffered single-sample stream over this sampler.
     pub fn stream(&self) -> SampleStream<'_> {
-        SampleStream { sampler: self, buf: [0; 64], pos: 64 }
+        SampleStream {
+            sampler: self,
+            buf: [0; 64],
+            pos: 64,
+        }
     }
 }
 

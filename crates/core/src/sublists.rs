@@ -83,7 +83,13 @@ pub fn synthesize_sublist(
         synthesize_heuristic(&on_cubes, window, sample_bits)
     };
 
-    SublistFunctions { kappa, leaves: leaves.len(), window, covers, exact }
+    SublistFunctions {
+        kappa,
+        leaves: leaves.len(),
+        window,
+        covers,
+        exact,
+    }
 }
 
 fn synthesize_exact(on_cubes: &[(Cube, u32)], window: u32, sample_bits: u32) -> Vec<Cover> {
@@ -197,7 +203,7 @@ fn sublist_expr(sl: &SublistFunctions, iota: u32) -> Rc<Expr> {
 
 /// Builds the prior work's "simple minimization" expressions: one heuristic
 /// minimization per output bit over all `n` input variables, no sublist
-/// split ([21], the Table 2 baseline).
+/// split (\[21\], the Table 2 baseline).
 pub fn simple_expressions(leaves: &[Leaf], n: u32, sample_bits: u32) -> Vec<Rc<Expr>> {
     (0..sample_bits)
         .map(|iota| {
@@ -206,10 +212,7 @@ pub fn simple_expressions(leaves: &[Leaf], n: u32, sample_bits: u32) -> Vec<Rc<E
             for leaf in leaves {
                 let mut cube = Cube::full(n);
                 for (pos, bit) in leaf.bits.iter().enumerate() {
-                    cube.set_var(
-                        pos as u32,
-                        if bit { VarState::One } else { VarState::Zero },
-                    );
+                    cube.set_var(pos as u32, if bit { VarState::One } else { VarState::Zero });
                 }
                 if (leaf.value >> iota) & 1 == 1 {
                     on.push(cube);
@@ -270,7 +273,8 @@ mod tests {
                     let bits: Vec<bool> = (0..window).map(|p| (m >> p) & 1 == 1).collect();
                     // Check only assignments matching the leaf's free bits.
                     let j = leaf.free_bits();
-                    let matches = (0..j).all(|p| bits[p as usize] == leaf.bits.get(kappa as u32 + 1 + p));
+                    let matches =
+                        (0..j).all(|p| bits[p as usize] == leaf.bits.get(kappa as u32 + 1 + p));
                     if !matches {
                         continue;
                     }
@@ -357,7 +361,10 @@ mod tests {
             })
             .collect();
         let exprs = combine_sublists(&sublists, 5);
-        let leaf = ls.iter().find(|l| l.bits.len() <= 6).expect("a shallow leaf exists");
+        let leaf = ls
+            .iter()
+            .find(|l| l.bits.len() <= 6)
+            .expect("a shallow leaf exists");
         for pad in 0..8u32 {
             let mut bits = vec![false; n as usize];
             for (pos, b) in leaf.bits.iter().enumerate() {

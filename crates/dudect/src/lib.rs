@@ -1,5 +1,5 @@
 //! dudect-style timing-leakage detection (Reparaz, Balasch, Verbauwhede,
-//! DATE 2017 — reference [30] of the paper).
+//! DATE 2017 — reference \[30\] of the paper).
 //!
 //! The methodology: run the operation under test many times on two input
 //! classes (a fixed input vs. fresh random inputs), interleaved in random
@@ -52,7 +52,10 @@ pub struct DudectConfig {
 
 impl Default for DudectConfig {
     fn default() -> Self {
-        DudectConfig { measurements: 100_000, warmup: 1_000 }
+        DudectConfig {
+            measurements: 100_000,
+            warmup: 1_000,
+        }
     }
 }
 
@@ -129,7 +132,9 @@ pub fn run_test<F: FnMut(Class)>(config: &DudectConfig, mut op: F) -> LeakReport
     // reproducible; class choice must not correlate with time.
     let mut lcg: u64 = 0x5deece66d;
     let mut next_class = || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         if (lcg >> 33) & 1 == 0 {
             Class::Fixed
         } else {
@@ -234,17 +239,23 @@ mod tests {
 
     #[test]
     fn detects_blatant_leak() {
-        let report = run_test(&DudectConfig { measurements: 4000, warmup: 200 }, |class| {
-            let spin = match class {
-                Class::Fixed => 2000u64,
-                Class::Random => 100,
-            };
-            let mut acc = 1u64;
-            for i in 0..spin {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-            }
-            std::hint::black_box(acc);
-        });
+        let report = run_test(
+            &DudectConfig {
+                measurements: 4000,
+                warmup: 200,
+            },
+            |class| {
+                let spin = match class {
+                    Class::Fixed => 2000u64,
+                    Class::Random => 100,
+                };
+                let mut acc = 1u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            },
+        );
         assert!(
             report.leak_detected(4.5),
             "leak not detected: max_t = {}",
@@ -256,13 +267,19 @@ mod tests {
     fn balanced_operation_not_flagged() {
         // Identical work for both classes: |t| should stay small. Generous
         // threshold because CI machines are noisy.
-        let report = run_test(&DudectConfig { measurements: 4000, warmup: 200 }, |_class| {
-            let mut acc = 1u64;
-            for i in 0..500u64 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-            }
-            std::hint::black_box(acc);
-        });
+        let report = run_test(
+            &DudectConfig {
+                measurements: 4000,
+                warmup: 200,
+            },
+            |_class| {
+                let mut acc = 1u64;
+                for i in 0..500u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            },
+        );
         assert!(
             report.max_t.abs() < 30.0,
             "balanced op flagged hard: max_t = {}",
@@ -274,6 +291,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 100")]
     fn rejects_tiny_measurement_counts() {
-        let _ = run_test(&DudectConfig { measurements: 10, warmup: 0 }, |_| {});
+        let _ = run_test(
+            &DudectConfig {
+                measurements: 10,
+                warmup: 0,
+            },
+            |_| {},
+        );
     }
 }

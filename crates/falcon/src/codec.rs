@@ -192,7 +192,10 @@ mod tests {
     use super::*;
 
     fn sig(values: &[i16]) -> Signature {
-        Signature { nonce: [7u8; 40], s1: values.to_vec() }
+        Signature {
+            nonce: [7u8; 40],
+            s1: values.to_vec(),
+        }
     }
 
     #[test]
@@ -218,18 +221,26 @@ mod tests {
         w.push(true);
         let mut bytes = vec![0u8; 40];
         bytes.extend(w.finish());
-        assert_eq!(decode_signature(&bytes, 1), Err(FalconError::MalformedSignature));
+        assert_eq!(
+            decode_signature(&bytes, 1),
+            Err(FalconError::MalformedSignature)
+        );
     }
 
     #[test]
     fn rejects_truncation() {
         let s = sig(&[5, -9, 44]);
         let bytes = encode_signature(&s).unwrap();
-        assert!(decode_signature(&bytes[..bytes.len() - 1], 3).is_err() ||
+        assert!(
+            decode_signature(&bytes[..bytes.len() - 1], 3).is_err() ||
                 // last byte may be pure padding; removing it can still parse —
                 // then dropping one more must fail
-                decode_signature(&bytes[..bytes.len() - 2], 3).is_err());
-        assert_eq!(decode_signature(&bytes[..10], 3), Err(FalconError::MalformedSignature));
+                decode_signature(&bytes[..bytes.len() - 2], 3).is_err()
+        );
+        assert_eq!(
+            decode_signature(&bytes[..10], 3),
+            Err(FalconError::MalformedSignature)
+        );
     }
 
     #[test]
@@ -238,7 +249,7 @@ mod tests {
         let mut bytes = encode_signature(&s).unwrap();
         let last = bytes.len() - 1;
         bytes[last] |= 0x01; // pollute padding
-        // Either the padding check or an extended unary run must fail it.
+                             // Either the padding check or an extended unary run must fail it.
         assert!(decode_signature(&bytes, 2).is_err());
     }
 
@@ -251,7 +262,11 @@ mod tests {
             .collect();
         let s = sig(&values);
         let bytes = encode_signature(&s).unwrap();
-        assert!(bytes.len() < 40 + 512 * 2, "no compression achieved: {}", bytes.len());
+        assert!(
+            bytes.len() < 40 + 512 * 2,
+            "no compression achieved: {}",
+            bytes.len()
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl C64 {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -50,26 +53,38 @@ impl C64 {
     pub fn div(self, other: C64) -> C64 {
         let d = other.norm_sq();
         let num = self * other.conj();
-        C64 { re: num.re / d, im: num.im / d }
+        C64 {
+            re: num.re / d,
+            im: num.im / d,
+        }
     }
 
     /// Scalar multiplication.
     pub fn scale(self, s: f64) -> C64 {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for C64 {
     type Output = C64;
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
 impl Sub for C64 {
     type Output = C64;
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -86,7 +101,10 @@ impl Mul for C64 {
 impl Neg for C64 {
     type Output = C64;
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -116,7 +134,10 @@ fn zeta(k: usize, n: usize) -> C64 {
 /// ```
 pub fn fft(coeffs: &[f64]) -> Vec<C64> {
     let n = coeffs.len();
-    assert!(n >= 2 && n.is_power_of_two(), "ring size must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "ring size must be a power of two >= 2"
+    );
     if n == 2 {
         return vec![C64::new(coeffs[0], coeffs[1])];
     }
@@ -145,7 +166,10 @@ pub fn fft(coeffs: &[f64]) -> Vec<C64> {
 pub fn ifft(values: &[C64]) -> Vec<f64> {
     let half = values.len();
     let n = 2 * half;
-    assert!(half >= 1 && half.is_power_of_two(), "invalid FFT vector length");
+    assert!(
+        half >= 1 && half.is_power_of_two(),
+        "invalid FFT vector length"
+    );
     if n == 2 {
         return vec![values[0].re, values[0].im];
     }
@@ -256,7 +280,9 @@ mod tests {
     #[test]
     fn fft_roundtrip_various_sizes() {
         for n in [2usize, 4, 8, 64, 512] {
-            let coeffs: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 - 50.0).collect();
+            let coeffs: Vec<f64> = (0..n)
+                .map(|i| ((i * 37 + 11) % 101) as f64 - 50.0)
+                .collect();
             let back = ifft(&fft(&coeffs));
             for (i, (x, y)) in coeffs.iter().zip(&back).enumerate() {
                 assert!((x - y).abs() < 1e-9, "n={n}, coeff {i}: {x} vs {y}");

@@ -175,13 +175,18 @@ pub struct NtruBasis {
 impl NtruBasis {
     /// Verifies `f G - g F = q` exactly in big-integer arithmetic.
     pub fn verify_ntru_equation(&self) -> bool {
-        let to_big = |p: &[i64]| -> Vec<BigInt> { p.iter().map(|&c| BigInt::from_i64(c)).collect() };
+        let to_big =
+            |p: &[i64]| -> Vec<BigInt> { p.iter().map(|&c| BigInt::from_i64(c)).collect() };
         let lhs1 = negacyclic_mul(&to_big(&self.f), &to_big(&self.cap_g));
         let lhs2 = negacyclic_mul(&to_big(&self.g), &to_big(&self.cap_f));
         let n = self.f.len();
         for i in 0..n {
             let v = lhs1[i].sub(&lhs2[i]);
-            let expected = if i == 0 { BigInt::from_i64(i64::from(Q)) } else { BigInt::zero() };
+            let expected = if i == 0 {
+                BigInt::from_i64(i64::from(Q))
+            } else {
+                BigInt::zero()
+            };
             if v != expected {
                 return false;
             }
@@ -208,12 +213,8 @@ pub fn gs_norm(f: &[i64], g: &[i64]) -> f64 {
     // ||(q f* / den, q g* / den)||^2 = sum over points of
     // q^2 (|f|^2 + |g|^2) / den^2 = q^2 / den, via Parseval.
     let qf = f64::from(Q);
-    let second: f64 = den
-        .iter()
-        .map(|d| qf * qf / d.re)
-        .sum::<f64>()
-        * 2.0
-        / (2.0 * f_hat.len() as f64);
+    let second: f64 =
+        den.iter().map(|d| qf * qf / d.re).sum::<f64>() * 2.0 / (2.0 * f_hat.len() as f64);
     first.max(second).sqrt()
 }
 
@@ -227,7 +228,9 @@ pub fn sample_fg<R: RandomSource>(n: usize, rng: &mut R) -> Vec<i64> {
     let matrix = ProbabilityMatrix::build(&params).expect("keygen matrix builds");
     let sampler = ColumnScanSampler::new(&matrix);
     let mut bits = BitBuffer::new(rng);
-    (0..n).map(|_| i64::from(sampler.sample_signed(&mut bits))).collect()
+    (0..n)
+        .map(|_| i64::from(sampler.sample_signed(&mut bits)))
+        .collect()
 }
 
 /// Generates an NTRU basis, resampling `f, g` until all checks pass.
@@ -260,9 +263,8 @@ pub fn generate_basis<R: RandomSource>(
         let g_big: Vec<BigInt> = g.iter().map(|&c| BigInt::from_i64(c)).collect();
         match solve_ntru(&f_big, &g_big) {
             Ok((cap_f, cap_g)) => {
-                let to_i64 = |p: &[BigInt]| -> Option<Vec<i64>> {
-                    p.iter().map(BigInt::to_i64).collect()
-                };
+                let to_i64 =
+                    |p: &[BigInt]| -> Option<Vec<i64>> { p.iter().map(BigInt::to_i64).collect() };
                 match (to_i64(&cap_f), to_i64(&cap_g)) {
                     (Some(cap_f), Some(cap_g)) => {
                         let basis = NtruBasis { f, g, cap_f, cap_g };
@@ -369,6 +371,10 @@ mod tests {
         let mean: f64 = f.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
         let var: f64 = f.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 1.0, "mean {mean}");
-        assert!((var - sigma * sigma).abs() < sigma * sigma, "var {var} vs {}", sigma * sigma);
+        assert!(
+            (var - sigma * sigma).abs() < sigma * sigma,
+            "var {var} vs {}",
+            sigma * sigma
+        );
     }
 }

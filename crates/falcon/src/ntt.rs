@@ -66,7 +66,10 @@ impl Ntt {
     ///
     /// Panics if `n` is not a power of two in `[2, 2048]`.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && (2..=2048).contains(&n), "unsupported ring size {n}");
+        assert!(
+            n.is_power_of_two() && (2..=2048).contains(&n),
+            "unsupported ring size {n}"
+        );
         let q = u64::from(Q);
         let g = find_generator();
         let psi = pow_mod(g, (q - 1) / (2 * n as u64), q);
@@ -83,7 +86,13 @@ impl Ntt {
             p = p * psi % q;
             pi = pi * psi_inv % q;
         }
-        Ntt { n, psi_powers, psi_inv_powers_scaled, omega, omega_inv }
+        Ntt {
+            n,
+            psi_powers,
+            psi_inv_powers_scaled,
+            omega,
+            omega_inv,
+        }
     }
 
     /// Ring size.

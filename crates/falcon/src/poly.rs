@@ -49,7 +49,10 @@ pub fn galois_conjugate(f: &[BigInt]) -> Vec<BigInt> {
 /// Panics if the length is odd or less than 2.
 pub fn field_norm(f: &[BigInt]) -> Vec<BigInt> {
     let n = f.len();
-    assert!(n >= 2 && n.is_multiple_of(2), "field norm needs even length");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "field norm needs even length"
+    );
     let prod = negacyclic_mul(f, &galois_conjugate(f));
     // f(x) f(-x) is invariant under x -> -x, so odd coefficients vanish.
     for (i, c) in prod.iter().enumerate() {
@@ -94,7 +97,11 @@ pub fn to_f64_scaled(c: &BigInt, shift: u32) -> f64 {
     }
     // Take the top 53 bits.
     let take = bits.min(53);
-    let top = c.magnitude().shr(bits - take).to_u64().expect("<= 53 bits fits") as f64;
+    let top = c
+        .magnitude()
+        .shr(bits - take)
+        .to_u64()
+        .expect("<= 53 bits fits") as f64;
     let exp = i64::from(bits) - i64::from(take) - i64::from(shift);
     let v = top * 2f64.powi(exp as i32);
     if c.is_negative() {
@@ -118,12 +125,18 @@ mod tests {
         let x = poly(&[0, 1]);
         assert_eq!(negacyclic_mul(&x, &x), poly(&[-1, 0]));
         // (1 + x)(1 - x) = 1 - x^2 = 2 mod x^2+1.
-        assert_eq!(negacyclic_mul(&poly(&[1, 1]), &poly(&[1, -1])), poly(&[2, 0]));
+        assert_eq!(
+            negacyclic_mul(&poly(&[1, 1]), &poly(&[1, -1])),
+            poly(&[2, 0])
+        );
     }
 
     #[test]
     fn galois_conjugate_signs() {
-        assert_eq!(galois_conjugate(&poly(&[1, 2, 3, 4])), poly(&[1, -2, 3, -4]));
+        assert_eq!(
+            galois_conjugate(&poly(&[1, 2, 3, 4])),
+            poly(&[1, -2, 3, -4])
+        );
     }
 
     #[test]
@@ -162,7 +175,7 @@ mod tests {
 
     #[test]
     fn scaled_f64_conversion() {
-        let c = BigInt::from_i64(3) .shl(100); // 3 * 2^100
+        let c = BigInt::from_i64(3).shl(100); // 3 * 2^100
         let v = to_f64_scaled(&c, 100);
         assert!((v - 3.0).abs() < 1e-12);
         let v2 = to_f64_scaled(&c.neg(), 90);

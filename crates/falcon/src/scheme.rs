@@ -37,7 +37,11 @@ impl FalconParams {
         let sigma_sig = 1.55 * f64::from(Q).sqrt();
         // Acceptance bound on ||(s0, s1)||^2.
         let beta = 1.1 * sigma_sig * (2.0 * n as f64).sqrt();
-        FalconParams { n, sigma_sig, beta_sq: beta * beta }
+        FalconParams {
+            n,
+            sigma_sig,
+            beta_sq: beta * beta,
+        }
     }
 
     /// The paper's Level 1 (N = 256).
@@ -217,7 +221,11 @@ impl SecretKey {
         let g_mod: Vec<u32> = basis.g.iter().map(|&c| to_mod_q(c)).collect();
         let f_inv = ntt.invert(&f_mod).expect("checked during basis generation");
         let h = ntt.mul(&g_mod, &f_inv);
-        let public = PublicKey { n: params.n, beta_sq: params.beta_sq, h };
+        let public = PublicKey {
+            n: params.n,
+            beta_sq: params.beta_sq,
+            h,
+        };
         Ok(SecretKey {
             params,
             basis,
@@ -374,7 +382,10 @@ mod tests {
     #[test]
     fn wrong_length_signature_rejected() {
         let sk = test_key(4, 105);
-        let sig = Signature { nonce: [0; 40], s1: vec![0i16; 8] };
+        let sig = Signature {
+            nonce: [0; 40],
+            s1: vec![0i16; 8],
+        };
         assert!(!sk.public_key().verify(b"msg", &sig));
     }
 
@@ -384,7 +395,12 @@ mod tests {
         let mut base = KnuthYaoCtBase::new(9);
         let mut rng = ChaChaRng::from_u64_seed(10);
         let sig = sk.sign(b"norm", &mut base, &mut rng).unwrap();
-        let max = sig.s1.iter().map(|&v| i32::from(v).unsigned_abs()).max().unwrap();
+        let max = sig
+            .s1
+            .iter()
+            .map(|&v| i32::from(v).unsigned_abs())
+            .max()
+            .unwrap();
         assert!(max < Q / 2, "|s1| max {max}");
     }
 

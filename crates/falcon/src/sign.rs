@@ -87,7 +87,11 @@ pub fn ff_sampling<B: BaseSampler + ?Sized, R: RandomSource>(
     aux: &mut R,
 ) -> (Vec<C64>, Vec<C64>) {
     match tree {
-        LdlTree::Leaf { l10, sigma0, sigma1 } => {
+        LdlTree::Leaf {
+            l10,
+            sigma0,
+            sigma1,
+        } => {
             // Ring size 2: re/im are the two real coefficients.
             let z1 = C64::new(
                 sampler_z(t1[0].re, *sigma1, base, aux) as f64,
@@ -100,7 +104,11 @@ pub fn ff_sampling<B: BaseSampler + ?Sized, R: RandomSource>(
             );
             (vec![z0], vec![z1])
         }
-        LdlTree::Node { l10, child0, child1 } => {
+        LdlTree::Node {
+            l10,
+            child0,
+            child1,
+        } => {
             let (t1_e, t1_o) = split(t1);
             let (z1_e, z1_o) = ff_sampling(&t1_e, &t1_o, child1, base, aux);
             let z1 = merge(&z1_e, &z1_o);
@@ -147,13 +155,13 @@ mod tests {
 
     /// A direct (non-constant-time, table-free) base sampler for tests:
     /// inverse-CDF over f64 probabilities of D_{Z,2}.
-    pub struct F64Base {
+    struct F64Base {
         rng: ChaChaRng,
         cdf: Vec<f64>,
     }
 
     impl F64Base {
-        pub fn new(seed: u64) -> Self {
+        fn new(seed: u64) -> Self {
             let norm = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
             let mut cdf = Vec::new();
             let mut acc = 0.0;
@@ -166,7 +174,10 @@ mod tests {
                 acc += p;
                 cdf.push(acc);
             }
-            F64Base { rng: ChaChaRng::from_u64_seed(seed), cdf }
+            F64Base {
+                rng: ChaChaRng::from_u64_seed(seed),
+                cdf,
+            }
         }
     }
 
@@ -219,7 +230,9 @@ mod tests {
         let n = 200_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            *counts.entry(sampler_z(c, s, &mut base, &mut aux)).or_insert(0u64) += 1;
+            *counts
+                .entry(sampler_z(c, s, &mut base, &mut aux))
+                .or_insert(0u64) += 1;
         }
         // Exact (normalized over a wide window).
         let lo = -12i64;

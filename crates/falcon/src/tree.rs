@@ -69,7 +69,11 @@ impl LdlTree {
         let (d11_e, d11_o) = split(&d11);
         let child0 = LdlTree::build(&d00_e, &d00_o, &d00_e, sigma_sig);
         let child1 = LdlTree::build(&d11_e, &d11_o, &d11_e, sigma_sig);
-        LdlTree::Node { l10, child0: Box::new(child0), child1: Box::new(child1) }
+        LdlTree::Node {
+            l10,
+            child0: Box::new(child0),
+            child1: Box::new(child1),
+        }
     }
 
     /// All leaf sigmas, in tree order (2 per base ring; `2n` total for ring
@@ -127,7 +131,11 @@ pub fn ldl_residual(g00: &[C64], g01: &[C64], g11: &[C64]) -> f64 {
         .collect();
     let e1 = sub_fft(&rec_g01, g01);
     let e2 = sub_fft(&rec_g11, g11);
-    e1.iter().chain(&e2).map(|c| c.norm_sq()).sum::<f64>().sqrt()
+    e1.iter()
+        .chain(&e2)
+        .map(|c| c.norm_sq())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Pointwise check hook used by signing tests: recompose `z B` and verify

@@ -33,12 +33,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value zero.
     pub fn zero() -> Self {
-        BigInt { negative: false, magnitude: BigUint::zero() }
+        BigInt {
+            negative: false,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        BigInt { negative: false, magnitude: BigUint::one() }
+        BigInt {
+            negative: false,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Creates a value from an `i64`.
@@ -51,13 +57,19 @@ impl BigInt {
 
     /// Creates a non-negative value from a magnitude.
     pub fn from_biguint(magnitude: BigUint) -> Self {
-        BigInt { negative: false, magnitude }
+        BigInt {
+            negative: false,
+            magnitude,
+        }
     }
 
     /// Creates a value from an explicit sign and magnitude.
     pub fn from_sign_magnitude(negative: bool, magnitude: BigUint) -> Self {
         let negative = negative && !magnitude.is_zero();
-        BigInt { negative, magnitude }
+        BigInt {
+            negative,
+            magnitude,
+        }
     }
 
     /// The absolute value as a [`BigUint`].
@@ -88,7 +100,10 @@ impl BigInt {
     /// `self + other`.
     pub fn add(&self, other: &BigInt) -> BigInt {
         if self.negative == other.negative {
-            return BigInt::from_sign_magnitude(self.negative, self.magnitude.add(&other.magnitude));
+            return BigInt::from_sign_magnitude(
+                self.negative,
+                self.magnitude.add(&other.magnitude),
+            );
         }
         match self.magnitude.cmp(&other.magnitude) {
             Ordering::Equal => BigInt::zero(),
@@ -180,7 +195,11 @@ impl BigInt {
     pub fn div_round_nearest(&self, other: &BigInt) -> BigInt {
         let (q, r) = self.magnitude.divmod(&other.magnitude);
         let twice_r = r.shl(1);
-        let q = if twice_r >= other.magnitude { q.add(&BigUint::one()) } else { q };
+        let q = if twice_r >= other.magnitude {
+            q.add(&BigUint::one())
+        } else {
+            q
+        };
         BigInt::from_sign_magnitude(self.negative != other.negative, q)
     }
 
@@ -289,7 +308,10 @@ mod tests {
 
     #[test]
     fn sign_normalization() {
-        assert_eq!(BigInt::from_sign_magnitude(true, BigUint::zero()), BigInt::zero());
+        assert_eq!(
+            BigInt::from_sign_magnitude(true, BigUint::zero()),
+            BigInt::zero()
+        );
         assert!(!bi(0).is_negative());
         assert!(bi(-1).is_negative());
         assert_eq!(bi(-5).neg(), bi(5));
@@ -348,7 +370,14 @@ mod tests {
 
     #[test]
     fn xgcd_bezout_identity() {
-        let cases = [(240i64, 46i64), (-240, 46), (240, -46), (-240, -46), (17, 0), (0, 9)];
+        let cases = [
+            (240i64, 46i64),
+            (-240, 46),
+            (240, -46),
+            (-240, -46),
+            (17, 0),
+            (0, 9),
+        ];
         for (a, b) in cases {
             let (g, u, v) = bi(a).xgcd(&bi(b));
             assert!(!g.is_negative());

@@ -46,7 +46,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -90,9 +92,7 @@ impl BigUint {
     pub fn bit_len(&self) -> u32 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
-            }
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
         }
     }
 
@@ -596,7 +596,13 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "10", "18446744073709551616", "123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "10",
+            "18446744073709551616",
+            "123456789012345678901234567890",
+        ] {
             assert_eq!(big(s).to_decimal_string(), s);
         }
         assert!(BigUint::from_decimal_str("").is_none());
@@ -622,7 +628,10 @@ mod tests {
 
     #[test]
     fn mul_known_values() {
-        assert_eq!(big("1000000007").mul(&big("998244353")), big("998244359987710471"));
+        assert_eq!(
+            big("1000000007").mul(&big("998244353")),
+            big("998244359987710471")
+        );
         let big_pow = BigUint::one().shl(100);
         assert_eq!(big_pow.mul(&big_pow), BigUint::one().shl(200));
         assert_eq!(big("5").mul(&BigUint::zero()), BigUint::zero());
@@ -637,9 +646,13 @@ mod tests {
         let mut limbs_a = Vec::new();
         let mut limbs_b = Vec::new();
         for _ in 0..40 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             limbs_a.push(seed);
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             limbs_b.push(seed);
         }
         a.limbs = limbs_a;

@@ -48,23 +48,35 @@ impl std::error::Error for ParseFixedError {}
 impl Fixed {
     /// The value zero at the given precision.
     pub fn zero(frac_bits: u32) -> Self {
-        Fixed { mantissa: BigUint::zero(), frac_bits }
+        Fixed {
+            mantissa: BigUint::zero(),
+            frac_bits,
+        }
     }
 
     /// The value one at the given precision.
     pub fn one(frac_bits: u32) -> Self {
-        Fixed { mantissa: BigUint::one().shl(frac_bits), frac_bits }
+        Fixed {
+            mantissa: BigUint::one().shl(frac_bits),
+            frac_bits,
+        }
     }
 
     /// Creates the integer value `v` at the given precision.
     pub fn from_u64(v: u64, frac_bits: u32) -> Self {
-        Fixed { mantissa: BigUint::from_u64(v).shl(frac_bits), frac_bits }
+        Fixed {
+            mantissa: BigUint::from_u64(v).shl(frac_bits),
+            frac_bits,
+        }
     }
 
     /// Creates a value from a raw mantissa: the result is
     /// `mantissa / 2^frac_bits`.
     pub fn from_mantissa(mantissa: BigUint, frac_bits: u32) -> Self {
-        Fixed { mantissa, frac_bits }
+        Fixed {
+            mantissa,
+            frac_bits,
+        }
     }
 
     /// Parses a decimal literal such as `"2"`, `"6.15543"` or `"0.75"`
@@ -77,24 +89,30 @@ impl Fixed {
     /// characters.
     pub fn from_decimal_str(s: &str, frac_bits: u32) -> Result<Self, ParseFixedError> {
         if s.is_empty() {
-            return Err(ParseFixedError { reason: "empty string" });
+            return Err(ParseFixedError {
+                reason: "empty string",
+            });
         }
         let mut parts = s.splitn(2, '.');
         let int_part = parts.next().unwrap_or("");
         let frac_part = parts.next().unwrap_or("");
         if int_part.is_empty() && frac_part.is_empty() {
-            return Err(ParseFixedError { reason: "no digits" });
+            return Err(ParseFixedError {
+                reason: "no digits",
+            });
         }
         let int_val = if int_part.is_empty() {
             BigUint::zero()
         } else {
-            BigUint::from_decimal_str(int_part)
-                .ok_or(ParseFixedError { reason: "non-digit in integer part" })?
+            BigUint::from_decimal_str(int_part).ok_or(ParseFixedError {
+                reason: "non-digit in integer part",
+            })?
         };
         let mut mantissa = int_val.shl(frac_bits);
         if !frac_part.is_empty() {
-            let digits = BigUint::from_decimal_str(frac_part)
-                .ok_or(ParseFixedError { reason: "non-digit in fractional part" })?;
+            let digits = BigUint::from_decimal_str(frac_part).ok_or(ParseFixedError {
+                reason: "non-digit in fractional part",
+            })?;
             // digits / 10^len scaled to 2^frac_bits, truncated.
             let mut denom = BigUint::one();
             for _ in 0..frac_part.len() {
@@ -103,7 +121,10 @@ impl Fixed {
             let (q, _r) = digits.shl(frac_bits).divmod(&denom);
             mantissa.add_assign(&q);
         }
-        Ok(Fixed { mantissa, frac_bits })
+        Ok(Fixed {
+            mantissa,
+            frac_bits,
+        })
     }
 
     /// Creates a value from a non-negative `f64` exactly (the binary
@@ -113,7 +134,10 @@ impl Fixed {
     ///
     /// Panics if `v` is negative, NaN or infinite.
     pub fn from_f64(v: f64, frac_bits: u32) -> Self {
-        assert!(v.is_finite() && v >= 0.0, "Fixed::from_f64 requires a finite non-negative value");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "Fixed::from_f64 requires a finite non-negative value"
+        );
         if v == 0.0 {
             return Self::zero(frac_bits);
         }
@@ -133,7 +157,10 @@ impl Fixed {
         } else {
             m.shr((-shift) as u32)
         };
-        Fixed { mantissa, frac_bits }
+        Fixed {
+            mantissa,
+            frac_bits,
+        }
     }
 
     /// The fractional precision in bits.
@@ -214,7 +241,10 @@ impl Fixed {
 
     /// `self * v` for an integer factor (exact).
     pub fn mul_u64(&self, v: u64) -> Fixed {
-        Fixed { mantissa: self.mantissa.mul_u64(v), frac_bits: self.frac_bits }
+        Fixed {
+            mantissa: self.mantissa.mul_u64(v),
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// `self / other`, truncated at the shared precision.
@@ -228,7 +258,10 @@ impl Fixed {
             return Err(ArithmeticError::DivisionByZero);
         }
         let (q, _r) = self.mantissa.shl(self.frac_bits).divmod(&other.mantissa);
-        Ok(Fixed { mantissa: q, frac_bits: self.frac_bits })
+        Ok(Fixed {
+            mantissa: q,
+            frac_bits: self.frac_bits,
+        })
     }
 
     /// `self / v` for an integer divisor (truncated).
@@ -238,17 +271,26 @@ impl Fixed {
     /// Panics if `v` is zero.
     pub fn div_u64(&self, v: u64) -> Fixed {
         let (q, _r) = self.mantissa.divmod_u64(v);
-        Fixed { mantissa: q, frac_bits: self.frac_bits }
+        Fixed {
+            mantissa: q,
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// `self / 2^bits` (exact shift).
     pub fn shr(&self, bits: u32) -> Fixed {
-        Fixed { mantissa: self.mantissa.shr(bits), frac_bits: self.frac_bits }
+        Fixed {
+            mantissa: self.mantissa.shr(bits),
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// `self * 2^bits` (exact shift).
     pub fn shl(&self, bits: u32) -> Fixed {
-        Fixed { mantissa: self.mantissa.shl(bits), frac_bits: self.frac_bits }
+        Fixed {
+            mantissa: self.mantissa.shl(bits),
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// The integer part `floor(self)`.
@@ -263,14 +305,20 @@ impl Fixed {
     ///
     /// Panics if `i` is zero or exceeds `frac_bits`.
     pub fn frac_bit(&self, i: u32) -> bool {
-        assert!(i >= 1 && i <= self.frac_bits, "fractional bit index out of range");
+        assert!(
+            i >= 1 && i <= self.frac_bits,
+            "fractional bit index out of range"
+        );
         self.mantissa.bit(self.frac_bits - i)
     }
 
     /// Truncates the fraction to its `n` most significant bits
     /// (`floor(self * 2^n) / 2^n`), keeping the same declared precision.
     pub fn truncate_frac(&self, n: u32) -> Fixed {
-        assert!(n <= self.frac_bits, "cannot truncate to more bits than available");
+        assert!(
+            n <= self.frac_bits,
+            "cannot truncate to more bits than available"
+        );
         let drop = self.frac_bits - n;
         Fixed {
             mantissa: self.mantissa.shr(drop).shl(drop),
@@ -286,7 +334,10 @@ impl Fixed {
         } else {
             self.mantissa.shr(self.frac_bits - frac_bits)
         };
-        Fixed { mantissa, frac_bits }
+        Fixed {
+            mantissa,
+            frac_bits,
+        }
     }
 
     /// Nearest `f64`.
@@ -346,7 +397,10 @@ mod tests {
 
     #[test]
     fn from_f64_exact_dyadics() {
-        assert_eq!(Fixed::from_f64(0.75, 16).mantissa().to_u64().unwrap(), 3 << 14);
+        assert_eq!(
+            Fixed::from_f64(0.75, 16).mantissa().to_u64().unwrap(),
+            3 << 14
+        );
         assert_eq!(Fixed::from_f64(0.0, 16), Fixed::zero(16));
         assert_eq!(Fixed::from_f64(5.0, 16), Fixed::from_u64(5, 16));
         let tiny = Fixed::from_f64(2f64.powi(-100), 128);
@@ -383,7 +437,10 @@ mod tests {
     #[test]
     fn division_by_zero_is_error() {
         let a = Fixed::one(8);
-        assert_eq!(a.div(&Fixed::zero(8)).unwrap_err(), ArithmeticError::DivisionByZero);
+        assert_eq!(
+            a.div(&Fixed::zero(8)).unwrap_err(),
+            ArithmeticError::DivisionByZero
+        );
     }
 
     #[test]

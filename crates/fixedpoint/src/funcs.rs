@@ -181,10 +181,7 @@ mod tests {
     fn first_64_frac_bits(x: &Fixed) -> u64 {
         let f = x.frac_bits();
         assert!(f >= 64);
-        let frac_only = x
-            .mantissa()
-            .clone()
-            .sub(&x.mantissa().shr(f).shl(f));
+        let frac_only = x.mantissa().clone().sub(&x.mantissa().shr(f).shl(f));
         frac_only.shr(f - 64).to_u64().unwrap()
     }
 
@@ -213,7 +210,14 @@ mod tests {
 
     #[test]
     fn exp_neg_matches_f64() {
-        for (s, x) in [("0", 0.0f64), ("0.125", 0.125), ("1", 1.0), ("2.5", 2.5), ("10", 10.0), ("33.3", 33.3)] {
+        for (s, x) in [
+            ("0", 0.0f64),
+            ("0.125", 0.125),
+            ("1", 1.0),
+            ("2.5", 2.5),
+            ("10", 10.0),
+            ("33.3", 33.3),
+        ] {
             let fx = Fixed::from_decimal_str(s, 160).unwrap();
             let got = exp_neg(&fx).to_f64();
             let want = (-x).exp();

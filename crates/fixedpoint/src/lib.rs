@@ -64,7 +64,10 @@ impl core::fmt::Display for ArithmeticError {
         match self {
             ArithmeticError::DivisionByZero => write!(f, "division by zero"),
             ArithmeticError::PrecisionMismatch { left, right } => {
-                write!(f, "fixed-point precision mismatch: {left} vs {right} fractional bits")
+                write!(
+                    f,
+                    "fixed-point precision mismatch: {left} vs {right} fractional bits"
+                )
             }
             ArithmeticError::NegativeInput => write!(f, "operation requires a non-negative input"),
         }

@@ -29,7 +29,10 @@ pub struct BitString {
 impl BitString {
     /// The empty bit string.
     pub fn new() -> Self {
-        BitString { words: Vec::new(), len: 0 }
+        BitString {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Builds from a slice of bits in consumption order (`bits[0]` = `b_0`).
@@ -69,7 +72,11 @@ impl BitString {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: u32) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -144,7 +151,10 @@ mod tests {
     fn leading_ones_counts_run() {
         assert_eq!(BitString::from_bits(&[]).leading_ones(), 0);
         assert_eq!(BitString::from_bits(&[false]).leading_ones(), 0);
-        assert_eq!(BitString::from_bits(&[true, true, false, true]).leading_ones(), 2);
+        assert_eq!(
+            BitString::from_bits(&[true, true, false, true]).leading_ones(),
+            2
+        );
         assert_eq!(BitString::from_bits(&[true, true, true]).leading_ones(), 3);
     }
 

@@ -54,8 +54,14 @@ impl DdgTree {
     /// Panics if `levels` exceeds [`Self::MAX_LEVELS`] or the matrix
     /// precision.
     pub fn build(matrix: &ProbabilityMatrix, levels: u32) -> Self {
-        assert!(levels <= Self::MAX_LEVELS, "explicit DDG tree capped at 24 levels");
-        assert!(levels <= matrix.precision(), "tree cannot be deeper than the precision");
+        assert!(
+            levels <= Self::MAX_LEVELS,
+            "explicit DDG tree capped at 24 levels"
+        );
+        assert!(
+            levels <= matrix.precision(),
+            "tree cannot be deeper than the precision"
+        );
         let mut out = Vec::new();
         let mut internal_above = 1u64; // the root
         for i in 0..levels {
@@ -135,8 +141,7 @@ mod tests {
     use crate::{enumerate_leaves, GaussianParams};
 
     fn fig1_tree() -> (ProbabilityMatrix, DdgTree) {
-        let m =
-            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+        let m = ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
         let t = DdgTree::build(&m, 6);
         (m, t)
     }

@@ -139,7 +139,11 @@ mod tests {
         for (sigma, n) in [("2", 6), ("2", 16), ("1", 20), ("3.2", 24)] {
             let m = matrix(sigma, n);
             let total: u32 = m.column_weights().iter().sum();
-            assert_eq!(enumerate_leaves(&m).len() as u32, total, "sigma={sigma} n={n}");
+            assert_eq!(
+                enumerate_leaves(&m).len() as u32,
+                total,
+                "sigma={sigma} n={n}"
+            );
         }
     }
 
@@ -170,7 +174,12 @@ mod tests {
                 .walk_with(&mut src)
                 .expect("leaf string must terminate the walk");
             assert_eq!(got, leaf.value, "leaf {:?}", leaf.bits);
-            assert_eq!(bits.next(), None, "walk must consume all bits of {:?}", leaf.bits);
+            assert_eq!(
+                bits.next(),
+                None,
+                "walk must consume all bits of {:?}",
+                leaf.bits
+            );
         }
     }
 

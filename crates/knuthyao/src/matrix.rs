@@ -39,7 +39,10 @@ impl fmt::Display for ParamError {
         match self {
             ParamError::InvalidSigma(s) => write!(f, "invalid sigma literal: {s:?}"),
             ParamError::SigmaTooSmall => {
-                write!(f, "sigma must be at least 0.8 for the doubled-row matrix layout")
+                write!(
+                    f,
+                    "sigma must be at least 0.8 for the doubled-row matrix layout"
+                )
             }
             ParamError::InvalidPrecision(n) => {
                 write!(f, "precision must be in [2, 256] bits, got {n}")
@@ -158,9 +161,7 @@ impl ProbabilityMatrix {
 
         // 1 / (2 sigma^2), reused for every row.
         let two_sigma_sq = params.sigma.mul(&params.sigma).mul_u64(2);
-        let inv_two_sigma_sq = Fixed::one(work_bits)
-            .div(&two_sigma_sq)
-            .expect("sigma > 0");
+        let inv_two_sigma_sq = Fixed::one(work_bits).div(&two_sigma_sq).expect("sigma > 0");
 
         // Unnormalized weights: rho(0) for row 0, 2 rho(v) for v >= 1,
         // where rho(v) = exp(-v^2 / 2 sigma^2).
@@ -192,7 +193,11 @@ impl ProbabilityMatrix {
             let row: Vec<bool> = (1..=n).map(|i| p.frac_bit(i)).collect();
             bits.push(row);
         }
-        Ok(ProbabilityMatrix { bits, precision: n, params: params.clone() })
+        Ok(ProbabilityMatrix {
+            bits,
+            precision: n,
+            params: params.clone(),
+        })
     }
 
     /// Number of rows (`tau * sigma + 1`), i.e. the support `[0, rows)`.
@@ -242,10 +247,7 @@ impl ProbabilityMatrix {
     /// The samples (row indices) whose bit is set in column `j`, ordered
     /// bottom-up (largest row first) — the order Algorithm 1 scans them.
     pub fn column_samples_bottom_up(&self, j: u32) -> Vec<u32> {
-        (0..self.rows())
-            .rev()
-            .filter(|&v| self.bit(v, j))
-            .collect()
+        (0..self.rows()).rev().filter(|&v| self.bit(v, j)).collect()
     }
 
     /// Number of bits needed to represent any sample value.
@@ -351,7 +353,10 @@ mod tests {
         let deficit = full - mass;
         // Truncation drops < 1 ulp per row plus the tail mass.
         assert!(deficit < u128::from(m.rows()) + 16, "deficit {deficit}");
-        assert!(deficit > 0, "exact mass 1 is impossible for a Gaussian (Theorem 1)");
+        assert!(
+            deficit > 0,
+            "exact mass 1 is impossible for a Gaussian (Theorem 1)"
+        );
     }
 
     #[test]
@@ -364,8 +369,7 @@ mod tests {
 
     #[test]
     fn column_samples_bottom_up_order() {
-        let m =
-            ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
+        let m = ProbabilityMatrix::build(&GaussianParams::from_sigma_str("2", 6).unwrap()).unwrap();
         // Column 2 has rows 0, 2, 3 set; bottom-up = [3, 2, 0].
         assert_eq!(m.column_samples_bottom_up(2), vec![3, 2, 0]);
     }

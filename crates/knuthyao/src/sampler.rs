@@ -147,7 +147,10 @@ mod tests {
             }
         }
         let ratio = f64::from(neg) / f64::from(pos);
-        assert!((0.9..1.1).contains(&ratio), "asymmetric signs: {neg} vs {pos}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "asymmetric signs: {neg} vs {pos}"
+        );
     }
 
     #[test]

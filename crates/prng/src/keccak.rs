@@ -1,8 +1,8 @@
-//! The Keccak-f[1600] permutation, SHAKE XOFs and a Keccak-based PRNG.
+//! The Keccak-f\[1600\] permutation, SHAKE XOFs and a Keccak-based PRNG.
 
 use crate::RandomSource;
 
-/// Round constants for Keccak-f[1600] (computed from the LFSR definition in
+/// Round constants for Keccak-f\[1600\] (computed from the LFSR definition in
 /// FIPS 202 at first use; cached thereafter).
 fn round_constants() -> [u64; 24] {
     // rc(t) LFSR over GF(2): x^8 + x^6 + x^5 + x^4 + 1.
@@ -39,7 +39,7 @@ const RHO: [[u32; 5]; 5] = [
     [27, 20, 39, 8, 14],
 ];
 
-/// The Keccak-f[1600] permutation state: 25 lanes of 64 bits, indexed
+/// The Keccak-f\[1600\] permutation state: 25 lanes of 64 bits, indexed
 /// `lane[x + 5*y]`.
 ///
 /// # Examples
@@ -66,7 +66,10 @@ impl Default for KeccakF1600 {
 impl KeccakF1600 {
     /// Creates an all-zero state.
     pub fn new() -> Self {
-        KeccakF1600 { lanes: [0; 25], constants: round_constants() }
+        KeccakF1600 {
+            lanes: [0; 25],
+            constants: round_constants(),
+        }
     }
 
     /// Read-only view of the 25 lanes.
@@ -93,7 +96,7 @@ impl KeccakF1600 {
         }
     }
 
-    /// Applies the 24-round Keccak-f[1600] permutation.
+    /// Applies the 24-round Keccak-f\[1600\] permutation.
     pub fn permute(&mut self) {
         let a = &mut self.lanes;
         for round in 0..24 {

@@ -83,7 +83,11 @@ pub struct BitBuffer<R> {
 impl<R: RandomSource> BitBuffer<R> {
     /// Wraps a byte source into a bit source.
     pub fn new(src: R) -> Self {
-        BitBuffer { src, word: 0, avail: 0 }
+        BitBuffer {
+            src,
+            word: 0,
+            avail: 0,
+        }
     }
 
     /// Returns the wrapped source.

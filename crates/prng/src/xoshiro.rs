@@ -71,7 +71,10 @@ impl Xoshiro256pp {
     ///
     /// Panics if all four state words are zero.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
         Xoshiro256pp { s }
     }
 
@@ -79,7 +82,9 @@ impl Xoshiro256pp {
     /// seeding procedure recommended by the xoshiro authors).
     pub fn from_u64_seed(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256pp { s: [sm.next(), sm.next(), sm.next(), sm.next()] }
+        Xoshiro256pp {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
     }
 
     /// Advances the state and returns the next output.

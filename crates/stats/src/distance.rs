@@ -1,7 +1,7 @@
 //! Distance and divergence measures between discrete distributions.
 //!
-//! The paper's conclusion singles out Rényi divergence [28] and the
-//! max-log distance [25] as the tools for reducing the precision (and
+//! The paper's conclusion singles out Rényi divergence \[28\] and the
+//! max-log distance \[25\] as the tools for reducing the precision (and
 //! hence the randomness cost) of Gaussian sampling; they are provided here
 //! alongside the classical statistical distance used to pick `(n, tau)`.
 
@@ -77,7 +77,7 @@ pub fn renyi_divergence(p: &[f64], q: &[f64], alpha: f64) -> f64 {
 }
 
 /// Max-log distance `max_i |ln p_i - ln q_i|` over the common support
-/// (Micciancio-Walter [25]).
+/// (Micciancio-Walter \[25\]).
 ///
 /// Points where exactly one distribution vanishes give infinity; points
 /// where both vanish are ignored.
@@ -141,7 +141,10 @@ mod tests {
         let r2 = renyi_divergence(&p, &q, 2.0);
         let r8 = renyi_divergence(&p, &q, 8.0);
         assert!(r2 > 0.0);
-        assert!(r8 >= r2, "Renyi must be non-decreasing in order: {r2} vs {r8}");
+        assert!(
+            r8 >= r2,
+            "Renyi must be non-decreasing in order: {r2} vs {r8}"
+        );
     }
 
     #[test]

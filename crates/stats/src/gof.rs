@@ -76,7 +76,12 @@ pub fn chi_square_test(histogram: &Histogram, pmf: &[f64]) -> ChiSquare {
     let bins = pooled.len() as u32;
     let dof = bins.saturating_sub(1).max(1);
     let p_value = chi_square_sf(statistic, f64::from(dof));
-    ChiSquare { statistic, dof, p_value, bins }
+    ChiSquare {
+        statistic,
+        dof,
+        p_value,
+        bins,
+    }
 }
 
 /// Survival function of the chi-square distribution:

@@ -33,7 +33,12 @@ impl Histogram {
     pub fn new(min: i32, max: i32) -> Self {
         assert!(min <= max, "invalid histogram range");
         let size = (i64::from(max) - i64::from(min) + 1) as usize;
-        Histogram { min, max, counts: vec![0; size], outliers: 0 }
+        Histogram {
+            min,
+            max,
+            counts: vec![0; size],
+            outliers: 0,
+        }
     }
 
     /// Records one sample (out-of-range samples are counted separately).

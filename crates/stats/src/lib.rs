@@ -3,8 +3,8 @@
 //! Used by the Figure 5 reproduction (histograms of 64 x 10^7 samples) and
 //! by distribution-correctness tests throughout the workspace. Also
 //! implements the divergence measures the paper's conclusion points to as
-//! the route to lower-precision sampling: Rényi divergence [28] and the
-//! max-log distance [25].
+//! the route to lower-precision sampling: Rényi divergence \[28\] and the
+//! max-log distance \[25\].
 //!
 //! # Examples
 //!

@@ -19,7 +19,11 @@ fn main() {
     // Stage 1: the probability matrix (Section 3.2).
     let params = GaussianParams::from_sigma_str(sigma, n).expect("valid");
     let matrix = ProbabilityMatrix::build(&params).expect("builds");
-    println!("stage 1 — probability matrix ({} rows x {} bits):", matrix.rows(), n);
+    println!(
+        "stage 1 — probability matrix ({} rows x {} bits):",
+        matrix.rows(),
+        n
+    );
     for v in 0..6 {
         println!("   P{v} = 0.{}", matrix.row_string(v));
     }
@@ -31,8 +35,15 @@ fn main() {
 
     // Stage 3: the list L (Section 5.1) and Theorem 1's shape.
     let leaves = enumerate_leaves(&matrix);
-    println!("stage 3 — list L: {} sample-generating bit strings", leaves.len());
-    println!("   Delta = {}, n' = {}", delta(&leaves), max_run_length(&leaves));
+    println!(
+        "stage 3 — list L: {} sample-generating bit strings",
+        leaves.len()
+    );
+    println!(
+        "   Delta = {}, n' = {}",
+        delta(&leaves),
+        max_run_length(&leaves)
+    );
     for leaf in leaves.iter().take(5) {
         println!(
             "   {} -> {}   (k = {}, j = {})",

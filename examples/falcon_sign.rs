@@ -40,14 +40,21 @@ fn main() {
     println!("\nsign: {:?}", t.elapsed());
 
     let sig_bytes = encode_signature(&sig).expect("encodes");
-    println!("  signature: {} bytes (nonce 40 + compressed s1)", sig_bytes.len());
+    println!(
+        "  signature: {} bytes (nonce 40 + compressed s1)",
+        sig_bytes.len()
+    );
 
     // Round-trip through the wire format and verify.
     let decoded = decode_signature(&sig_bytes, params.n()).expect("decodes");
     assert_eq!(decoded, sig);
     let t = Instant::now();
     let ok = sk.public_key().verify(message, &decoded);
-    println!("verify: {:?} -> {}", t.elapsed(), if ok { "ACCEPT" } else { "REJECT" });
+    println!(
+        "verify: {:?} -> {}",
+        t.elapsed(),
+        if ok { "ACCEPT" } else { "REJECT" }
+    );
     assert!(ok);
 
     // Tampering must fail.

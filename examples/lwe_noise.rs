@@ -23,7 +23,9 @@ fn main() {
     let mut rng = ChaChaRng::from_u64_seed(0x1_3E);
 
     // Secret and public matrix (uniform), error from the Gaussian.
-    let secret: Vec<i64> = (0..DIM).map(|_| i64::from(rng.next_u32() % 3) - 1).collect();
+    let secret: Vec<i64> = (0..DIM)
+        .map(|_| i64::from(rng.next_u32() % 3) - 1)
+        .collect();
     let rows = 256;
     let mut stream = sampler.stream();
     let mut a_rows = Vec::with_capacity(rows);
@@ -42,8 +44,12 @@ fn main() {
     // A holder of the secret recovers each error term exactly.
     let recovered: Vec<i64> = (0..rows)
         .map(|i| {
-            let dot: i64 =
-                a_rows[i].iter().zip(&secret).map(|(x, s)| x * s % Q).sum::<i64>() % Q;
+            let dot: i64 = a_rows[i]
+                .iter()
+                .zip(&secret)
+                .map(|(x, s)| x * s % Q)
+                .sum::<i64>()
+                % Q;
             let mut e = (b_vals[i] - dot).rem_euclid(Q);
             if e > Q / 2 {
                 e -= Q;
@@ -69,7 +75,11 @@ fn main() {
         gof.statistic,
         gof.dof,
         gof.p_value,
-        if gof.rejects_at(0.001) { "REJECTED" } else { "consistent with D_sigma" }
+        if gof.rejects_at(0.001) {
+            "REJECTED"
+        } else {
+            "consistent with D_sigma"
+        }
     );
     assert!(!gof.rejects_at(0.001));
 }

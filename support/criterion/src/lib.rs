@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by the workspace's
+//! benches (`criterion_group!`, `criterion_main!`, [`Criterion`],
+//! [`BenchmarkId`], [`Throughput`], benchmark groups and `Bencher::iter`)
+//! with a real warm-up + median-of-samples timing loop. See
+//! `support/README.md` for the differences from upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark configuration, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            config: self,
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter value,
+/// rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+/// Units processed per benchmark iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (samples, signatures, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how many units each iteration of subsequent benchmarks
+    /// processes.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Times `f` and prints one result line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), &mut f);
+        self
+    }
+
+    /// Times `f` with an explicit input and prints one result line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream parity; all reporting is per-benchmark).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            config: self.config.clone(),
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.full);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if bencher.median_ns > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / (bencher.median_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if bencher.median_ns > 0.0 => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / (bencher.median_ns * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label:<52} {:>14.1} ns/iter  [{} samples]{rate}",
+            bencher.median_ns, bencher.samples
+        );
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Criterion,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warm-up phase (which also calibrates the
+    /// batch size), then `sample_size` timed samples within the
+    /// measurement-time budget. Records the median ns-per-iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the cost of one iteration.
+        let warmup_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Pick a batch size so one sample costs roughly
+        // measurement_time / sample_size.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.config.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).floor() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline && samples_ns.len() >= 2 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("time is finite"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.samples = samples_ns.len();
+    }
+}
+
+/// Defines a benchmark group function, in either the plain or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

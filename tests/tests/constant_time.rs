@@ -37,7 +37,10 @@ fn dudect_finds_no_leak_in_bitsliced_sampler() {
         .collect();
     let mut idx = 0usize;
     let report = run_test(
-        &DudectConfig { measurements: 30_000, warmup: 1_000 },
+        &DudectConfig {
+            measurements: 30_000,
+            warmup: 1_000,
+        },
         |class| {
             let inputs: &[u64] = match class {
                 Class::Fixed => &zero,
@@ -64,7 +67,10 @@ fn dudect_detects_the_variable_time_reference() {
     // Failure injection: a deliberately input-dependent operation modeled
     // on the column-scan walk's early exit must be flagged.
     let report = run_test(
-        &DudectConfig { measurements: 30_000, warmup: 1_000 },
+        &DudectConfig {
+            measurements: 30_000,
+            warmup: 1_000,
+        },
         |class| {
             let spin = match class {
                 Class::Fixed => 2_000u64,

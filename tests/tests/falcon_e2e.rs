@@ -129,7 +129,9 @@ fn signature_norms_concentrate_below_bound() {
     let mut base = BinaryCdtBase::new(60);
     let mut norms = Vec::new();
     for i in 0..10u64 {
-        let sig = sk.sign(&i.to_le_bytes(), &mut base, &mut rng).expect("signs");
+        let sig = sk
+            .sign(&i.to_le_bytes(), &mut base, &mut rng)
+            .expect("signs");
         let norm_sq: f64 = sig.s1.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         norms.push(norm_sq.sqrt());
     }

@@ -95,7 +95,9 @@ fn sampler_works_for_sqrt5_sigma() {
     // The paper's "other instance" (sigma = sqrt 5 ~ 2.2360679...): smoke
     // test that a non-trivial decimal expansion flows through the whole
     // pipeline.
-    let s = SamplerBuilder::new("2.2360679774997896", 48).build().unwrap();
+    let s = SamplerBuilder::new("2.2360679774997896", 48)
+        .build()
+        .unwrap();
     let mut rng = ChaChaRng::from_u64_seed(6);
     let mut stream = s.stream();
     let bound = s.matrix().rows() - 1;
