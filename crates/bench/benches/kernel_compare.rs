@@ -1,0 +1,57 @@
+//! Compiled execution engine vs reference interpreter, per 64-sample batch
+//! (PRNG excluded — both sides consume the same pre-generated words).
+//!
+//! The compiled side is `CtSampler::run_batch` (lowered kernel: DCE, op
+//! fusion, linear-scan slot allocation); the interpreter side is
+//! `CtSampler::run_batch_reference` (per-op `match` over the full SSA
+//! register file). Divide the reported per-batch time by 64 for
+//! per-sample ns. The wide rows execute 4 batch records per kernel pass
+//! through reusable scratch (256 samples per iteration).
+//!
+//! Configurations: sigma = 2 at n = 24 (the acceptance configuration),
+//! the paper's Falcon base distribution sigma = 2 at n = 128, and the
+//! large-sigma Table 2 case sigma = 6.15543 at n = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctgauss_core::{SamplerBuilder, Strategy};
+use ctgauss_prng::{ChaChaRng, RandomSource, SplitMix64};
+
+fn bench_kernel_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compare_64samples");
+    for (sigma, n) in [("2", 24u32), ("2", 128), ("6.15543", 128)] {
+        let id = format!("sigma{sigma}_n{n}");
+        let sampler = SamplerBuilder::new(sigma, n)
+            .strategy(Strategy::SplitExact)
+            .build()
+            .expect("valid parameters");
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        let mut inputs = vec![0u64; n as usize];
+        rng.fill_u64s(&mut inputs);
+        let signs = rng.next_u64();
+        group.bench_with_input(BenchmarkId::new("interpreter", &id), &id, |b, _| {
+            b.iter(|| std::hint::black_box(sampler.run_batch_reference(&inputs, signs)))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", &id), &id, |b, _| {
+            b.iter(|| std::hint::black_box(sampler.run_batch(&inputs, signs)))
+        });
+        // Wide compiled path, PRNG included but cheap (SplitMix64):
+        // 256 samples per iteration through reused scratch.
+        let mut fast_rng = SplitMix64::new(17);
+        let mut scratch = sampler.scratch::<4>();
+        let mut out = [0i32; 256];
+        group.bench_with_input(BenchmarkId::new("compiled_wide4", &id), &id, |b, _| {
+            b.iter(|| {
+                sampler.sample_batch_with(&mut fast_rng, &mut scratch, &mut out);
+                std::hint::black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_kernel_compare
+}
+criterion_main!(benches);

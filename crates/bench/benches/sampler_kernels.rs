@@ -1,5 +1,9 @@
 //! Criterion benches behind Table 2: sampler kernels with pre-generated
 //! randomness (PRNG excluded), simple vs split-exact minimization.
+//!
+//! `run_batch` executes the compiled engine (fused, register-allocated
+//! kernel); the interpreter-vs-compiled comparison itself lives in the
+//! `kernel_compare` bench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctgauss_core::{SamplerBuilder, Strategy};

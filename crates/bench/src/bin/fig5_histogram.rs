@@ -33,7 +33,7 @@ fn main() {
         );
         let sampler = SamplerBuilder::new(sigma, 64).build().expect("builds");
         let bound = sampler.matrix().rows() - 1;
-        let mut rng = ChaChaRng::from_u64_seed(0xF16_5);
+        let mut rng = ChaChaRng::from_u64_seed(0xF165);
         let mut hist = Histogram::new(-(bound as i32), bound as i32);
         for _ in 0..batches {
             for s in sampler.sample_batch(&mut rng) {

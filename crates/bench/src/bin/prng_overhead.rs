@@ -60,6 +60,7 @@ fn main() {
     );
     println!();
     println!("note: the paper's shares assume a compiled ~36-cycle/sample kernel;");
-    println!("our interpreted kernel is larger, lowering the PRNG share. The");
+    println!("our compiled kernel narrows that gap (see kernel_compare), and the");
+    println!("block-filled fill_u64s overrides cut the PRNG-only cost itself. The");
     println!("Keccak-to-ChaCha PRNG cost ratio (~3x) matches the paper's implied ratio.");
 }

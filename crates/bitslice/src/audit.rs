@@ -6,6 +6,7 @@
 //! instruction sequence and the same memory addresses for every input, and
 //! every output is a pure function of the declared random-input words.
 
+use crate::kernel::{CompiledKernel, Opcode};
 use crate::{Op, Program};
 
 /// Result of auditing a [`Program`].
@@ -97,6 +98,75 @@ pub fn audit(program: &Program) -> AuditReport {
     }
 }
 
+/// Audits a [`CompiledKernel`] — the fused-opcode counterpart of [`audit`],
+/// so the constant-time argument survives the lowering optimization.
+///
+/// The kernel is straight-line by construction (a fixed instruction list
+/// over a fixed slot array, no data-dependent addressing), and every fused
+/// opcode (`AndNot`, `Xnor`, …) is a pure word function of its operands;
+/// the forward dataflow pass therefore tracks per-slot input supports
+/// exactly as [`audit`] tracks per-register supports. Lowering never adds
+/// an input dependence, so each output support here is a subset of the
+/// source program's (constant folding can shrink it; fusion preserves it).
+///
+/// `dead_ops` is 0 by construction: lowering eliminates unreachable code.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_bitslice::{audit, audit_kernel, CompiledKernel, Op, Program};
+///
+/// let p = Program::new(
+///     2,
+///     vec![Op::Input(0), Op::Input(1), Op::Not(1), Op::And(0, 2)],
+///     vec![3],
+/// );
+/// let report = audit_kernel(&CompiledKernel::lower(&p));
+/// assert!(report.is_constant_time());
+/// assert_eq!(report.output_supports, audit(&p).output_supports);
+/// ```
+pub fn audit_kernel(kernel: &CompiledKernel) -> AuditReport {
+    // Forward pass over the instruction list, tracking the input support
+    // of each *slot*. Slot reuse is sound here for the same reason it is
+    // sound at execution time: dataflow is strictly forward.
+    let mut slot_supports: Vec<Vec<u32>> = vec![Vec::new(); kernel.num_slots()];
+    for instr in kernel.instrs() {
+        let s = match instr.op {
+            Opcode::Input => vec![u32::from(instr.a)],
+            Opcode::Zero | Opcode::One => Vec::new(),
+            Opcode::Not => slot_supports[instr.a as usize].clone(),
+            Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::AndNot
+            | Opcode::OrNot
+            | Opcode::Nand
+            | Opcode::Nor
+            | Opcode::Xnor => {
+                let mut merged = slot_supports[instr.a as usize].clone();
+                for &v in &slot_supports[instr.b as usize] {
+                    if !merged.contains(&v) {
+                        merged.push(v);
+                    }
+                }
+                merged.sort_unstable();
+                merged
+            }
+        };
+        slot_supports[instr.dst as usize] = s;
+    }
+    AuditReport {
+        straight_line: true,
+        output_supports: kernel
+            .output_slots()
+            .iter()
+            .map(|&s| slot_supports[s as usize].clone())
+            .collect(),
+        dead_ops: 0,
+        gates: kernel.gate_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +214,59 @@ mod tests {
         let p = Program::new(1, vec![Op::Input(0), Op::Const(true)], vec![1]);
         let r = audit(&p);
         assert_eq!(r.output_supports, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn kernel_audit_matches_program_audit_on_fused_ops() {
+        // A fused Xnor plus a shared Not that fusion must leave alone
+        // (two consumers), all in one program.
+        let p = Program::new(
+            3,
+            vec![
+                Op::Input(0),
+                Op::Input(1),
+                Op::Input(2),
+                Op::Not(1), // shared: feeds ops 4 and 7, stays a Not
+                Op::And(0, 3),
+                Op::Xor(0, 2),
+                Op::Not(5), // single-use Xor: fuses to Xnor(0, 2)
+                Op::Or(3, 2),
+            ],
+            vec![4, 6, 7],
+        );
+        let k = CompiledKernel::lower(&p);
+        let rk = audit_kernel(&k);
+        assert!(rk.is_constant_time());
+        assert_eq!(rk.output_supports, audit(&p).output_supports);
+        assert_eq!(rk.dead_ops, 0);
+    }
+
+    #[test]
+    fn kernel_audit_support_shrinks_under_folding() {
+        // x & 0 folds to 0: the kernel's support is empty while the source
+        // program's support still names x.
+        let p = Program::new(
+            1,
+            vec![Op::Input(0), Op::Const(false), Op::And(0, 1)],
+            vec![2],
+        );
+        let rk = audit_kernel(&CompiledKernel::lower(&p));
+        assert_eq!(rk.output_supports, vec![Vec::<u32>::new()]);
+        assert_eq!(audit(&p).output_supports, vec![vec![0]]);
+    }
+
+    #[test]
+    fn kernel_audit_tracks_supports_through_slot_reuse() {
+        // A chain long enough to force slot recycling; the final support
+        // must still name both inputs.
+        let mut ops = vec![Op::Input(0), Op::Input(1), Op::Xor(0, 1)];
+        for _ in 0..10 {
+            let prev = (ops.len() - 1) as u32;
+            ops.push(Op::And(prev, 0));
+        }
+        let last = (ops.len() - 1) as u32;
+        let p = Program::new(2, ops, vec![last]);
+        let rk = audit_kernel(&CompiledKernel::lower(&p));
+        assert_eq!(rk.output_supports, vec![vec![0, 1]]);
     }
 }

@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn compiles_and_evaluates_simple() {
         let e = Expr::mux(Expr::var(0), Expr::var(1), Expr::var(2));
-        let p = compile(&[e.clone()], 3);
+        let p = compile(std::slice::from_ref(&e), 3);
         // Check against scalar evaluation on all 8 assignments, batched in
         // one interpretation using lanes 0..7.
         let mut inputs = [0u64; 3];
@@ -210,7 +210,7 @@ mod tests {
         /// 4 variables (each assignment in its own lane).
         #[test]
         fn prop_compile_preserves_semantics(e in arb_expr(6)) {
-            let p = compile(&[e.clone()], 4);
+            let p = compile(std::slice::from_ref(&e), 4);
             let mut inputs = [0u64; 4];
             for m in 0..16u64 {
                 for (bit, input) in inputs.iter_mut().enumerate() {

@@ -1,0 +1,1034 @@
+//! Lowering of straight-line [`Program`]s into compiled, register-allocated
+//! kernels.
+//!
+//! The per-op [`interpret`](crate::interpret) loop is the reference oracle:
+//! simple, obviously correct, and slow — it dispatches a `match` per SSA op
+//! and keeps a register file as large as the whole program. This module
+//! closes that gap with a one-time lowering pass:
+//!
+//! 1. **Dead-code elimination** from the declared outputs, so gates whose
+//!    result never reaches an output are not executed at all.
+//! 2. **Op fusion and constant folding** into an extended internal opcode
+//!    set: `And(a, Not(b))` becomes [`Opcode::AndNot`], `Not(Xor(a, b))`
+//!    becomes [`Opcode::Xnor`] (and symmetrically `Nand`/`Nor`/`OrNot`),
+//!    double negations cancel, and gates with constant or repeated operands
+//!    fold away. Fusion is profitability-gated: a node is absorbed only
+//!    when the consumer is its sole use, so fused kernels never duplicate
+//!    the work of a shared (hash-consed) subterm.
+//! 3. **Liveness analysis + linear-scan slot allocation**: the unbounded
+//!    SSA register file is mapped onto a small reusable slot array whose
+//!    size is the program's live width, not its length — it stays resident
+//!    in L1 while a batch executes.
+//! 4. A **threaded-code evaluator** generic over the lane word
+//!    ([`LaneWord`]: `u64`, `[u64; 2]`, `[u64; 4]`, …) so one lowering
+//!    serves scalar and wide execution alike.
+//!
+//! Every transformation is semantics-preserving on the declared outputs;
+//! [`crate::audit_kernel`] re-derives the constant-time audit over the
+//! fused opcodes, and the equivalence property tests in
+//! `tests/kernel_props.rs` check the compiled kernel against the
+//! interpreter on random programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_bitslice::{interpret, CompiledKernel, Op, Program};
+//!
+//! // out = in0 AND NOT in1 — the Not fuses into a single AndNot.
+//! let p = Program::new(
+//!     2,
+//!     vec![Op::Input(0), Op::Input(1), Op::Not(1), Op::And(0, 2)],
+//!     vec![3],
+//! );
+//! let kernel = CompiledKernel::lower(&p);
+//! assert_eq!(kernel.run(&[0b11u64, 0b01]), vec![0b10]);
+//! assert_eq!(kernel.run(&[0b11u64, 0b01]), interpret(&p, &[0b11, 0b01]));
+//! assert_eq!(kernel.stats().fused, 1);
+//! ```
+
+use core::fmt;
+
+use crate::{Op, Program};
+
+/// One SIMD lane word of the kernel evaluator: a single `u64` for the
+/// paper's 64-lane batches, or a `[u64; W]` block for `64 * W` lanes (the
+/// fixed-size array ops auto-vectorize on machines with wide vector units).
+pub trait LaneWord: Copy {
+    /// The all-zeros word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+    /// Bitwise complement.
+    fn not(self) -> Self;
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, other: Self) -> Self;
+}
+
+impl LaneWord for u64 {
+    const ZERO: Self = 0;
+    const ONES: Self = u64::MAX;
+
+    #[inline(always)]
+    fn not(self) -> Self {
+        !self
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+impl<const W: usize> LaneWord for [u64; W] {
+    const ZERO: Self = [0; W];
+    const ONES: Self = [u64::MAX; W];
+
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut o = [0; W];
+        for w in 0..W {
+            o[w] = !self[w];
+        }
+        o
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        let mut o = [0; W];
+        for w in 0..W {
+            o[w] = self[w] & other[w];
+        }
+        o
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        let mut o = [0; W];
+        for w in 0..W {
+            o[w] = self[w] | other[w];
+        }
+        o
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        let mut o = [0; W];
+        for w in 0..W {
+            o[w] = self[w] ^ other[w];
+        }
+        o
+    }
+}
+
+/// The extended internal opcode set of a [`CompiledKernel`].
+///
+/// Beyond the four source gates, the fusion pass emits the negated-operand
+/// forms so a `Not` feeding a binary gate costs nothing extra: each fused
+/// opcode is still one constant-time word expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `dst = inputs[a]`.
+    Input,
+    /// `dst = 0`.
+    Zero,
+    /// `dst = !0`.
+    One,
+    /// `dst = !a`.
+    Not,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a & !b` (fused `And` + `Not`).
+    AndNot,
+    /// `dst = a | !b` (fused `Or` + `Not`).
+    OrNot,
+    /// `dst = !(a & b)` (fused `Not` + `And`).
+    Nand,
+    /// `dst = !(a | b)` (fused `Not` + `Or`).
+    Nor,
+    /// `dst = !(a ^ b)` (fused `Not` + `Xor`).
+    Xnor,
+}
+
+impl Opcode {
+    /// Whether the opcode is a logic gate (vs. a load of an input or
+    /// constant).
+    pub fn is_gate(self) -> bool {
+        !matches!(self, Opcode::Input | Opcode::Zero | Opcode::One)
+    }
+}
+
+/// One compiled instruction: `slots[dst] = op(slots[a], slots[b])`.
+///
+/// For [`Opcode::Input`], `a` is the input-word index instead of a slot;
+/// unused operand fields are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination slot.
+    pub dst: u16,
+    /// First operand slot (or input index for [`Opcode::Input`]).
+    pub a: u16,
+    /// Second operand slot.
+    pub b: u16,
+}
+
+/// Counters describing what the lowering pipeline did, for reports and
+/// benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoweringStats {
+    /// Ops in the source SSA program (including loads).
+    pub source_ops: usize,
+    /// Ops removed as dead code (unreachable from the outputs).
+    pub dead_removed: usize,
+    /// Gate pairs merged into a fused opcode (`AndNot`, `Xnor`, …).
+    pub fused: usize,
+    /// Ops removed by constant folding / algebraic identities.
+    pub folded: usize,
+    /// Instructions in the compiled kernel (including loads).
+    pub instrs: usize,
+    /// Slots in the reusable register file (the kernel's working-set size
+    /// in words, per lane word).
+    pub slots: usize,
+}
+
+/// A [`Program`] lowered to a compact, fused, register-allocated kernel.
+///
+/// Lowering happens once ([`CompiledKernel::lower`]); execution
+/// ([`CompiledKernel::execute`]) then runs the instruction list over a slot
+/// array of [`num_slots`](Self::num_slots) lane words with zero heap
+/// allocation. The kernel computes exactly the same outputs as
+/// [`interpret`](crate::interpret) on the source program — the interpreter
+/// remains the reference oracle for equivalence tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel {
+    num_inputs: u32,
+    num_slots: u16,
+    instrs: Vec<Instr>,
+    output_slots: Vec<u16>,
+    stats: LoweringStats,
+}
+
+/// The fused SSA node set built between DCE and register allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Input(u32),
+    Const(bool),
+    Unary(Opcode, u32),
+    Binary(Opcode, u32, u32),
+}
+
+impl Node {
+    fn operands(self) -> [Option<u32>; 2] {
+        match self {
+            Node::Input(_) | Node::Const(_) => [None, None],
+            Node::Unary(_, a) => [Some(a), None],
+            Node::Binary(_, a, b) => [Some(a), Some(b)],
+        }
+    }
+}
+
+impl CompiledKernel {
+    /// Lowers a program: dead-code elimination, op fusion, constant
+    /// folding, liveness analysis and linear-scan slot allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program needs more than `u16::MAX` slots or inputs
+    /// (far beyond any sampler this workspace builds).
+    pub fn lower(program: &Program) -> Self {
+        assert!(
+            program.num_inputs() <= u16::MAX as u32,
+            "kernel supports at most 65535 input words"
+        );
+        let mut stats = LoweringStats {
+            source_ops: program.ops().len(),
+            ..LoweringStats::default()
+        };
+
+        // Pass 1: liveness from the outputs over the source SSA.
+        let live = reachable(program.ops(), program.outputs());
+        stats.dead_removed = live.iter().filter(|&&l| !l).count();
+
+        // A source register is *fusable* into its consumer only when that
+        // consumer is its sole use and it is not an output: only then does
+        // the fused opcode actually replace the instruction. (Fusing a
+        // shared node would duplicate its work at every consumer while
+        // the original keeps executing — a measured slowdown on the
+        // widely-shared hash-consed `Not`s of the selector chains.)
+        let mut use_count = vec![0u32; program.ops().len()];
+        for (r, &op) in program.ops().iter().enumerate() {
+            if live[r] {
+                for p in op.operands().into_iter().flatten() {
+                    use_count[p as usize] += 1;
+                }
+            }
+        }
+        let mut fusable: Vec<bool> = use_count.iter().map(|&c| c == 1).collect();
+        for &o in program.outputs() {
+            fusable[o as usize] = false;
+        }
+
+        // Pass 2: forward rewrite of live ops into fused nodes.
+        // `remap[r]` is the fused node computing source register `r`.
+        let mut nodes: Vec<Node> = Vec::with_capacity(program.ops().len());
+        let mut remap: Vec<u32> = vec![u32::MAX; program.ops().len()];
+        for (r, &op) in program.ops().iter().enumerate() {
+            if !live[r] {
+                continue;
+            }
+            let node = rewrite(op, &remap, &nodes, &fusable, &mut stats);
+            remap[r] = match node {
+                Rewritten::Alias(n) => n,
+                Rewritten::New(node) => {
+                    nodes.push(node);
+                    (nodes.len() - 1) as u32
+                }
+            };
+        }
+        let fused_outputs: Vec<u32> = program
+            .outputs()
+            .iter()
+            .map(|&o| remap[o as usize])
+            .collect();
+
+        // Pass 3: second DCE over the fused nodes (fusion orphans the
+        // `Not` feeding an `AndNot`, folding orphans constant operands),
+        // with compaction.
+        let node_ops: Vec<[Option<u32>; 2]> = nodes.iter().map(|n| n.operands()).collect();
+        let live2 = reachable_nodes(&node_ops, &fused_outputs);
+        let mut compact: Vec<u32> = vec![u32::MAX; nodes.len()];
+        let mut kept: Vec<Node> = Vec::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            if !live2[i] {
+                continue;
+            }
+            let renumber = |x: u32| compact[x as usize];
+            let node = match node {
+                Node::Input(_) | Node::Const(_) => node,
+                Node::Unary(op, a) => Node::Unary(op, renumber(a)),
+                Node::Binary(op, a, b) => Node::Binary(op, renumber(a), renumber(b)),
+            };
+            compact[i] = kept.len() as u32;
+            kept.push(node);
+        }
+        let outputs: Vec<u32> = fused_outputs.iter().map(|&o| compact[o as usize]).collect();
+
+        // Pass 4: last-use liveness + linear-scan slot allocation. Output
+        // nodes stay live to the end of the kernel so their slots are
+        // never recycled and can be read after the last instruction.
+        let mut last_use: Vec<usize> = vec![0; kept.len()];
+        for (i, node) in kept.iter().enumerate() {
+            for p in node.operands().into_iter().flatten() {
+                last_use[p as usize] = i;
+            }
+        }
+        for &o in &outputs {
+            last_use[o as usize] = usize::MAX;
+        }
+
+        // Freed slots go to the back of a FIFO and are only reissued once
+        // the queue is deeper than REUSE_DISTANCE. Aggressive (LIFO,
+        // immediate) reuse minimizes slot count but makes consecutive
+        // instructions alias the same addresses, and the CPU's memory-
+        // disambiguation speculation then stalls on store-to-load
+        // forwarding; spacing reuse out costs a few extra slots and buys
+        // back the instruction-level parallelism of the SSA layout.
+        const REUSE_DISTANCE: usize = 32;
+        let mut slot_of: Vec<u16> = vec![0; kept.len()];
+        let mut free: std::collections::VecDeque<u16> = std::collections::VecDeque::new();
+        let mut high_water: u32 = 0;
+        let mut instrs: Vec<Instr> = Vec::with_capacity(kept.len());
+        for (i, &node) in kept.iter().enumerate() {
+            // Release operand slots whose value dies here; the executor
+            // reads both operands before writing `dst`, so `dst` may
+            // safely reuse one of them in place.
+            let [a, b] = node.operands();
+            for p in [a, b].into_iter().flatten() {
+                if last_use[p as usize] == i {
+                    // A repeated operand (p == a == b) frees once.
+                    last_use[p as usize] = usize::MAX - 1;
+                    free.push_back(slot_of[p as usize]);
+                }
+            }
+            let recycled = if free.len() > REUSE_DISTANCE {
+                free.pop_front()
+            } else {
+                None
+            };
+            let dst = recycled.unwrap_or_else(|| {
+                let s = high_water;
+                high_water += 1;
+                assert!(s < u16::MAX as u32, "kernel exceeds 65534 slots");
+                s as u16
+            });
+            slot_of[i] = dst;
+            let slot = |x: Option<u32>| x.map_or(0, |x| slot_of[x as usize]);
+            instrs.push(match node {
+                Node::Input(idx) => Instr {
+                    op: Opcode::Input,
+                    dst,
+                    a: idx as u16,
+                    b: 0,
+                },
+                Node::Const(false) => Instr {
+                    op: Opcode::Zero,
+                    dst,
+                    a: 0,
+                    b: 0,
+                },
+                Node::Const(true) => Instr {
+                    op: Opcode::One,
+                    dst,
+                    a: 0,
+                    b: 0,
+                },
+                Node::Unary(op, _) => Instr {
+                    op,
+                    dst,
+                    a: slot(a),
+                    b: 0,
+                },
+                Node::Binary(op, _, _) => Instr {
+                    op,
+                    dst,
+                    a: slot(a),
+                    b: slot(b),
+                },
+            });
+        }
+
+        stats.instrs = instrs.len();
+        stats.slots = high_water as usize;
+        CompiledKernel {
+            num_inputs: program.num_inputs(),
+            num_slots: high_water as u16,
+            instrs,
+            output_slots: outputs.iter().map(|&o| slot_of[o as usize]).collect(),
+            stats,
+        }
+    }
+
+    /// Number of input words the kernel consumes.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of output words the kernel produces.
+    pub fn num_outputs(&self) -> usize {
+        self.output_slots.len()
+    }
+
+    /// Size of the reusable slot array (lane words of scratch needed by
+    /// [`execute`](Self::execute)).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots as usize
+    }
+
+    /// The compiled instruction list, in execution order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The slot each declared output is read from after the last
+    /// instruction.
+    pub fn output_slots(&self) -> &[u16] {
+        &self.output_slots
+    }
+
+    /// What the lowering pipeline did (DCE / fusion / folding counters,
+    /// instruction and slot counts).
+    pub fn stats(&self) -> &LoweringStats {
+        &self.stats
+    }
+
+    /// Logic-gate instructions in the kernel (fused opcodes count once —
+    /// the cost model mirroring [`Program::gate_count`]).
+    pub fn gate_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.op.is_gate()).count()
+    }
+
+    /// Executes the kernel over caller-provided scratch, writing one lane
+    /// word per declared output into `outputs`.
+    ///
+    /// `slots` is reusable scratch of at least [`num_slots`](Self::num_slots)
+    /// words; its prior contents are ignored and overwritten. Nothing is
+    /// allocated. The instruction sequence and memory-access pattern are
+    /// fixed at lowering time — independent of the input values — so the
+    /// constant-time contract of the source program carries over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the declared input count,
+    /// `slots` is shorter than `num_slots()`, or `outputs.len()` differs
+    /// from the declared output count.
+    pub fn execute<L: LaneWord>(&self, inputs: &[L], slots: &mut [L], outputs: &mut [L]) {
+        assert_eq!(
+            inputs.len() as u32,
+            self.num_inputs,
+            "input word count mismatch"
+        );
+        assert!(
+            slots.len() >= self.num_slots as usize,
+            "scratch has {} slots, kernel needs {}",
+            slots.len(),
+            self.num_slots
+        );
+        assert_eq!(
+            outputs.len(),
+            self.output_slots.len(),
+            "output word count mismatch"
+        );
+        for instr in &self.instrs {
+            let (a, b) = (instr.a as usize, instr.b as usize);
+            let v = match instr.op {
+                Opcode::Input => inputs[a],
+                Opcode::Zero => L::ZERO,
+                Opcode::One => L::ONES,
+                Opcode::Not => slots[a].not(),
+                Opcode::And => slots[a].and(slots[b]),
+                Opcode::Or => slots[a].or(slots[b]),
+                Opcode::Xor => slots[a].xor(slots[b]),
+                Opcode::AndNot => slots[a].and(slots[b].not()),
+                Opcode::OrNot => slots[a].or(slots[b].not()),
+                Opcode::Nand => slots[a].and(slots[b]).not(),
+                Opcode::Nor => slots[a].or(slots[b]).not(),
+                Opcode::Xnor => slots[a].xor(slots[b]).not(),
+            };
+            slots[instr.dst as usize] = v;
+        }
+        for (out, &s) in outputs.iter_mut().zip(&self.output_slots) {
+            *out = slots[s as usize];
+        }
+    }
+
+    /// The bounds-check-free inner loop behind
+    /// [`execute_fast`](Self::execute_fast): the slot array is a fixed
+    /// power-of-two-sized stack array and every index is masked with
+    /// `N - 1`, so the indices are provably in range and the compiler
+    /// drops all slice bounds checks from the dispatch loop. Masking never
+    /// changes an index because lowering guarantees every slot id is below
+    /// [`num_slots`](Self::num_slots)` <= N`.
+    fn execute_masked<L: LaneWord, const N: usize>(
+        &self,
+        inputs: &[L],
+        slots: &mut [L; N],
+        outputs: &mut [L],
+    ) {
+        debug_assert!(N.is_power_of_two() && self.num_slots as usize <= N);
+        for instr in &self.instrs {
+            let (a, b) = (instr.a as usize & (N - 1), instr.b as usize & (N - 1));
+            let v = match instr.op {
+                Opcode::Input => inputs[instr.a as usize],
+                Opcode::Zero => L::ZERO,
+                Opcode::One => L::ONES,
+                Opcode::Not => slots[a].not(),
+                Opcode::And => slots[a].and(slots[b]),
+                Opcode::Or => slots[a].or(slots[b]),
+                Opcode::Xor => slots[a].xor(slots[b]),
+                Opcode::AndNot => slots[a].and(slots[b].not()),
+                Opcode::OrNot => slots[a].or(slots[b].not()),
+                Opcode::Nand => slots[a].and(slots[b]).not(),
+                Opcode::Nor => slots[a].or(slots[b]).not(),
+                Opcode::Xnor => slots[a].xor(slots[b]).not(),
+            };
+            slots[instr.dst as usize & (N - 1)] = v;
+        }
+        for (out, &s) in outputs.iter_mut().zip(&self.output_slots) {
+            *out = slots[s as usize & (N - 1)];
+        }
+    }
+
+    /// Executes the kernel with internally managed scratch: kernels up to
+    /// 2048 slots run over a fixed-size stack array through the masked,
+    /// bounds-check-free loop (every sampler this workspace builds fits);
+    /// larger kernels fall back to a heap-allocated slot buffer and
+    /// [`execute`](Self::execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` or `outputs.len()` mismatch the kernel's
+    /// declared counts.
+    pub fn execute_fast<L: LaneWord>(&self, inputs: &[L], outputs: &mut [L]) {
+        assert_eq!(
+            inputs.len() as u32,
+            self.num_inputs,
+            "input word count mismatch"
+        );
+        assert_eq!(
+            outputs.len(),
+            self.output_slots.len(),
+            "output word count mismatch"
+        );
+        match self.num_slots {
+            0..=128 => self.execute_masked(inputs, &mut [L::ZERO; 128], outputs),
+            129..=512 => self.execute_masked(inputs, &mut [L::ZERO; 512], outputs),
+            513..=2048 => self.execute_masked(inputs, &mut [L::ZERO; 2048], outputs),
+            _ => {
+                let mut slots = vec![L::ZERO; self.num_slots as usize];
+                self.execute(inputs, &mut slots, outputs);
+            }
+        }
+    }
+
+    /// Convenience wrapper over [`execute_fast`](Self::execute_fast) that
+    /// returns the outputs in a fresh `Vec` — for tests and one-off runs,
+    /// not the hot path.
+    pub fn run<L: LaneWord>(&self, inputs: &[L]) -> Vec<L> {
+        let mut outputs = vec![L::ZERO; self.output_slots.len()];
+        self.execute_fast(inputs, &mut outputs);
+        outputs
+    }
+}
+
+impl fmt::Display for CompiledKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel: {} inputs, {} instrs, {} slots, {} outputs",
+            self.num_inputs,
+            self.instrs.len(),
+            self.num_slots,
+            self.output_slots.len()
+        )?;
+        for instr in &self.instrs {
+            match instr.op {
+                Opcode::Input => writeln!(f, "  s{} = input[{}]", instr.dst, instr.a)?,
+                Opcode::Zero | Opcode::One => writeln!(f, "  s{} = {:?}", instr.dst, instr.op)?,
+                Opcode::Not => writeln!(f, "  s{} = Not(s{})", instr.dst, instr.a)?,
+                _ => writeln!(
+                    f,
+                    "  s{} = {:?}(s{}, s{})",
+                    instr.dst, instr.op, instr.a, instr.b
+                )?,
+            }
+        }
+        write!(f, "  outputs: {:?}", self.output_slots)
+    }
+}
+
+/// What [`rewrite`] produced for one source op.
+enum Rewritten {
+    /// The op folded onto an existing node.
+    Alias(u32),
+    /// A new node must be appended.
+    New(Node),
+}
+
+/// Rewrites one live source op over already-rewritten operands, applying
+/// constant folding, algebraic identities and `Not` fusion.
+///
+/// Fusion is gated on *profitability*: a gate absorbs a neighbouring
+/// `Not`/`And`/`Or`/`Xor` only when `fusable` marks that operand — i.e.
+/// this gate is its sole consumer and it is not an output — so the fused
+/// opcode replaces the pair outright. Fusing a *shared* node would leave
+/// the original instruction alive for its other consumers and re-compute
+/// its work inside every fused arm, which measurably slows large kernels
+/// (the sublist selector chains share hash-consed `Not`s widely).
+fn rewrite(
+    op: Op,
+    remap: &[u32],
+    nodes: &[Node],
+    fusable: &[bool],
+    stats: &mut LoweringStats,
+) -> Rewritten {
+    use Rewritten::{Alias, New};
+    let node_of = |r: u32| nodes[remap[r as usize] as usize];
+    let id_of = |r: u32| remap[r as usize];
+    match op {
+        Op::Input(i) => New(Node::Input(i)),
+        Op::Const(c) => New(Node::Const(c)),
+        Op::Not(a) => match node_of(a) {
+            // !const folds.
+            Node::Const(c) => {
+                stats.folded += 1;
+                New(Node::Const(!c))
+            }
+            // !!x cancels (aliasing adds no work even when shared).
+            Node::Unary(Opcode::Not, x) => {
+                stats.folded += 1;
+                Alias(x)
+            }
+            // !(a op b) fuses into the negated-output opcode when this
+            // Not is the op's only consumer.
+            Node::Binary(Opcode::And, x, y) if fusable[a as usize] => {
+                stats.fused += 1;
+                New(Node::Binary(Opcode::Nand, x, y))
+            }
+            Node::Binary(Opcode::Or, x, y) if fusable[a as usize] => {
+                stats.fused += 1;
+                New(Node::Binary(Opcode::Nor, x, y))
+            }
+            Node::Binary(Opcode::Xor, x, y) if fusable[a as usize] => {
+                stats.fused += 1;
+                New(Node::Binary(Opcode::Xnor, x, y))
+            }
+            _ => New(Node::Unary(Opcode::Not, id_of(a))),
+        },
+        Op::And(a, b) => binary_gate(Opcode::And, a, b, remap, nodes, fusable, stats),
+        Op::Or(a, b) => binary_gate(Opcode::Or, a, b, remap, nodes, fusable, stats),
+        Op::Xor(a, b) => binary_gate(Opcode::Xor, a, b, remap, nodes, fusable, stats),
+    }
+}
+
+/// Rewrites a binary gate: constant/identical-operand folding first, then
+/// negated-operand fusion (gated on the `Not` being single-use, see
+/// [`rewrite`]).
+fn binary_gate(
+    op: Opcode,
+    a: u32,
+    b: u32,
+    remap: &[u32],
+    nodes: &[Node],
+    fusable: &[bool],
+    stats: &mut LoweringStats,
+) -> Rewritten {
+    use Rewritten::{Alias, New};
+    let (ia, ib) = (remap[a as usize], remap[b as usize]);
+    let (na, nb) = (nodes[ia as usize], nodes[ib as usize]);
+
+    // Constant-operand folding. `fold_const(c, other)` resolves `c op other`.
+    let fold_const = |c: bool, other: u32, stats: &mut LoweringStats| -> Option<Rewritten> {
+        let r = match (op, c) {
+            (Opcode::And, false) => New(Node::Const(false)),
+            (Opcode::And, true) | (Opcode::Or, false) | (Opcode::Xor, false) => Alias(other),
+            (Opcode::Or, true) => New(Node::Const(true)),
+            (Opcode::Xor, true) => match nodes[other as usize] {
+                // x ^ 1 = !x, and !!y = y.
+                Node::Unary(Opcode::Not, y) => Alias(y),
+                _ => New(Node::Unary(Opcode::Not, other)),
+            },
+            _ => return None,
+        };
+        stats.folded += 1;
+        Some(r)
+    };
+    if let Node::Const(c) = na {
+        if let Some(r) = fold_const(c, ib, stats) {
+            return r;
+        }
+    }
+    if let Node::Const(c) = nb {
+        if let Some(r) = fold_const(c, ia, stats) {
+            return r;
+        }
+    }
+    // Identical operands: x & x = x | x = x, x ^ x = 0.
+    if ia == ib {
+        stats.folded += 1;
+        return match op {
+            Opcode::Xor => New(Node::Const(false)),
+            _ => Alias(ia),
+        };
+    }
+    // Negated-operand fusion: And/Or absorb a single-use `Not` on either
+    // side (commutative, so normalize the negated operand to the right).
+    if matches!(op, Opcode::And | Opcode::Or) {
+        let fused = match op {
+            Opcode::And => Opcode::AndNot,
+            _ => Opcode::OrNot,
+        };
+        if let Node::Unary(Opcode::Not, x) = nb {
+            if fusable[b as usize] {
+                stats.fused += 1;
+                return New(Node::Binary(fused, ia, x));
+            }
+        }
+        if let Node::Unary(Opcode::Not, x) = na {
+            if fusable[a as usize] {
+                stats.fused += 1;
+                return New(Node::Binary(fused, ib, x));
+            }
+        }
+    }
+    // Xor with one single-use negated operand is Xnor.
+    if op == Opcode::Xor {
+        if let Node::Unary(Opcode::Not, x) = nb {
+            if fusable[b as usize] {
+                stats.fused += 1;
+                return New(Node::Binary(Opcode::Xnor, ia, x));
+            }
+        }
+        if let Node::Unary(Opcode::Not, x) = na {
+            if fusable[a as usize] {
+                stats.fused += 1;
+                return New(Node::Binary(Opcode::Xnor, ib, x));
+            }
+        }
+    }
+    New(Node::Binary(op, ia, ib))
+}
+
+/// Marks ops reachable from `roots` through operand edges (source SSA).
+fn reachable(ops: &[Op], roots: &[u32]) -> Vec<bool> {
+    let mut live = vec![false; ops.len()];
+    let mut stack: Vec<u32> = roots.to_vec();
+    while let Some(r) = stack.pop() {
+        if live[r as usize] {
+            continue;
+        }
+        live[r as usize] = true;
+        for p in ops[r as usize].operands().into_iter().flatten() {
+            stack.push(p);
+        }
+    }
+    live
+}
+
+/// Marks nodes reachable from `roots` through operand edges (fused nodes).
+fn reachable_nodes(operands: &[[Option<u32>; 2]], roots: &[u32]) -> Vec<bool> {
+    let mut live = vec![false; operands.len()];
+    let mut stack: Vec<u32> = roots.to_vec();
+    while let Some(r) = stack.pop() {
+        if live[r as usize] {
+            continue;
+        }
+        live[r as usize] = true;
+        for p in operands[r as usize].into_iter().flatten() {
+            stack.push(p);
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret;
+
+    fn check_equiv(p: &Program, inputs: &[u64]) {
+        let kernel = CompiledKernel::lower(p);
+        assert_eq!(kernel.run(inputs), interpret(p, inputs), "{kernel}");
+    }
+
+    #[test]
+    fn lowers_basic_gates() {
+        let p = Program::new(
+            2,
+            vec![
+                Op::Input(0),
+                Op::Input(1),
+                Op::And(0, 1),
+                Op::Or(0, 1),
+                Op::Xor(0, 1),
+                Op::Not(0),
+                Op::Const(true),
+                Op::Const(false),
+            ],
+            vec![2, 3, 4, 5, 6, 7],
+        );
+        check_equiv(&p, &[0b1100, 0b1010]);
+    }
+
+    #[test]
+    fn fuses_and_not() {
+        let p = Program::new(
+            2,
+            vec![Op::Input(0), Op::Input(1), Op::Not(1), Op::And(0, 2)],
+            vec![3],
+        );
+        let k = CompiledKernel::lower(&p);
+        assert_eq!(k.stats().fused, 1);
+        assert!(k.instrs().iter().any(|i| i.op == Opcode::AndNot));
+        // The orphaned Not is gone: 2 loads + 1 fused gate.
+        assert_eq!(k.instrs().len(), 3);
+        check_equiv(&p, &[0b1100, 0b1010]);
+    }
+
+    #[test]
+    fn fuses_not_of_xor_to_xnor() {
+        let p = Program::new(
+            2,
+            vec![Op::Input(0), Op::Input(1), Op::Xor(0, 1), Op::Not(2)],
+            vec![3],
+        );
+        let k = CompiledKernel::lower(&p);
+        assert!(k.instrs().iter().any(|i| i.op == Opcode::Xnor));
+        check_equiv(&p, &[0b0110, 0b1010]);
+    }
+
+    #[test]
+    fn keeps_shared_not_and_xor_result_when_still_used() {
+        // The Not result feeds an And (fusable) AND is an output itself;
+        // the Xor result likewise. Both must survive.
+        let p = Program::new(
+            2,
+            vec![
+                Op::Input(0),
+                Op::Input(1),
+                Op::Not(1),
+                Op::And(0, 2),
+                Op::Xor(0, 1),
+                Op::Not(4),
+            ],
+            vec![2, 3, 4, 5],
+        );
+        check_equiv(&p, &[0x0f0f_3333_aaaa_00ff, 0x5555_0f0f_00ff_cccc]);
+    }
+
+    #[test]
+    fn folds_constants_and_identities() {
+        let p = Program::new(
+            1,
+            vec![
+                Op::Input(0),
+                Op::Const(false),
+                Op::Const(true),
+                Op::And(0, 1), // = 0
+                Op::Or(0, 1),  // = x
+                Op::Xor(0, 2), // = !x
+                Op::Xor(5, 2), // = !!x = x
+                Op::And(0, 0), // = x
+                Op::Xor(0, 0), // = 0
+                Op::Not(1),    // = 1
+                Op::Or(3, 8),  // 0 | 0 = 0
+            ],
+            vec![3, 4, 5, 6, 7, 8, 9, 10],
+        );
+        let k = CompiledKernel::lower(&p);
+        assert!(k.stats().folded >= 6);
+        check_equiv(&p, &[0b1010_0110]);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let p = Program::new(1, vec![Op::Input(0), Op::Not(0), Op::Not(1)], vec![2]);
+        let k = CompiledKernel::lower(&p);
+        // One load aliases both Nots away.
+        assert_eq!(k.instrs().len(), 1);
+        check_equiv(&p, &[0xdead_beef]);
+    }
+
+    #[test]
+    fn dead_code_is_eliminated() {
+        let p = Program::new(
+            2,
+            vec![
+                Op::Input(0),
+                Op::Input(1),
+                Op::And(0, 1), // dead
+                Op::Not(0),
+            ],
+            vec![3],
+        );
+        let k = CompiledKernel::lower(&p);
+        assert_eq!(k.stats().dead_removed, 2); // the And and Input(1)
+        assert_eq!(k.instrs().len(), 2);
+        check_equiv(&p, &[7, 9]);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        // A long chain of 2-operand gates needs O(reuse distance) slots,
+        // not one per op: the register file must stop growing once the
+        // recycling FIFO is primed.
+        let mut ops = vec![Op::Input(0), Op::Input(1)];
+        for i in 0..500u32 {
+            let prev = (ops.len() - 1) as u32;
+            ops.push(if i % 2 == 0 {
+                Op::Xor(prev, 0)
+            } else {
+                Op::And(prev, 1)
+            });
+        }
+        let out = (ops.len() - 1) as u32;
+        let p = Program::new(2, ops, vec![out]);
+        let k = CompiledKernel::lower(&p);
+        assert!(
+            k.num_slots() <= 48,
+            "chain slots must be bounded by the reuse distance, got {}",
+            k.num_slots()
+        );
+        check_equiv(&p, &[0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321]);
+    }
+
+    #[test]
+    fn output_slots_survive_to_the_end() {
+        // Early outputs must not have their slots recycled by later gates.
+        let mut ops = vec![Op::Input(0), Op::Input(1), Op::Xor(0, 1)];
+        for _ in 0..20 {
+            let prev = (ops.len() - 1) as u32;
+            ops.push(Op::Xor(prev, 0));
+        }
+        let last = (ops.len() - 1) as u32;
+        let p = Program::new(2, ops, vec![2, last]);
+        check_equiv(&p, &[0xaaaa_aaaa_5555_5555, 0x00ff_00ff_00ff_00ff]);
+    }
+
+    #[test]
+    fn repeated_output_registers_work() {
+        let p = Program::new(1, vec![Op::Input(0), Op::Not(0)], vec![1, 1, 0]);
+        check_equiv(&p, &[42]);
+    }
+
+    #[test]
+    fn wide_execution_matches_scalar_lanes() {
+        let p = Program::new(
+            3,
+            vec![
+                Op::Input(0),
+                Op::Input(1),
+                Op::Input(2),
+                Op::Not(2),
+                Op::And(0, 3),
+                Op::Or(4, 1),
+                Op::Xor(5, 2),
+            ],
+            vec![6, 4],
+        );
+        let k = CompiledKernel::lower(&p);
+        let inputs_wide: Vec<[u64; 4]> = vec![[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]];
+        let wide = k.run(&inputs_wide);
+        for w in 0..4 {
+            let scalar_inputs: Vec<u64> = inputs_wide.iter().map(|v| v[w]).collect();
+            let scalar = k.run(&scalar_inputs);
+            for (o, out) in scalar.iter().enumerate() {
+                assert_eq!(wide[o][w], *out, "output {o}, word {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input word count mismatch")]
+    fn execute_rejects_wrong_input_count() {
+        let p = Program::new(2, vec![Op::Input(0), Op::Input(1)], vec![0]);
+        let k = CompiledKernel::lower(&p);
+        let _ = k.run(&[1u64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch has")]
+    fn execute_rejects_short_scratch() {
+        let p = Program::new(1, vec![Op::Input(0), Op::Not(0)], vec![1]);
+        let k = CompiledKernel::lower(&p);
+        let mut outputs = [0u64];
+        k.execute(&[1u64], &mut [], &mut outputs);
+    }
+
+    #[test]
+    fn display_renders_instrs() {
+        let p = Program::new(1, vec![Op::Input(0), Op::Not(0), Op::And(0, 1)], vec![2]);
+        let k = CompiledKernel::lower(&p);
+        let s = k.to_string();
+        assert!(s.contains("input[0]"), "{s}");
+        assert!(s.contains("AndNot"), "{s}");
+    }
+}

@@ -12,11 +12,18 @@
 //! * [`compile`] — lowers [`ctgauss_boolmin::Expr`] trees to a [`Program`]
 //!   with structural hash-consing, so the shared selector chains
 //!   `b_0 & b_1 & ... & b_k` of Equation 2 are computed once.
-//! * [`interpret`] — executes a program over `u64` lanes.
+//! * [`interpret`] — executes a program over `u64` lanes (the reference
+//!   oracle: simple and obviously correct).
+//! * [`CompiledKernel`] — the production execution engine: a one-time
+//!   lowering pass (dead-code elimination, `AndNot`/`Xnor` op fusion,
+//!   constant folding, liveness + linear-scan slot allocation) followed by
+//!   allocation-free execution generic over the lane width
+//!   ([`LaneWord`]: `u64`, `[u64; 2]`, `[u64; 4]`, …).
 //! * [`transpose64`] / pack helpers — the classic bit-matrix transpose used
 //!   to move between sample-per-word and bit-position-per-word layouts.
-//! * [`audit`] — a static checker that verifies SSA well-formedness and
-//!   that every output is influenced only by declared random inputs.
+//! * [`audit`] / [`audit_kernel`] — static checkers that verify SSA
+//!   well-formedness and that every output is influenced only by declared
+//!   random inputs, for source programs and fused kernels respectively.
 //!
 //! # Examples
 //!
@@ -35,10 +42,12 @@
 
 mod audit;
 mod compile;
+mod kernel;
 mod program;
 mod transpose;
 
-pub use audit::{audit, AuditReport};
+pub use audit::{audit, audit_kernel, AuditReport};
 pub use compile::compile;
+pub use kernel::{CompiledKernel, Instr, LaneWord, LoweringStats, Opcode};
 pub use program::{interpret, interpret_wide, Op, Program};
 pub use transpose::{pack_lanes, transpose64, unpack_lanes};

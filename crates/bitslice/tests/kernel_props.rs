@@ -1,0 +1,132 @@
+//! Property tests: a lowered [`CompiledKernel`] is bit-exact with the
+//! reference interpreter on random well-formed programs and random inputs,
+//! for lane widths W = 1, 2 and 4, and its constant-time audit never gains
+//! an input dependence over the source program's.
+
+use ctgauss_bitslice::{
+    audit, audit_kernel, interpret, interpret_wide, CompiledKernel, Op, Program,
+};
+use proptest::prelude::*;
+
+/// Deterministically expands a seed into a random well-formed program:
+/// `num_inputs` declared inputs, `len` ops whose operands are drawn from
+/// the already-defined registers, and 1..=4 random outputs. Gate/load kinds
+/// are weighted toward `Not` so the fusion rules (`AndNot`, `Xnor`,
+/// double-negation) are exercised often.
+fn build_program(seed: u64, num_inputs: u32, len: usize) -> Program {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step — self-contained so the generator is stable.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut ops = Vec::with_capacity(len);
+    for r in 0..len {
+        let pick = |next: &mut dyn FnMut() -> u64| (next() % r.max(1) as u64) as u32;
+        let op = if r == 0 {
+            Op::Input(next() as u32 % num_inputs)
+        } else {
+            match next() % 10 {
+                0 => Op::Input(next() as u32 % num_inputs),
+                1 => Op::Const(next() & 1 == 1),
+                2..=4 => Op::Not(pick(&mut next)),
+                5 | 6 => Op::And(pick(&mut next), pick(&mut next)),
+                7 => Op::Or(pick(&mut next), pick(&mut next)),
+                _ => Op::Xor(pick(&mut next), pick(&mut next)),
+            }
+        };
+        ops.push(op);
+    }
+    let n_outputs = 1 + (next() % 4) as usize;
+    let outputs = (0..n_outputs)
+        .map(|_| (next() % len as u64) as u32)
+        .collect();
+    Program::new(num_inputs, ops, outputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// W = 1: compiled output equals the interpreter on random inputs.
+    #[test]
+    fn prop_kernel_equals_interpreter_scalar(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+        input_seed in any::<u64>(),
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        let kernel = CompiledKernel::lower(&program);
+        let mut s = input_seed;
+        let inputs: Vec<u64> = (0..num_inputs)
+            .map(|i| {
+                s = s.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(u64::from(i) | 1);
+                s
+            })
+            .collect();
+        prop_assert_eq!(kernel.run(&inputs), interpret(&program, &inputs), "{}", kernel);
+    }
+
+    /// W = 2 and W = 4: every lane word of the wide execution equals the
+    /// wide interpreter, which in turn mirrors the scalar one.
+    #[test]
+    fn prop_kernel_equals_interpreter_wide(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+        input_seed in any::<u64>(),
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        let kernel = CompiledKernel::lower(&program);
+        let mut s = input_seed;
+        let mut word = move || {
+            s = s.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
+            s
+        };
+        let inputs2: Vec<[u64; 2]> = (0..num_inputs).map(|_| [word(), word()]).collect();
+        prop_assert_eq!(kernel.run(&inputs2), interpret_wide(&program, &inputs2));
+        let inputs4: Vec<[u64; 4]> =
+            (0..num_inputs).map(|_| [word(), word(), word(), word()]).collect();
+        prop_assert_eq!(kernel.run(&inputs4), interpret_wide(&program, &inputs4));
+    }
+
+    /// The fused kernel's audit stays constant-time and never *gains* an
+    /// input dependence: each output support is a subset of the source
+    /// program's (folding may shrink it).
+    #[test]
+    fn prop_kernel_audit_supports_shrink(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        let kernel = CompiledKernel::lower(&program);
+        let rp = audit(&program);
+        let rk = audit_kernel(&kernel);
+        prop_assert!(rk.is_constant_time());
+        prop_assert_eq!(rk.output_supports.len(), rp.output_supports.len());
+        for (k_sup, p_sup) in rk.output_supports.iter().zip(&rp.output_supports) {
+            for input in k_sup {
+                prop_assert!(
+                    p_sup.contains(input),
+                    "kernel support {k_sup:?} not within program support {p_sup:?}"
+                );
+            }
+        }
+    }
+
+    /// Lowering is idempotent on the outputs: re-running on the same
+    /// program yields an identical kernel (determinism of the pipeline).
+    #[test]
+    fn prop_lowering_is_deterministic(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        prop_assert_eq!(CompiledKernel::lower(&program), CompiledKernel::lower(&program));
+    }
+}

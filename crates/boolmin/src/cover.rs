@@ -90,6 +90,7 @@ impl Cover {
             if !keep[i] {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)] // `j` also indexes `self.cubes`
             for j in 0..self.cubes.len() {
                 if i == j || !keep[j] {
                     continue;

@@ -20,7 +20,11 @@
 //!
 //! The resulting [`CtSampler`] produces 64 samples per batch from `n + 1`
 //! random words (`n` bit positions plus the sign), in constant time by
-//! construction.
+//! construction. At build time the straight-line program is additionally
+//! lowered to a fused, register-allocated
+//! [`CompiledKernel`](ctgauss_bitslice::CompiledKernel) — the execution
+//! engine behind every sampling API, with the interpreter retained as the
+//! reference oracle ([`CtSampler::run_batch_reference`]).
 //!
 //! The prior work's "simple minimization" (\[21\], the Table 2 baseline) is
 //! available as [`Strategy::Simple`]: one heuristic minimization of the
@@ -50,7 +54,7 @@ mod sampler;
 mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
-pub use sampler::CtSampler;
+pub use sampler::{BatchScratch, CtSampler, SampleStream};
 pub use sublists::{
     combine_sublists, simple_expressions, split_by_run, synthesize_sublist, SublistFunctions,
 };

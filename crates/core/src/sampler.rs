@@ -1,10 +1,22 @@
 //! The compiled constant-time sampler.
 
-use ctgauss_bitslice::{audit, interpret, interpret_wide, AuditReport, Program};
+use ctgauss_bitslice::{audit, audit_kernel, interpret, AuditReport, CompiledKernel, Program};
 use ctgauss_knuthyao::ProbabilityMatrix;
 use ctgauss_prng::RandomSource;
 
 use crate::builder::BuildReport;
+
+/// Inputs-plus-sign words that fit the stack fast path of
+/// [`CtSampler::sample_batch`] (covers every paper configuration: the
+/// largest is `n = 128`, i.e. 129 words). Larger programs fall back to a
+/// per-call heap buffer.
+const MAX_STACK_DRAW: usize = 160;
+
+/// Upper bound on sample magnitude bits, enforced at construction so
+/// output buffers can live on the stack and the magnitude always fits the
+/// positive range of the `i32` sample type (31 bits, not 32: a magnitude
+/// with bit 31 set would overflow the constant-time sign application).
+const MAX_SAMPLE_BITS: usize = 31;
 
 /// A constant-time, bitsliced discrete Gaussian sampler.
 ///
@@ -13,6 +25,26 @@ use crate::builder::BuildReport;
 /// lanes plus one sign word — and executes one straight-line bitwise
 /// program, so the time and memory-access pattern are independent of the
 /// sampled values.
+///
+/// At build time the straight-line SSA program is lowered once to a
+/// [`CompiledKernel`] (dead-code elimination, op fusion, register
+/// allocation); every sampling API executes that kernel. The original
+/// interpreter survives as the reference oracle behind
+/// [`run_batch_reference`](Self::run_batch_reference).
+///
+/// # Randomness draw order
+///
+/// Every API consumes the generator as a sequence of **batch records** of
+/// [`words_per_batch`](Self::words_per_batch)` = n + 1` words, drawn with a
+/// single [`RandomSource::fill_u64s`] call per record: words `0..n` are the
+/// bit-plane words (word `i` packs bit `b_i` of all 64 lanes), word `n` is
+/// the sign word. Wide and bulk APIs draw `W` consecutive records and
+/// de-interleave, so for the same generator stream:
+///
+/// * [`sample_batch_wide::<W>`](Self::sample_batch_wide) equals `W`
+///   consecutive [`sample_batch`](Self::sample_batch) calls, concatenated;
+/// * [`sample_into`](Self::sample_into) equals the prefix of repeated
+///   [`sample_batch`](Self::sample_batch) calls.
 ///
 /// Construct through [`SamplerBuilder`](crate::SamplerBuilder).
 ///
@@ -26,6 +58,9 @@ use crate::builder::BuildReport;
 /// let mut rng = ChaChaRng::from_u64_seed(42);
 /// // Batch API:
 /// let batch = sampler.sample_batch(&mut rng);
+/// // Bulk API (any length, batches amortized internally):
+/// let mut noise = [0i32; 1000];
+/// sampler.sample_into(&mut noise, &mut rng);
 /// // Streaming API (buffers a batch internally):
 /// let mut stream = sampler.stream();
 /// let one = stream.next(&mut rng);
@@ -34,8 +69,48 @@ use crate::builder::BuildReport;
 #[derive(Debug, Clone)]
 pub struct CtSampler {
     program: Program,
+    kernel: CompiledKernel,
     matrix: ProbabilityMatrix,
     report: BuildReport,
+}
+
+/// Caller-reusable scratch for the zero-allocation batch APIs
+/// ([`CtSampler::sample_batch_with`]), generic over the lane-block width
+/// `W` (64 × `W` samples per batch).
+///
+/// Create with [`CtSampler::scratch`]; reuse across batches — buffers are
+/// (re)sized on first use and then never reallocate for the same sampler.
+#[derive(Debug, Clone)]
+pub struct BatchScratch<const W: usize> {
+    /// Flat randomness buffer: `W` consecutive `(n + 1)`-word batch records.
+    draw: Vec<u64>,
+    /// De-interleaved kernel inputs: `inputs[i][w]` is bit-plane word `i`
+    /// of record `w`.
+    inputs: Vec<[u64; W]>,
+    /// Kernel slot array.
+    slots: Vec<[u64; W]>,
+    /// Kernel outputs (sample bit planes).
+    words: Vec<[u64; W]>,
+}
+
+impl<const W: usize> BatchScratch<W> {
+    fn empty() -> Self {
+        BatchScratch {
+            draw: Vec::new(),
+            inputs: Vec::new(),
+            slots: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+
+    /// Sizes every buffer for `sampler` (no-op when already sized).
+    fn fit(&mut self, sampler: &CtSampler) {
+        let n = sampler.program.num_inputs() as usize;
+        self.draw.resize((n + 1) * W, 0);
+        self.inputs.resize(n, [0; W]);
+        self.slots.resize(sampler.kernel.num_slots(), [0; W]);
+        self.words.resize(sampler.kernel.num_outputs(), [0; W]);
+    }
 }
 
 impl CtSampler {
@@ -44,16 +119,29 @@ impl CtSampler {
         matrix: ProbabilityMatrix,
         report: BuildReport,
     ) -> Self {
+        let kernel = CompiledKernel::lower(&program);
+        assert!(
+            kernel.num_outputs() <= MAX_SAMPLE_BITS,
+            "sample magnitude exceeds {MAX_SAMPLE_BITS} bits"
+        );
         CtSampler {
             program,
+            kernel,
             matrix,
             report,
         }
     }
 
-    /// The compiled straight-line program.
+    /// The compiled straight-line program (the SSA source of the kernel
+    /// and the reference oracle's input).
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The lowered execution kernel: fused opcodes, register-allocated
+    /// slots ([`CompiledKernel::stats`] reports what lowering did).
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.kernel
     }
 
     /// The probability matrix the sampler was synthesized from.
@@ -67,83 +155,179 @@ impl CtSampler {
     }
 
     /// Number of random words drawn per 64-sample batch (`n` bit words plus
-    /// the sign word).
+    /// the sign word) — the size of one batch record in the randomness
+    /// draw-order contract (see the type docs).
     pub fn words_per_batch(&self) -> u32 {
         self.program.num_inputs() + 1
     }
 
-    /// Random bits consumed per sample (`n + 1`).
+    /// Random bits consumed per sample (`n + 1`): each of the 64 lanes of
+    /// a batch record owns one bit of each of the `n + 1` drawn words.
     pub fn bits_per_sample(&self) -> u32 {
         self.program.num_inputs() + 1
     }
 
-    /// Statically audits the program's constant-time structure.
+    /// Statically audits the source program's constant-time structure.
     pub fn audit(&self) -> AuditReport {
         audit(&self.program)
     }
 
-    /// Generates one batch of 64 signed samples.
+    /// Statically audits the *lowered kernel* — the code that actually
+    /// executes — covering the fused opcodes, so the constant-time
+    /// argument survives the optimization. Supports are never larger than
+    /// [`audit`](Self::audit)'s.
+    pub fn audit_compiled(&self) -> AuditReport {
+        audit_kernel(&self.kernel)
+    }
+
+    /// Creates reusable scratch for the `_with` batch APIs at lane-block
+    /// width `W`.
+    pub fn scratch<const W: usize>(&self) -> BatchScratch<W> {
+        let mut s = BatchScratch::empty();
+        s.fit(self);
+        s
+    }
+
+    /// Generates one batch of 64 signed samples (one batch record drawn).
+    ///
+    /// Allocation-free for every realistic configuration (stack fast path
+    /// up to `n + 1 = 160` drawn words and 2048 kernel slots; larger
+    /// programs fall back to per-call heap buffers).
     pub fn sample_batch<R: RandomSource>(&self, rng: &mut R) -> [i32; 64] {
         let n = self.program.num_inputs() as usize;
-        let mut inputs = vec![0u64; n];
-        rng.fill_u64s(&mut inputs);
-        let signs = rng.next_u64();
-        self.run_batch(&inputs, signs)
+        if n < MAX_STACK_DRAW {
+            let mut draw = [0u64; MAX_STACK_DRAW];
+            rng.fill_u64s(&mut draw[..n + 1]);
+            self.run_batch(&draw[..n], draw[n])
+        } else {
+            let mut draw = vec![0u64; n + 1];
+            rng.fill_u64s(&mut draw);
+            self.run_batch(&draw[..n], draw[n])
+        }
     }
 
     /// Runs a batch on caller-provided randomness: `inputs[i]` packs bit
     /// `b_i` of every lane, `signs` packs the sign bits. Used by the
     /// Table 2 kernel benchmarks (PRNG cost excluded) and by tests.
+    /// Executes the compiled kernel through its masked stack fast path
+    /// (allocation-free for kernels up to 2048 slots).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the program's input count.
     pub fn run_batch(&self, inputs: &[u64], signs: u64) -> [i32; 64] {
-        let words = interpret(&self.program, inputs);
+        let nw = self.kernel.num_outputs();
+        let mut words = [0u64; MAX_SAMPLE_BITS];
+        self.kernel.execute_fast(inputs, &mut words[..nw]);
         let mut out = [0i32; 64];
-        for (lane, slot) in out.iter_mut().enumerate() {
-            let mut magnitude = 0u32;
-            for (iota, w) in words.iter().enumerate() {
-                magnitude |= (((w >> lane) & 1) as u32) << iota;
-            }
-            // Constant-time sign application: (m ^ -s) + s.
-            let s = ((signs >> lane) & 1) as i32;
-            *slot = (magnitude as i32 ^ s.wrapping_neg()) + s;
-        }
+        decode_lanes(&words[..nw], signs, &mut out);
         out
     }
 
-    /// Generates `64 * W` signed samples in one interpreter pass.
+    /// The interpreter-executed reference oracle for
+    /// [`run_batch`](Self::run_batch): same inputs, same outputs, no
+    /// lowering — kept for equivalence tests and audits of the compiled
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the program's input count.
+    pub fn run_batch_reference(&self, inputs: &[u64], signs: u64) -> [i32; 64] {
+        let words = interpret(&self.program, inputs);
+        let mut out = [0i32; 64];
+        decode_lanes(&words, signs, &mut out);
+        out
+    }
+
+    /// Generates `64 * W` signed samples into `out` through caller-owned
+    /// scratch — the zero-allocation engine behind the wide and bulk APIs.
+    ///
+    /// Draws `W` consecutive batch records in one [`RandomSource::fill_u64s`]
+    /// call and executes the kernel once over `W`-wide lane words (the
+    /// fixed-size array ops auto-vectorize), so the result equals `W`
+    /// consecutive [`sample_batch`](Self::sample_batch) calls on the same
+    /// generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 64 * W`.
+    pub fn sample_batch_with<const W: usize, R: RandomSource>(
+        &self,
+        rng: &mut R,
+        scratch: &mut BatchScratch<W>,
+        out: &mut [i32],
+    ) {
+        assert_eq!(out.len(), 64 * W, "output slice must hold 64 * W samples");
+        let n = self.program.num_inputs() as usize;
+        scratch.fit(self);
+        rng.fill_u64s(&mut scratch.draw);
+        // De-interleave the W batch records into W-wide lane words.
+        let mut signs = [0u64; W];
+        for w in 0..W {
+            let record = &scratch.draw[w * (n + 1)..(w + 1) * (n + 1)];
+            for (i, input) in scratch.inputs.iter_mut().enumerate() {
+                input[w] = record[i];
+            }
+            signs[w] = record[n];
+        }
+        self.kernel
+            .execute(&scratch.inputs, &mut scratch.slots, &mut scratch.words);
+        for w in 0..W {
+            let mut lanes = [0i32; 64];
+            let mut plane = [0u64; MAX_SAMPLE_BITS];
+            for (iota, word) in scratch.words.iter().enumerate() {
+                plane[iota] = word[w];
+            }
+            decode_lanes(&plane[..scratch.words.len()], signs[w], &mut lanes);
+            out[64 * w..64 * (w + 1)].copy_from_slice(&lanes);
+        }
+    }
+
+    /// Generates `64 * W` signed samples in one kernel pass.
     ///
     /// One instruction dispatch performs `W` word operations, so wider
-    /// batches amortize interpreter overhead (the sweet spot on machines
-    /// with 256-bit vector units is `W = 4`). Statistically identical to
-    /// repeated [`sample_batch`](Self::sample_batch) calls.
+    /// batches amortize dispatch overhead (the sweet spot on machines with
+    /// 256-bit vector units is `W = 4`). Equals `W` consecutive
+    /// [`sample_batch`](Self::sample_batch) calls on the same generator
+    /// (see the draw-order contract in the type docs).
+    ///
+    /// Convenience wrapper that allocates its scratch and output; steady-
+    /// state consumers should hold a [`BatchScratch`] and call
+    /// [`sample_batch_with`](Self::sample_batch_with).
     pub fn sample_batch_wide<const W: usize, R: RandomSource>(&self, rng: &mut R) -> Vec<i32> {
-        let n = self.program.num_inputs() as usize;
-        let mut inputs = vec![[0u64; W]; n];
-        for word in &mut inputs {
-            for lane in word.iter_mut() {
-                *lane = rng.next_u64();
-            }
-        }
-        let mut signs = [0u64; W];
-        for s in &mut signs {
-            *s = rng.next_u64();
-        }
-        let words = interpret_wide(&self.program, &inputs);
+        let mut scratch = self.scratch::<W>();
         let mut out = vec![0i32; 64 * W];
-        for w in 0..W {
-            for lane in 0..64 {
-                let mut magnitude = 0u32;
-                for (iota, word) in words.iter().enumerate() {
-                    magnitude |= (((word[w] >> lane) & 1) as u32) << iota;
-                }
-                let s = ((signs[w] >> lane) & 1) as i32;
-                out[64 * w + lane] = (magnitude as i32 ^ s.wrapping_neg()) + s;
+        self.sample_batch_with(rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Fills `out` with signed samples — the bulk API.
+    ///
+    /// Runs 4-wide kernel batches (256 samples) while they fit, then
+    /// scalar batches, drawing `ceil(out.len() / 64)` batch records in
+    /// total; a final partial batch is truncated. Scratch for the wide
+    /// phase is allocated once per call and amortized across all batches;
+    /// the scalar phase is allocation-free. The output equals the prefix
+    /// of repeated [`sample_batch`](Self::sample_batch) calls on the same
+    /// generator.
+    pub fn sample_into<R: RandomSource>(&self, out: &mut [i32], rng: &mut R) {
+        let mut filled = 0;
+        if out.len() - filled >= 256 {
+            let mut scratch = self.scratch::<4>();
+            while out.len() - filled >= 256 {
+                self.sample_batch_with(rng, &mut scratch, &mut out[filled..filled + 256]);
+                filled += 256;
             }
         }
-        out
+        while out.len() - filled >= 64 {
+            out[filled..filled + 64].copy_from_slice(&self.sample_batch(rng));
+            filled += 64;
+        }
+        let rest = out.len() - filled;
+        if rest > 0 {
+            let batch = self.sample_batch(rng);
+            out[filled..].copy_from_slice(&batch[..rest]);
+        }
     }
 
     /// Creates a buffered single-sample stream over this sampler.
@@ -153,6 +337,20 @@ impl CtSampler {
             buf: [0; 64],
             pos: 64,
         }
+    }
+}
+
+/// Decodes bit-plane words into 64 signed lane samples: lane `l`'s
+/// magnitude collects bit `l` of each plane, then the sign bit is applied
+/// branch-free as `(m ^ -s) + s`.
+fn decode_lanes(words: &[u64], signs: u64, out: &mut [i32; 64]) {
+    for (lane, slot) in out.iter_mut().enumerate() {
+        let mut magnitude = 0u32;
+        for (iota, w) in words.iter().enumerate() {
+            magnitude |= (((w >> lane) & 1) as u32) << iota;
+        }
+        let s = ((signs >> lane) & 1) as i32;
+        *slot = (magnitude as i32 ^ s.wrapping_neg()) + s;
     }
 }
 
@@ -187,7 +385,8 @@ mod tests {
 
     /// Feed every leaf's exact bit string through a batch lane and verify
     /// the program outputs the leaf's sample value — functional equivalence
-    /// between the constant-time program and Algorithm 1.
+    /// between the constant-time program and Algorithm 1. Checks both the
+    /// compiled kernel and the interpreter oracle.
     fn check_program_matches_leaves(strategy: Strategy, sigma: &str, n: u32) {
         let sampler = SamplerBuilder::new(sigma, n)
             .strategy(strategy)
@@ -204,6 +403,11 @@ mod tests {
                 }
             }
             let out = sampler.run_batch(&inputs, 0);
+            assert_eq!(
+                out,
+                sampler.run_batch_reference(&inputs, 0),
+                "{strategy}: kernel vs interpreter"
+            );
             for (lane, leaf) in chunk.iter().enumerate() {
                 assert_eq!(
                     out[lane] as u32, leaf.value,
@@ -225,6 +429,27 @@ mod tests {
     fn simple_program_equals_algorithm1_on_all_leaves() {
         check_program_matches_leaves(Strategy::Simple, "2", 12);
         check_program_matches_leaves(Strategy::Simple, "1.5", 12);
+    }
+
+    #[test]
+    fn compiled_kernel_matches_interpreter_on_random_batches() {
+        for strategy in [Strategy::SplitExact, Strategy::Simple] {
+            let sampler = SamplerBuilder::new("2", 14)
+                .strategy(strategy)
+                .build()
+                .unwrap();
+            let mut rng = SplitMix64::new(2024);
+            for round in 0..100 {
+                let mut inputs = vec![0u64; 14];
+                rng.fill_u64s(&mut inputs);
+                let signs = rng.next_u64();
+                assert_eq!(
+                    sampler.run_batch(&inputs, signs),
+                    sampler.run_batch_reference(&inputs, signs),
+                    "{strategy}, round {round}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -297,6 +522,26 @@ mod tests {
     }
 
     #[test]
+    fn compiled_audit_covers_fused_kernel() {
+        let sampler = SamplerBuilder::new("2", 16).build().unwrap();
+        let program_audit = sampler.audit();
+        let kernel_audit = sampler.audit_compiled();
+        assert!(kernel_audit.is_constant_time());
+        assert_eq!(kernel_audit.dead_ops, 0);
+        assert!(!kernel_audit.output_supports[0].is_empty());
+        // Lowering must never *add* an input dependence.
+        for (k_sup, p_sup) in kernel_audit
+            .output_supports
+            .iter()
+            .zip(&program_audit.output_supports)
+        {
+            assert!(k_sup.iter().all(|i| p_sup.contains(i)));
+        }
+        // And the fused kernel must not execute more gates than the source.
+        assert!(kernel_audit.gates <= program_audit.gates);
+    }
+
+    #[test]
     fn empirical_distribution_matches_exact() {
         // Chi-square-style sanity: 64k samples at sigma = 2.
         let sampler = SamplerBuilder::new("2", 24).build().unwrap();
@@ -321,14 +566,46 @@ mod tests {
         }
     }
 
+    /// The documented draw-order contract makes wide execution
+    /// deterministic relative to scalar batches: `sample_batch_wide::<W>`
+    /// on a fresh generator equals `W` consecutive `sample_batch` calls on
+    /// an identically seeded one.
+    #[test]
+    fn wide_batch_equals_scalar_batches_lane_for_lane() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        for seed in [31, 1234, 999] {
+            let mut rng_wide = ChaChaRng::from_u64_seed(seed);
+            let wide = sampler.sample_batch_wide::<4, _>(&mut rng_wide);
+            assert_eq!(wide.len(), 256);
+            let mut rng_scalar = ChaChaRng::from_u64_seed(seed);
+            for w in 0..4 {
+                let scalar = sampler.sample_batch(&mut rng_scalar);
+                assert_eq!(
+                    &wide[64 * w..64 * (w + 1)],
+                    &scalar[..],
+                    "seed {seed}, record {w}"
+                );
+            }
+            // Both generators must end at the same stream position.
+            assert_eq!(rng_wide.next_u64(), rng_scalar.next_u64(), "seed {seed}");
+        }
+    }
+
     #[test]
     fn wide_batch_matches_distribution_and_determinism() {
         let sampler = SamplerBuilder::new("2", 24).build().unwrap();
-        // Wide batch with W=4 consumes words in a known order; verify the
-        // first 64 lanes equal a run_batch on the same per-position words.
+        // Lane equivalence against run_batch on the same per-position
+        // words: record w of the draw is a scalar batch record.
         let mut rng = ChaChaRng::from_u64_seed(31);
         let wide = sampler.sample_batch_wide::<4, _>(&mut rng);
-        assert_eq!(wide.len(), 256);
+        let mut replay = ChaChaRng::from_u64_seed(31);
+        let n = sampler.program().num_inputs() as usize;
+        for w in 0..4 {
+            let mut record = vec![0u64; n + 1];
+            replay.fill_u64s(&mut record);
+            let scalar = sampler.run_batch(&record[..n], record[n]);
+            assert_eq!(&wide[64 * w..64 * (w + 1)], &scalar[..], "record {w}");
+        }
         // Statistical sanity across the whole wide batch.
         let mut rng2 = ChaChaRng::from_u64_seed(32);
         let mut sum = 0f64;
@@ -345,6 +622,57 @@ mod tests {
         let var = sq / count - mean * mean;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 4.0).abs() < 0.1, "variance {var}");
+    }
+
+    /// `sample_into` equals the prefix of repeated `sample_batch` calls,
+    /// for lengths exercising the wide phase, the scalar phase and the
+    /// truncated tail.
+    #[test]
+    fn sample_into_matches_repeated_batches() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        for len in [0usize, 1, 63, 64, 65, 256, 300, 1000] {
+            let mut rng_bulk = ChaChaRng::from_u64_seed(555);
+            let mut bulk = vec![0i32; len];
+            sampler.sample_into(&mut bulk, &mut rng_bulk);
+            let mut rng_ref = ChaChaRng::from_u64_seed(555);
+            let mut reference = Vec::with_capacity(len.div_ceil(64) * 64);
+            while reference.len() < len {
+                reference.extend_from_slice(&sampler.sample_batch(&mut rng_ref));
+            }
+            assert_eq!(bulk, &reference[..len], "len {len}");
+        }
+    }
+
+    /// Reused scratch produces the same stream as the allocating
+    /// convenience API.
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        let mut rng_a = ChaChaRng::from_u64_seed(77);
+        let mut rng_b = ChaChaRng::from_u64_seed(77);
+        let mut scratch = sampler.scratch::<2>();
+        let mut out = [0i32; 128];
+        for round in 0..5 {
+            sampler.sample_batch_with(&mut rng_a, &mut scratch, &mut out);
+            let fresh = sampler.sample_batch_wide::<2, _>(&mut rng_b);
+            assert_eq!(&out[..], &fresh[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_smaller_than_program() {
+        // The lowering must actually compact the hot loop: fewer (or equal)
+        // executed instructions than source ops, and a slot file much
+        // smaller than the SSA register file.
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        let stats = sampler.kernel().stats();
+        assert!(stats.instrs <= stats.source_ops);
+        assert!(
+            sampler.kernel().num_slots() < sampler.program().ops().len() / 2,
+            "slots {} vs ops {}",
+            sampler.kernel().num_slots(),
+            sampler.program().ops().len()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! PRNG (the paper keeps the PRNG fixed across samplers).
 
 use ctgauss_cdt::{BinarySearchCdt, ByteScanCdt, CdtTable, LinearSearchCdt};
-use ctgauss_core::{CtSampler, SamplerBuilder, Strategy};
+use ctgauss_core::{BatchScratch, CtSampler, SamplerBuilder, Strategy};
 use ctgauss_knuthyao::GaussianParams;
 use ctgauss_prng::ChaChaRng;
 
@@ -13,12 +13,20 @@ fn base_params() -> GaussianParams {
     GaussianParams::new("2", 128, 13).expect("paper parameters are valid")
 }
 
+/// Lane-block width of the signing path's batches: 8 × 64 samples per
+/// compiled-kernel pass.
+const WIDE: usize = 8;
+
 /// "This work": the constant-time bitsliced Knuth-Yao sampler, consumed
-/// through its wide (8 x 64 lanes) batch interface.
+/// through its wide (8 x 64 lanes) batch interface. The compiled-kernel
+/// scratch and the sample buffer are allocated once at construction and
+/// reused for every refill, so steady-state signing performs no heap
+/// allocation in the sampling path.
 pub struct KnuthYaoCtBase {
     sampler: CtSampler,
     rng: ChaChaRng,
-    buf: Vec<i32>,
+    scratch: BatchScratch<WIDE>,
+    buf: [i32; 64 * WIDE],
     pos: usize,
 }
 
@@ -30,11 +38,13 @@ impl KnuthYaoCtBase {
             .strategy(Strategy::SplitExact)
             .build()
             .expect("paper parameters build");
+        let scratch = sampler.scratch::<WIDE>();
         KnuthYaoCtBase {
             sampler,
             rng: ChaChaRng::from_u64_seed(seed),
-            buf: Vec::new(),
-            pos: 0,
+            scratch,
+            buf: [0; 64 * WIDE],
+            pos: 64 * WIDE,
         }
     }
 
@@ -47,7 +57,8 @@ impl KnuthYaoCtBase {
 impl BaseSampler for KnuthYaoCtBase {
     fn next(&mut self) -> i32 {
         if self.pos == self.buf.len() {
-            self.buf = self.sampler.sample_batch_wide::<8, _>(&mut self.rng);
+            self.sampler
+                .sample_batch_with(&mut self.rng, &mut self.scratch, &mut self.buf);
             self.pos = 0;
         }
         let v = self.buf[self.pos];

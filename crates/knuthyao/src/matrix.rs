@@ -298,14 +298,14 @@ mod tests {
         // Rows beyond 5 are all-zero at this precision except possibly the
         // last columns; derive expectation directly from rows 0..=5.
         let rows: [&str; 6] = ["001100", "010110", "001111", "001000", "000011", "000001"];
-        for j in 0..6usize {
+        for (j, &weight) in w.iter().enumerate() {
             let expected: u32 = rows
                 .iter()
                 .map(|r| u32::from(r.as_bytes()[j] == b'1'))
                 .sum();
             // Rows >= 6 contribute only if their probability >= 2^-6;
             // D(6) * 2 ~ 8.8e-3 > 2^-6? 2^-6 = 0.015625, so no.
-            assert_eq!(w[j], expected, "column {j}");
+            assert_eq!(weight, expected, "column {j}");
         }
     }
 

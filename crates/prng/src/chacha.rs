@@ -51,6 +51,18 @@ impl ChaCha20 {
         ChaCha20 { key: k, nonce: n }
     }
 
+    /// Produces the keystream block for the given counter value as eight
+    /// little-endian `u64` words — the allocation-free fast path behind
+    /// [`RandomSource::fill_u64s`], byte-identical to [`block`](Self::block).
+    pub fn block_u64s(&self, counter: u32) -> [u64; 8] {
+        let bytes = self.block(counter);
+        let mut out = [0u64; 8];
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("8-byte chunk"));
+        }
+        out
+    }
+
     /// Produces the 64-byte keystream block for the given counter value.
     pub fn block(&self, counter: u32) -> [u8; 64] {
         let mut state = [0u32; 16];
@@ -142,6 +154,41 @@ impl RandomSource for ChaChaRng {
             written += n;
         }
     }
+
+    /// Block-filled override: whole keystream blocks are converted to
+    /// eight `u64` words at a time, bypassing the byte staging buffer for
+    /// the bulk of the request. Stream-equivalent to the default
+    /// byte-at-a-time implementation (see the trait contract).
+    fn fill_u64s(&mut self, dst: &mut [u64]) {
+        let mut i = 0;
+        // Drain whatever is left of the buffered block first so the byte
+        // stream stays continuous.
+        while i < dst.len() && self.pos < 64 {
+            if self.pos + 8 <= 64 {
+                dst[i] = u64::from_le_bytes(
+                    self.buf[self.pos..self.pos + 8]
+                        .try_into()
+                        .expect("8-byte chunk"),
+                );
+                self.pos += 8;
+            } else {
+                // A word straddling the block boundary: take the byte path.
+                dst[i] = self.next_u64();
+            }
+            i += 1;
+        }
+        // Whole blocks straight into the destination: 8 words per block
+        // function call, no staging copy.
+        while dst.len() - i >= 8 {
+            dst[i..i + 8].copy_from_slice(&self.cipher.block_u64s(self.counter));
+            self.counter = self.counter.wrapping_add(1);
+            i += 8;
+        }
+        // Tail shorter than a block: refill the buffer as usual.
+        for w in &mut dst[i..] {
+            *w = self.next_u64();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +256,47 @@ mod tests {
         let mut rng2 = ChaChaRng::from_seed([3u8; 32]);
         for (i, &expected) in all.iter().enumerate() {
             assert_eq!(rng2.next_u8(), expected, "byte {i}");
+        }
+    }
+
+    /// The block-filled `fill_u64s` must be stream-equivalent to the
+    /// default byte-wise implementation, including when the request starts
+    /// mid-block, crosses block boundaries, or starts at an unaligned byte
+    /// position.
+    #[test]
+    fn fill_u64s_matches_byte_stream() {
+        for (pre_bytes, words) in [
+            (0usize, 40usize),
+            (8, 17),
+            (3, 20),
+            (61, 9),
+            (64, 8),
+            (5, 1),
+        ] {
+            let mut fast = ChaChaRng::from_seed([9u8; 32]);
+            let mut slow = ChaChaRng::from_seed([9u8; 32]);
+            let mut skip = vec![0u8; pre_bytes];
+            fast.fill_bytes(&mut skip);
+            slow.fill_bytes(&mut skip);
+            let mut via_fill = vec![0u64; words];
+            fast.fill_u64s(&mut via_fill);
+            let via_next: Vec<u64> = (0..words).map(|_| slow.next_u64()).collect();
+            assert_eq!(via_fill, via_next, "pre_bytes={pre_bytes}, words={words}");
+            // Both generators must resume the same stream afterwards.
+            assert_eq!(fast.next_u64(), slow.next_u64(), "pre_bytes={pre_bytes}");
+        }
+    }
+
+    #[test]
+    fn block_u64s_matches_block_bytes() {
+        let cipher = ChaCha20::new(&[0x42u8; 32], &[7u8; 12]);
+        let words = cipher.block_u64s(3);
+        let bytes = cipher.block(3);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(
+                w,
+                u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap())
+            );
         }
     }
 

@@ -52,6 +52,14 @@ impl<R: RandomSource> RandomSource for CountingSource<R> {
         self.bytes += dst.len() as u64;
         self.inner.fill_bytes(dst);
     }
+
+    /// Forwards to the inner source's (possibly block-filled) override so
+    /// the measured stream is identical to the unwrapped one, while still
+    /// counting every byte drawn.
+    fn fill_u64s(&mut self, dst: &mut [u64]) {
+        self.bytes += 8 * dst.len() as u64;
+        self.inner.fill_u64s(dst);
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +77,18 @@ mod tests {
         assert_eq!(src.bytes_drawn(), 5 + 4 + 8);
         src.reset();
         assert_eq!(src.bytes_drawn(), 0);
+    }
+
+    #[test]
+    fn counts_and_forwards_fill_u64s() {
+        let mut src = CountingSource::new(SplitMix64::new(4));
+        let mut words = [0u64; 5];
+        src.fill_u64s(&mut words);
+        assert_eq!(src.bytes_drawn(), 40);
+        let mut plain = SplitMix64::new(4);
+        let mut expected = [0u64; 5];
+        plain.fill_u64s(&mut expected);
+        assert_eq!(words, expected);
     }
 
     #[test]

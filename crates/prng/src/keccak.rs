@@ -96,6 +96,16 @@ impl KeccakF1600 {
         }
     }
 
+    /// Extracts `out.len()` bytes starting at byte `offset` of the state
+    /// into a caller-provided buffer (the allocation-free counterpart of
+    /// [`extract_bytes`](Self::extract_bytes)).
+    pub fn extract_into(&self, offset: usize, out: &mut [u8]) {
+        for (k, b) in out.iter_mut().enumerate() {
+            let i = offset + k;
+            *b = (self.lanes[i / 8] >> (8 * (i % 8))) as u8;
+        }
+    }
+
     /// Applies the 24-round Keccak-f\[1600\] permutation.
     pub fn permute(&mut self) {
         let a = &mut self.lanes;
@@ -219,21 +229,59 @@ impl Shake {
 
     /// Squeezes `n` more output bytes (finalizing on first call).
     pub fn squeeze(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.squeeze_into(&mut out);
+        out
+    }
+
+    /// Squeezes `dst.len()` more output bytes into a caller-provided
+    /// buffer, finalizing on first call — the allocation-free counterpart
+    /// of [`squeeze`](Self::squeeze).
+    pub fn squeeze_into(&mut self, dst: &mut [u8]) {
         if !self.squeezing {
             self.pad_and_switch();
         }
         let rate = self.variant.rate();
-        let mut out = Vec::with_capacity(n);
-        while out.len() < n {
+        let mut filled = 0;
+        while filled < dst.len() {
             if self.squeeze_pos == rate {
                 self.state.permute();
                 self.squeeze_pos = 0;
             }
-            let take = (n - out.len()).min(rate - self.squeeze_pos);
-            self.state.extract_bytes(self.squeeze_pos, take, &mut out);
+            let take = (dst.len() - filled).min(rate - self.squeeze_pos);
+            self.state
+                .extract_into(self.squeeze_pos, &mut dst[filled..filled + take]);
             self.squeeze_pos += take;
+            filled += take;
         }
-        out
+    }
+
+    /// Squeezes `dst.len()` more little-endian `u64` words, reading whole
+    /// state lanes when the squeeze position is 8-byte aligned (it always
+    /// is unless a caller previously drew a non-multiple-of-8 byte count:
+    /// both SHAKE rates are lane-aligned). Stream-equivalent to squeezing
+    /// `8 * dst.len()` bytes.
+    pub fn squeeze_u64s_into(&mut self, dst: &mut [u64]) {
+        if !self.squeezing {
+            self.pad_and_switch();
+        }
+        let rate = self.variant.rate();
+        for w in dst.iter_mut() {
+            if self.squeeze_pos == rate {
+                self.state.permute();
+                self.squeeze_pos = 0;
+            }
+            if self.squeeze_pos % 8 == 0 && rate - self.squeeze_pos >= 8 {
+                // Lane-aligned: the next 8 stream bytes are exactly one
+                // little-endian state lane.
+                *w = self.state.lanes[self.squeeze_pos / 8];
+                self.squeeze_pos += 8;
+            } else {
+                let mut b = [0u8; 8];
+                self.squeeze_into(&mut b);
+                *w = u64::from_le_bytes(b);
+            }
+        }
     }
 
     /// One-shot convenience: finalizes and squeezes `n` bytes.
@@ -274,8 +322,14 @@ impl KeccakRng {
 
 impl RandomSource for KeccakRng {
     fn fill_bytes(&mut self, dst: &mut [u8]) {
-        let bytes = self.xof.squeeze(dst.len());
-        dst.copy_from_slice(&bytes);
+        self.xof.squeeze_into(dst);
+    }
+
+    /// Block-filled override: words come straight from the Keccak state
+    /// lanes (17 per SHAKE-256 block), with no byte staging. Stream-
+    /// equivalent to the default implementation (see the trait contract).
+    fn fill_u64s(&mut self, dst: &mut [u64]) {
+        self.xof.squeeze_u64s_into(dst);
     }
 }
 
@@ -361,6 +415,42 @@ mod tests {
             b.absorb(chunk);
         }
         assert_eq!(one, b.finalize_squeeze(32));
+    }
+
+    /// The lane-filled `fill_u64s` must be stream-equivalent to the
+    /// default byte-wise implementation, across rate boundaries and from
+    /// unaligned squeeze positions.
+    #[test]
+    fn fill_u64s_matches_byte_stream() {
+        for (pre_bytes, words) in [(0usize, 40usize), (8, 17), (3, 20), (133, 9), (136, 17)] {
+            let mut fast = KeccakRng::from_u64_seed(77);
+            let mut slow = KeccakRng::from_u64_seed(77);
+            let mut skip = vec![0u8; pre_bytes];
+            fast.fill_bytes(&mut skip);
+            slow.fill_bytes(&mut skip);
+            let mut via_fill = vec![0u64; words];
+            fast.fill_u64s(&mut via_fill);
+            let via_next: Vec<u64> = (0..words)
+                .map(|_| {
+                    let mut b = [0u8; 8];
+                    slow.fill_bytes(&mut b);
+                    u64::from_le_bytes(b)
+                })
+                .collect();
+            assert_eq!(via_fill, via_next, "pre_bytes={pre_bytes}, words={words}");
+            assert_eq!(fast.next_u64(), slow.next_u64(), "pre_bytes={pre_bytes}");
+        }
+    }
+
+    #[test]
+    fn squeeze_into_matches_squeeze() {
+        let mut a = Shake::new(ShakeVariant::Shake256);
+        a.absorb(b"squeeze me");
+        let mut b = a.clone();
+        let one = a.squeeze(300);
+        let mut buf = vec![0u8; 300];
+        b.squeeze_into(&mut buf);
+        assert_eq!(one, buf);
     }
 
     #[test]

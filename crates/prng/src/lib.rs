@@ -18,6 +18,12 @@
 //!   [`CountingSource`] for measuring exactly how much randomness a sampler
 //!   draws (byte-scanning CDT draws lazily; this is how we verify it).
 //!
+//! The block generators override [`RandomSource::fill_u64s`] with a
+//! block-filled fast path (whole ChaCha blocks / Keccak lanes straight
+//! into the destination, no byte staging) that is exactly
+//! stream-equivalent to the default byte-wise implementation — the
+//! samplers draw their per-batch randomness through it.
+//!
 //! # Examples
 //!
 //! ```

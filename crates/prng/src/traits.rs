@@ -32,6 +32,16 @@ pub trait RandomSource {
     }
 
     /// Fills a slice of `u64` words.
+    ///
+    /// # Contract
+    ///
+    /// The words are exactly the little-endian interpretation of the next
+    /// `8 * dst.len()` bytes of the generator's byte stream — identical to
+    /// calling [`next_u64`](Self::next_u64) in a loop. Implementors may
+    /// override this for speed (the block generators in this crate write
+    /// whole PRNG blocks straight into `dst`, skipping the byte staging
+    /// buffer) but must preserve that stream equivalence; the samplers'
+    /// randomness draw-order contract depends on it.
     fn fill_u64s(&mut self, dst: &mut [u64]) {
         for w in dst {
             *w = self.next_u64();
@@ -46,6 +56,10 @@ impl<R: RandomSource + ?Sized> RandomSource for &mut R {
 
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_u64s(&mut self, dst: &mut [u64]) {
+        (**self).fill_u64s(dst)
     }
 }
 

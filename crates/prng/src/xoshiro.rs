@@ -152,6 +152,24 @@ mod tests {
     }
 
     #[test]
+    fn fill_u64s_matches_next_loop() {
+        let mut a = Xoshiro256pp::from_u64_seed(21);
+        let mut b = Xoshiro256pp::from_u64_seed(21);
+        let mut filled = [0u64; 37];
+        a.fill_u64s(&mut filled);
+        for (i, &w) in filled.iter().enumerate() {
+            assert_eq!(w, b.next_u64(), "word {i}");
+        }
+        let mut a = SplitMix64::new(21);
+        let mut b = SplitMix64::new(21);
+        let mut filled = [0u64; 37];
+        a.fill_u64s(&mut filled);
+        for (i, &w) in filled.iter().enumerate() {
+            assert_eq!(w, b.next_u64(), "word {i}");
+        }
+    }
+
+    #[test]
     fn fill_bytes_partial_chunks() {
         let mut rng = SplitMix64::new(7);
         let mut buf = [0u8; 13];

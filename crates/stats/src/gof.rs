@@ -46,10 +46,10 @@ pub fn chi_square_test(histogram: &Histogram, pmf: &[f64]) -> ChiSquare {
     let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
     let mut acc_obs = 0.0;
     let mut acc_exp = 0.0;
-    for i in 0..span {
+    for (i, p) in pmf.iter().enumerate().take(span) {
         let v = histogram.min_value() + i as i32;
         acc_obs += histogram.count(v) as f64;
-        acc_exp += pmf[i] * total_f;
+        acc_exp += p * total_f;
         if acc_exp >= 5.0 {
             pooled.push((acc_obs, acc_exp));
             acc_obs = 0.0;
