@@ -1,0 +1,140 @@
+//! Service-layer scaling: samples/sec through `ctgauss-pool` as the
+//! worker count grows (the acceptance experiment for the pool subsystem;
+//! measured rows go to EXPERIMENTS.md).
+//!
+//! One shared compiled kernel (built once, `Arc`-cloned into every pool)
+//! serves a fixed stream of requests at each thread count; the reported
+//! speedup is wall-clock samples/sec relative to one thread. Usage:
+//!
+//! ```text
+//! pool_throughput [--total SAMPLES] [--request SAMPLES] [--threads 1,2,4,8]
+//!                 [--precision N] [--width 1|2|4|8]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ctgauss_bench::print_table;
+use ctgauss_core::SamplerSpec;
+use ctgauss_pool::{LaneWidth, Pool, SampleRequest};
+
+struct Args {
+    total: usize,
+    request: usize,
+    threads: Vec<usize>,
+    precision: u32,
+    width: LaneWidth,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        total: 16 << 20,
+        request: 4096,
+        threads: vec![1, 2, 4, 8],
+        precision: 64,
+        width: LaneWidth::W4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--total" => args.total = value().parse().expect("--total"),
+            "--request" => args.request = value().parse().expect("--request"),
+            "--threads" => {
+                args.threads = value()
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads"))
+                    .collect();
+            }
+            "--precision" => args.precision = value().parse().expect("--precision"),
+            "--width" => {
+                args.width = match value().as_str() {
+                    "1" => LaneWidth::W1,
+                    "2" => LaneWidth::W2,
+                    "4" => LaneWidth::W4,
+                    "8" => LaneWidth::W8,
+                    w => panic!("unsupported width {w}"),
+                }
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = SamplerSpec::new("2", args.precision);
+    println!(
+        "pool_throughput: sigma = 2, n = {}, width = {:?}, {} samples per run, {}-sample requests",
+        args.precision, args.width, args.total, args.request
+    );
+    let build_start = Instant::now();
+    let shared = spec.build_shared().expect("paper parameters build");
+    println!(
+        "shared kernel built once in {:.2?} ({} slots), Arc-cloned into every pool\n",
+        build_start.elapsed(),
+        shared.kernel().num_slots()
+    );
+
+    let requests = args.total.div_ceil(args.request);
+    let mut rows = Vec::new();
+    let mut measured: Vec<(usize, f64, u64, f64)> = Vec::new();
+    for &threads in &args.threads {
+        let mut builder = Pool::builder()
+            .threads(threads)
+            .width(args.width)
+            .queue_capacity(1024)
+            .seed_u64(7);
+        let profile = builder.shared_profile(Arc::clone(&shared));
+        let pool = builder.spawn();
+
+        let start = Instant::now();
+        let tickets: Vec<_> = (0..requests)
+            .map(|_| {
+                pool.submit(SampleRequest {
+                    profile,
+                    count: args.request,
+                })
+                .expect("submit")
+            })
+            .collect();
+        let mut checksum = 0u64;
+        for t in tickets {
+            let response = t.wait().expect("response");
+            // Touch every sample so the compiler cannot elide the work.
+            for &s in &response.samples {
+                checksum = checksum.wrapping_mul(0x100000001b3).wrapping_add(s as u64);
+            }
+        }
+        let elapsed = start.elapsed();
+        let samples = (requests * args.request) as f64;
+        let rate = samples / elapsed.as_secs_f64();
+        measured.push((threads, rate, checksum, elapsed.as_secs_f64()));
+    }
+    // Speedup is relative to the threads == 1 run regardless of the
+    // order --threads listed it; without a 1-thread run, fall back to
+    // the first measurement.
+    let baseline = measured
+        .iter()
+        .find(|&&(threads, ..)| threads == 1)
+        .unwrap_or(&measured[0])
+        .1;
+    for &(threads, rate, checksum, secs) in &measured {
+        rows.push(vec![
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.3e}", rate),
+            format!("{:.2}x", rate / baseline),
+            format!("{checksum:016x}"),
+        ]);
+    }
+    print_table(
+        &["threads", "seconds", "samples/sec", "speedup", "checksum"],
+        &rows,
+    );
+    println!("\n(checksums differ across thread counts: shards draw disjoint SeedTree streams)");
+}

@@ -51,10 +51,12 @@
 
 mod builder;
 mod sampler;
+mod spec;
 mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
 pub use sampler::{BatchScratch, CtSampler, SampleStream};
+pub use spec::SamplerSpec;
 pub use sublists::{
     combine_sublists, simple_expressions, split_by_run, synthesize_sublist, SublistFunctions,
 };

@@ -295,20 +295,39 @@ impl CtSampler {
     /// state consumers should hold a [`BatchScratch`] and call
     /// [`sample_batch_with`](Self::sample_batch_with).
     pub fn sample_batch_wide<const W: usize, R: RandomSource>(&self, rng: &mut R) -> Vec<i32> {
-        let mut scratch = self.scratch::<W>();
         let mut out = vec![0i32; 64 * W];
-        self.sample_batch_with(rng, &mut scratch, &mut out);
+        self.sample_batch_wide_into::<W, _>(rng, &mut out);
         out
+    }
+
+    /// Generates `64 * W` signed samples in one kernel pass into a
+    /// caller-provided buffer — [`sample_batch_wide`](Self::sample_batch_wide)
+    /// without the output `Vec` allocation. Only the internal scratch is
+    /// allocated; callers running batches in a loop should hold a
+    /// [`BatchScratch`] and use [`sample_batch_with`](Self::sample_batch_with)
+    /// to eliminate that too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 64 * W`.
+    pub fn sample_batch_wide_into<const W: usize, R: RandomSource>(
+        &self,
+        rng: &mut R,
+        out: &mut [i32],
+    ) {
+        let mut scratch = self.scratch::<W>();
+        self.sample_batch_with(rng, &mut scratch, out);
     }
 
     /// Fills `out` with signed samples — the bulk API.
     ///
-    /// Runs 4-wide kernel batches (256 samples) while they fit, then
-    /// scalar batches, drawing `ceil(out.len() / 64)` batch records in
-    /// total; a final partial batch is truncated. Scratch for the wide
-    /// phase is allocated once per call and amortized across all batches;
-    /// the scalar phase is allocation-free. The output equals the prefix
-    /// of repeated [`sample_batch`](Self::sample_batch) calls on the same
+    /// Runs 4-wide kernel batches (256 samples) while they fit, one
+    /// 2-wide batch if at least 128 samples remain, then scalar batches,
+    /// drawing `ceil(out.len() / 64)` batch records in total; a final
+    /// partial batch is truncated. Scratch for the wide phases is
+    /// allocated once per call and amortized across all batches; the
+    /// scalar phase is allocation-free. The output equals the prefix of
+    /// repeated [`sample_batch`](Self::sample_batch) calls on the same
     /// generator.
     pub fn sample_into<R: RandomSource>(&self, out: &mut [i32], rng: &mut R) {
         let mut filled = 0;
@@ -318,6 +337,10 @@ impl CtSampler {
                 self.sample_batch_with(rng, &mut scratch, &mut out[filled..filled + 256]);
                 filled += 256;
             }
+        }
+        if out.len() - filled >= 128 {
+            self.sample_batch_wide_into::<2, _>(rng, &mut out[filled..filled + 128]);
+            filled += 128;
         }
         while out.len() - filled >= 64 {
             out[filled..filled + 64].copy_from_slice(&self.sample_batch(rng));
@@ -630,7 +653,9 @@ mod tests {
     #[test]
     fn sample_into_matches_repeated_batches() {
         let sampler = SamplerBuilder::new("2", 24).build().unwrap();
-        for len in [0usize, 1, 63, 64, 65, 256, 300, 1000] {
+        for len in [
+            0usize, 1, 63, 64, 65, 127, 128, 129, 191, 192, 256, 300, 448, 1000,
+        ] {
             let mut rng_bulk = ChaChaRng::from_u64_seed(555);
             let mut bulk = vec![0i32; len];
             sampler.sample_into(&mut bulk, &mut rng_bulk);
@@ -641,6 +666,19 @@ mod tests {
             }
             assert_eq!(bulk, &reference[..len], "len {len}");
         }
+    }
+
+    /// The buffer-filling wide API is stream-identical to the allocating
+    /// one (it is the same kernel pass, minus the `Vec`).
+    #[test]
+    fn wide_into_matches_wide() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        let mut rng_a = ChaChaRng::from_u64_seed(91);
+        let mut rng_b = ChaChaRng::from_u64_seed(91);
+        let mut out = [0i32; 128];
+        sampler.sample_batch_wide_into::<2, _>(&mut rng_a, &mut out);
+        assert_eq!(&out[..], &sampler.sample_batch_wide::<2, _>(&mut rng_b)[..]);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     /// Reused scratch produces the same stream as the allocating

@@ -1,0 +1,137 @@
+//! Sampler profiles: hashable specs that build shared, immutable samplers.
+
+use std::sync::Arc;
+
+use crate::builder::{BuildError, SamplerBuilder, Strategy};
+use crate::sampler::CtSampler;
+
+/// A value-comparable description of one sampler configuration — the
+/// "sigma profile" multi-threaded services key requests on.
+///
+/// Building a [`CtSampler`] runs the whole Figure-4 pipeline (matrix
+/// enumeration, exact Boolean minimization, kernel lowering), which takes
+/// seconds at paper parameters — far too much to repeat per worker
+/// thread. A `SamplerSpec` is the cheap, `Eq + Hash` identity of that
+/// work: [`build_shared`](Self::build_shared) runs the pipeline once and
+/// hands back an `Arc<CtSampler>` every worker can clone. `CtSampler`
+/// has no interior mutability (workers pass their own scratch into the
+/// `_with` APIs), so sharing one lowered kernel across threads is safe by
+/// construction — asserted at compile time below.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_core::SamplerSpec;
+///
+/// let spec = SamplerSpec::new("2", 24);
+/// let a = spec.build_shared().unwrap();
+/// let b = a.clone(); // workers clone the Arc, not the kernel
+/// assert_eq!(a.words_per_batch(), b.words_per_batch());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SamplerSpec {
+    sigma: String,
+    precision: u32,
+    tail_cut: u32,
+    strategy: Strategy,
+}
+
+// The pool hands one `Arc<CtSampler>` to N worker threads; that is sound
+// only while `CtSampler` stays `Send + Sync` (no interior mutability).
+// Keep the assertion next to the type that relies on it.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<CtSampler>();
+    assert_shareable::<SamplerSpec>();
+};
+
+impl SamplerSpec {
+    /// A spec for standard deviation `sigma` (exact decimal literal) and
+    /// probability precision `n` bits, with the paper's defaults for the
+    /// rest (tail cut 13, split-exact minimization).
+    pub fn new(sigma: &str, precision: u32) -> Self {
+        SamplerSpec {
+            sigma: sigma.to_owned(),
+            precision,
+            tail_cut: ctgauss_knuthyao::GaussianParams::DEFAULT_TAIL_CUT,
+            strategy: Strategy::SplitExact,
+        }
+    }
+
+    /// Sets the tail-cut factor `tau`.
+    #[must_use]
+    pub fn tail_cut(mut self, tau: u32) -> Self {
+        self.tail_cut = tau;
+        self
+    }
+
+    /// Sets the minimization strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The sigma literal.
+    pub fn sigma(&self) -> &str {
+        &self.sigma
+    }
+
+    /// The probability precision in bits.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Runs the build pipeline once and wraps the lowered sampler for
+    /// sharing across threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the pipeline.
+    pub fn build_shared(&self) -> Result<Arc<CtSampler>, BuildError> {
+        Ok(Arc::new(self.builder().build()?))
+    }
+
+    /// The equivalent single-owner builder.
+    pub fn builder(&self) -> SamplerBuilder {
+        SamplerBuilder::new(&self.sigma, self.precision)
+            .tail_cut(self.tail_cut)
+            .strategy(self.strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctgauss_prng::ChaChaRng;
+
+    #[test]
+    fn shared_build_equals_builder_build() {
+        let spec = SamplerSpec::new("2", 16).tail_cut(10);
+        let shared = spec.build_shared().unwrap();
+        let owned = spec.builder().build().unwrap();
+        let mut a = ChaChaRng::from_u64_seed(1);
+        let mut b = ChaChaRng::from_u64_seed(1);
+        assert_eq!(shared.sample_batch(&mut a), owned.sample_batch(&mut b));
+        assert_eq!(shared.words_per_batch(), owned.words_per_batch());
+    }
+
+    #[test]
+    fn spec_identity_is_value_based() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        assert!(set.insert(SamplerSpec::new("2", 16)));
+        assert!(!set.insert(SamplerSpec::new("2", 16)));
+        assert!(set.insert(SamplerSpec::new("2", 16).tail_cut(9)));
+        assert!(set.insert(SamplerSpec::new("1.5", 16)));
+        assert!(set.insert(SamplerSpec::new("2", 16).strategy(Strategy::Simple)));
+    }
+
+    #[test]
+    fn arc_is_shared_not_cloned() {
+        let handle = SamplerSpec::new("2", 12).build_shared().unwrap();
+        let other = Arc::clone(&handle);
+        assert_eq!(Arc::strong_count(&handle), 2);
+        assert!(std::ptr::eq(Arc::as_ptr(&handle), Arc::as_ptr(&other)));
+    }
+}

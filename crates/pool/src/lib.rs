@@ -1,0 +1,62 @@
+//! A sharded, multi-threaded sampling service over the compiled
+//! constant-time Knuth-Yao kernel.
+//!
+//! The per-core kernel is lane-width-generic and fast (`ctgauss-core`);
+//! what remains between it and the roadmap's "heavy traffic" target is
+//! scheduling: keeping N cores busy without giving up the bit-exact
+//! replayability the rest of the workspace is built on. This crate is
+//! that layer:
+//!
+//! * [`Pool`] owns `threads` workers, each with its own lowered-kernel
+//!   handle (an `Arc<CtSampler>` shared via
+//!   [`SamplerSpec::build_shared`](ctgauss_core::SamplerSpec) — the
+//!   Figure-4 pipeline runs once, not once per worker), reusable
+//!   `BatchScratch`, and an independent PRNG stream forked from one
+//!   [`SeedTree`](ctgauss_prng::SeedTree) by worker index.
+//! * Requests ([`SampleRequest`]: sigma-profile id + count) flow through
+//!   bounded per-shard rings with round-robin assignment by submission
+//!   sequence number; a full ring blocks submitters (backpressure).
+//!   Responses come back through [`Ticket`]s or the blocking
+//!   [`Pool::sample_into`] / [`Pool::sample_vec`].
+//! * Workers coalesce: the kernel only ever runs full `64 * W`-sample
+//!   batches, and leftovers carry over to the next request — so small
+//!   requests cost a fraction of a batch, not a whole one, and no
+//!   randomness is discarded.
+//! * Determinism: a single-profile pool with `threads = 1` reproduces
+//!   the scalar [`CtSampler::sample_into`](ctgauss_core::CtSampler)
+//!   stream over the worker's forked generator bit for bit (any width);
+//!   for any `(threads, width, profiles)` the full response set is a
+//!   pure function of (seed, request trace). Tested in
+//!   `tests/determinism.rs`.
+//! * [`PooledBase`] plugs the service into the Falcon signing path as a
+//!   drop-in [`BaseSampler`](ctgauss_falcon::sign::BaseSampler).
+//!
+//! The load-generator front end lives in `examples/pool_server.rs`; the
+//! thread-scaling numbers are in `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctgauss_core::SamplerSpec;
+//! use ctgauss_pool::{LaneWidth, Pool};
+//!
+//! let mut builder = Pool::builder().threads(4).width(LaneWidth::W4).seed_u64(42);
+//! let profile = builder.profile(&SamplerSpec::new("2", 16)).unwrap();
+//! let pool = builder.spawn();
+//! let mut noise = vec![0i32; 4096];
+//! pool.sample_into(profile, &mut noise).unwrap();
+//! assert!(noise.iter().any(|&s| s != 0));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod falcon_base;
+mod pool;
+mod ring;
+mod worker;
+
+pub use falcon_base::{falcon_profile_spec, PooledBase};
+pub use pool::{
+    LaneWidth, Pool, PoolBuilder, PoolError, PoolStats, ProfileId, SampleRequest, SampleResponse,
+    Ticket,
+};

@@ -1,0 +1,608 @@
+//! The sharded sampler pool: configuration, submission, completion.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ctgauss_core::{BuildError, CtSampler, SamplerSpec};
+use ctgauss_prng::SeedTree;
+
+use crate::ring::{Ring, TryPushError};
+use crate::worker::{spawn_worker, Job, WorkerStats};
+
+/// Lane-block width each worker executes the compiled kernel at:
+/// `64 * lanes()` samples per kernel pass.
+///
+/// The width is a runtime choice (the scratch type is const-generic, so
+/// the pool dispatches to a monomorphized worker loop per variant). By
+/// the draw-order contract every width produces the *same* per-worker
+/// sample stream; the width only trades dispatch amortization against
+/// tail-batch latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneWidth {
+    /// Scalar batches (64 samples per pass).
+    W1,
+    /// 2-wide batches (128 samples per pass).
+    W2,
+    /// 4-wide batches (256 samples per pass) — the sweet spot on 256-bit
+    /// vector units, and the default.
+    #[default]
+    W4,
+    /// 8-wide batches (512 samples per pass).
+    W8,
+}
+
+impl LaneWidth {
+    /// Number of 64-bit lane blocks per kernel pass.
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W1 => 1,
+            LaneWidth::W2 => 2,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+}
+
+/// Identifies a sampler profile registered with a [`PoolBuilder`] —
+/// the "sigma-profile id" requests carry.
+///
+/// The id is bound to the pool that minted it: submitting an id from a
+/// *different* pool fails with [`PoolError::UnknownProfile`] rather than
+/// silently hitting whatever profile shares its index there — a wrong
+/// noise distribution is a correctness bug, not a recoverable mix-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileId {
+    /// The minting pool's unique token.
+    pub(crate) pool: u64,
+    /// Index into that pool's profile table.
+    pub(crate) index: usize,
+}
+
+/// One unit of work for the pool: `count` samples from `profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRequest {
+    /// Which registered sampler profile to draw from.
+    pub profile: ProfileId,
+    /// How many samples to return.
+    pub count: usize,
+}
+
+/// Errors surfaced by the pool API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The request named a profile that was never registered.
+    UnknownProfile,
+    /// The target shard's ring is full (only from [`Pool::try_submit`];
+    /// blocking submission waits instead).
+    Backpressure,
+    /// The pool is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The target worker is gone: either it exited without delivering
+    /// this response, or a submission was routed to a shard whose worker
+    /// has died (a worker panic; never part of normal shutdown, which
+    /// drains). Because the request→shard map is fixed by the
+    /// determinism contract, a dead shard is not skipped — after a
+    /// worker death the pool degrades to returning this error rather
+    /// than silently re-routing streams.
+    WorkerGone,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownProfile => write!(f, "unknown sampler profile"),
+            PoolError::Backpressure => write!(f, "shard queue full"),
+            PoolError::ShuttingDown => write!(f, "pool is shutting down"),
+            PoolError::WorkerGone => write!(f, "worker exited before responding"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Shared slot a worker fills and a [`Ticket`] waits on (a one-shot
+/// channel built on `Mutex` + `Condvar`).
+#[derive(Debug, Default)]
+pub(crate) struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CompletionState {
+    /// On success: the samples plus the submission sequence number *as
+    /// echoed by the serving worker* — the audit trail a front end needs
+    /// to detect misrouted/duplicated deliveries end to end.
+    result: Option<Result<(u64, Vec<i32>), PoolError>>,
+    finished_at: Option<Instant>,
+}
+
+impl Completion {
+    pub(crate) fn fulfill(&self, seq: u64, samples: Vec<i32>) {
+        self.deliver(Ok((seq, samples)));
+    }
+
+    pub(crate) fn abandon(&self) {
+        self.deliver(Err(PoolError::WorkerGone));
+    }
+
+    fn deliver(&self, result: Result<(u64, Vec<i32>), PoolError>) {
+        let mut state = self.state.lock().expect("completion lock");
+        if state.result.is_none() {
+            state.result = Some(result);
+            state.finished_at = Some(Instant::now());
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A pending response. Obtain from [`Pool::submit`]; redeem with
+/// [`wait`](Ticket::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    completion: Arc<Completion>,
+    submitted_at: Instant,
+    request: SampleRequest,
+    seq: u64,
+}
+
+/// A fulfilled request: the samples plus queue+service latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleResponse {
+    /// The filled buffer, exactly `request.count` samples.
+    pub samples: Vec<i32>,
+    /// Submission-to-completion time, as observed by the worker.
+    pub latency: Duration,
+    /// The request this answers.
+    pub request: SampleRequest,
+    /// The pool-wide submission sequence number (shard = seq % threads),
+    /// *as echoed back by the serving worker* — compare against
+    /// [`Ticket::seq`] to audit for misrouted or duplicated deliveries
+    /// end to end (the `pool_server --verify` front end does).
+    pub seq: u64,
+}
+
+impl Ticket {
+    /// The pool-wide submission sequence number of this request.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the owning worker delivers the response.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::WorkerGone`] if the worker exited without responding.
+    pub fn wait(self) -> Result<SampleResponse, PoolError> {
+        let mut state = self.completion.state.lock().expect("completion lock");
+        while state.result.is_none() {
+            state = self.completion.cv.wait(state).expect("completion lock");
+        }
+        let (served_seq, samples) = state.result.take().expect("checked above")?;
+        let finished = state.finished_at.expect("set with result");
+        Ok(SampleResponse {
+            samples,
+            latency: finished.saturating_duration_since(self.submitted_at),
+            request: self.request,
+            seq: served_seq,
+        })
+    }
+}
+
+/// Per-pool aggregate counters (see [`Pool::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Requests fulfilled, per worker.
+    pub requests_per_worker: Vec<u64>,
+    /// Samples delivered, per worker.
+    pub samples_per_worker: Vec<u64>,
+    /// Full `64 * W`-sample kernel batches executed, per worker.
+    pub batches_per_worker: Vec<u64>,
+    /// Current queue depth, per shard (racy snapshot).
+    pub queue_depths: Vec<usize>,
+}
+
+impl PoolStats {
+    /// Total samples delivered across workers.
+    pub fn samples(&self) -> u64 {
+        self.samples_per_worker.iter().sum()
+    }
+
+    /// Total requests fulfilled across workers.
+    pub fn requests(&self) -> u64 {
+        self.requests_per_worker.iter().sum()
+    }
+
+    /// Total kernel batches executed across workers.
+    pub fn batches(&self) -> u64 {
+        self.batches_per_worker.iter().sum()
+    }
+}
+
+/// Configures and spawns a [`Pool`].
+#[derive(Debug)]
+pub struct PoolBuilder {
+    threads: usize,
+    width: LaneWidth,
+    queue_capacity: usize,
+    /// No default: worker streams feed cryptographic consumers (Falcon
+    /// signing noise), so a silently predictable seed would be a key-
+    /// recovery hazard. [`spawn`](PoolBuilder::spawn) refuses to run
+    /// unseeded.
+    seeds: Option<SeedTree>,
+    profiles: Vec<Arc<CtSampler>>,
+    /// Process-unique token binding minted [`ProfileId`]s to this pool.
+    token: u64,
+}
+
+/// Source of process-unique pool tokens (see [`ProfileId`]).
+static POOL_TOKENS: AtomicU64 = AtomicU64::new(0);
+
+impl PoolBuilder {
+    /// Number of worker threads / shards (default 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Kernel lane-block width per worker (default [`LaneWidth::W4`]).
+    #[must_use]
+    pub fn width(mut self, width: LaneWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Per-shard ring capacity in requests (default 256). A full shard
+    /// blocks submission — the backpressure bound.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Root of the deterministic randomness tree. Worker `i` draws from
+    /// the independent stream `seeds.fork_chacha(i)`. **Required** —
+    /// [`spawn`](Self::spawn) panics without it: the streams feed
+    /// cryptographic consumers, so the caller must own the decision of
+    /// where the root entropy comes from (there is no safe default).
+    #[must_use]
+    pub fn seeds(mut self, seeds: SeedTree) -> Self {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Convenience: seeds the tree from a 64-bit value.
+    #[must_use]
+    pub fn seed_u64(self, seed: u64) -> Self {
+        self.seeds(SeedTree::from_u64_seed(seed))
+    }
+
+    /// Builds and registers a sampler profile (the expensive Figure-4
+    /// pipeline runs here, once, on the calling thread).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the pipeline.
+    pub fn profile(&mut self, spec: &SamplerSpec) -> Result<ProfileId, BuildError> {
+        Ok(self.shared_profile(spec.build_shared()?))
+    }
+
+    /// Registers an already-built shared sampler; all workers clone the
+    /// `Arc`, never the lowered kernel.
+    pub fn shared_profile(&mut self, sampler: Arc<CtSampler>) -> ProfileId {
+        self.profiles.push(sampler);
+        ProfileId {
+            pool: self.token,
+            index: self.profiles.len() - 1,
+        }
+    }
+
+    /// Spawns the workers and returns the running pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no profile was registered, or if no seed was provided
+    /// via [`seeds`](Self::seeds) / [`seed_u64`](Self::seed_u64).
+    pub fn spawn(self) -> Pool {
+        assert!(
+            !self.profiles.is_empty(),
+            "register at least one sampler profile before spawning"
+        );
+        let seeds = self
+            .seeds
+            .expect("seed the pool (PoolBuilder::seeds / seed_u64) before spawning");
+        let profiles: Arc<[Arc<CtSampler>]> = self.profiles.into();
+        let mut shards = Vec::with_capacity(self.threads);
+        let mut stats = Vec::with_capacity(self.threads);
+        let mut workers = Vec::with_capacity(self.threads);
+        for w in 0..self.threads {
+            let shard = Arc::new(Ring::new(self.queue_capacity));
+            let worker_stats = Arc::new(WorkerStats::default());
+            let rng = seeds.fork_chacha(w as u64);
+            workers.push(spawn_worker(
+                w,
+                self.width,
+                Arc::clone(&shard),
+                Arc::clone(&profiles),
+                rng,
+                Arc::clone(&worker_stats),
+            ));
+            shards.push(shard);
+            stats.push(worker_stats);
+        }
+        Pool {
+            shards,
+            stats,
+            workers: Mutex::new(workers),
+            submit_seq: Mutex::new(0),
+            submitted: AtomicU64::new(0),
+            profiles,
+            width: self.width,
+            token: self.token,
+            closing: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A sharded, multi-threaded sampling service over shared compiled
+/// kernels.
+///
+/// `threads` workers each own an independent PRNG stream (forked from
+/// one [`SeedTree`]), reusable kernel scratch, and a bounded request
+/// ring. Requests are assigned to shards round-robin by submission
+/// sequence number, so the mapping of requests to worker streams — and
+/// therefore every response — is a pure function of (seed, request
+/// trace): the service is replayable. See `DESIGN.md` ("Service layer")
+/// for the architecture diagram and the full determinism contract.
+///
+/// # Determinism contract
+///
+/// * In a **single-profile** pool, worker `w`'s concatenated output for
+///   the requests it serves equals `CtSampler::sample_into` over one
+///   buffer of the same total length, driven by `seeds.fork_chacha(w)`
+///   — bit for bit, for every [`LaneWidth`]. With `threads = 1` the
+///   whole pool therefore reproduces the scalar `sample_into` stream.
+///   With **multiple profiles** a shard's one generator is interleaved
+///   across its profiles in request order, so the closed-form
+///   `sample_into` equivalence no longer applies per profile — but
+///   every response is still a pure function of (seed, request trace)
+///   and replays exactly.
+/// * Small requests are coalesced: workers only ever run *full*
+///   `64 * W`-sample kernel batches, carrying leftover samples to the
+///   next request on the same shard and profile. No randomness is
+///   discarded between requests.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_core::SamplerSpec;
+/// use ctgauss_pool::{Pool, SampleRequest};
+///
+/// let mut builder = Pool::builder().threads(2).seed_u64(7);
+/// let profile = builder.profile(&SamplerSpec::new("2", 16)).unwrap();
+/// let pool = builder.spawn();
+/// let ticket = pool.submit(SampleRequest { profile, count: 100 }).unwrap();
+/// let response = ticket.wait().unwrap();
+/// assert_eq!(response.samples.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    shards: Vec<Arc<Ring<Job>>>,
+    stats: Vec<Arc<WorkerStats>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes sequence assignment *and* shard push, so request `i`
+    /// always lands in slot `i mod threads` in arrival order — the
+    /// invariant replayability rests on. Held across a full shard's
+    /// blocking push: backpressure on one shard intentionally stalls all
+    /// submitters (head-of-line; see DESIGN.md for the policy rationale).
+    submit_seq: Mutex<u64>,
+    /// Requests accepted so far (mirror of `submit_seq` readable without
+    /// the lock, for stats).
+    submitted: AtomicU64,
+    profiles: Arc<[Arc<CtSampler>]>,
+    width: LaneWidth,
+    /// Matches the `pool` field of every [`ProfileId`] this pool minted.
+    token: u64,
+    /// Set by [`shutdown`](Pool::shutdown) before the rings close, so a
+    /// closed ring can be attributed to shutdown vs. a dead worker.
+    closing: AtomicBool,
+}
+
+impl Pool {
+    /// Starts configuring a pool.
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder {
+            threads: 1,
+            width: LaneWidth::default(),
+            queue_capacity: 256,
+            seeds: None,
+            profiles: Vec::new(),
+            token: POOL_TOKENS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured kernel lane width.
+    pub fn width(&self) -> LaneWidth {
+        self.width
+    }
+
+    /// The shared sampler behind a profile id.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownProfile`] for an id this pool did not mint.
+    pub fn profile_sampler(&self, profile: ProfileId) -> Result<&Arc<CtSampler>, PoolError> {
+        if profile.pool != self.token {
+            return Err(PoolError::UnknownProfile);
+        }
+        self.profiles
+            .get(profile.index)
+            .ok_or(PoolError::UnknownProfile)
+    }
+
+    /// Submits a request, blocking while the target shard is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownProfile`] or [`PoolError::ShuttingDown`].
+    pub fn submit(&self, request: SampleRequest) -> Result<Ticket, PoolError> {
+        self.submit_inner(request, true)
+    }
+
+    /// Submits a request without blocking on backpressure: a full target
+    /// shard *or* a contended submission lane (any other submitter holds
+    /// the sequence lock — possibly parked on a full shard, possibly
+    /// just overlapping for its microsecond-scale critical section)
+    /// returns [`PoolError::Backpressure`] immediately instead of
+    /// waiting. Backpressure is therefore a retryable "not now", not
+    /// proof that queues are full.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Backpressure`] as above, plus everything
+    /// [`submit`](Self::submit) can return.
+    pub fn try_submit(&self, request: SampleRequest) -> Result<Ticket, PoolError> {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(&self, request: SampleRequest, block: bool) -> Result<Ticket, PoolError> {
+        self.profile_sampler(request.profile)?;
+        let completion = Arc::new(Completion::default());
+        let submitted_at = Instant::now();
+        let mut seq_guard = if block {
+            self.submit_seq.lock().expect("submit lock")
+        } else {
+            match self.submit_seq.try_lock() {
+                Ok(guard) => guard,
+                // The lock may be held across a blocking push by another
+                // submitter parked on a full shard — or only for another
+                // submitter's microsecond-scale critical section. Either
+                // way the non-blocking contract says return now; callers
+                // must treat Backpressure as retryable, not as proof the
+                // queues are deeply backed up.
+                Err(std::sync::TryLockError::WouldBlock) => return Err(PoolError::Backpressure),
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("submit lock"),
+            }
+        };
+        let seq = *seq_guard;
+        let shard = &self.shards[(seq % self.shards.len() as u64) as usize];
+        let job = Job::new(request, seq, Arc::clone(&completion));
+        // A closed ring during normal operation means that shard's worker
+        // died (its ShardCloser ran); only report ShuttingDown when the
+        // pool is actually shutting down.
+        let closed_error = || {
+            if self.closing.load(Ordering::Relaxed) {
+                PoolError::ShuttingDown
+            } else {
+                PoolError::WorkerGone
+            }
+        };
+        if block {
+            shard.push(job).map_err(|_| closed_error())?;
+        } else {
+            shard.try_push(job).map_err(|e| match e {
+                TryPushError::Full(_) => PoolError::Backpressure,
+                TryPushError::Closed(_) => closed_error(),
+            })?;
+        }
+        *seq_guard += 1;
+        self.submitted.store(*seq_guard, Ordering::Relaxed);
+        drop(seq_guard);
+        Ok(Ticket {
+            completion,
+            submitted_at,
+            request,
+            seq,
+        })
+    }
+
+    /// Blocking convenience: draws `out.len()` samples from `profile`
+    /// into the caller's buffer.
+    ///
+    /// The request is served whole by one worker (requests are the unit
+    /// of sharding), and the worker's response buffer is copied into
+    /// `out` — callers who can take ownership should prefer
+    /// [`sample_vec`](Self::sample_vec), which hands the buffer over
+    /// without the extra copy; callers wanting parallelism across
+    /// workers should submit several smaller requests.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit) and [`Ticket::wait`].
+    pub fn sample_into(&self, profile: ProfileId, out: &mut [i32]) -> Result<(), PoolError> {
+        let response = self
+            .submit(SampleRequest {
+                profile,
+                count: out.len(),
+            })?
+            .wait()?;
+        out.copy_from_slice(&response.samples);
+        Ok(())
+    }
+
+    /// Blocking convenience: draws `count` samples from `profile`.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit) and [`Ticket::wait`].
+    pub fn sample_vec(&self, profile: ProfileId, count: usize) -> Result<Vec<i32>, PoolError> {
+        Ok(self
+            .submit(SampleRequest { profile, count })?
+            .wait()?
+            .samples)
+    }
+
+    /// Aggregate service counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            requests_per_worker: self.stats.iter().map(|s| s.requests()).collect(),
+            samples_per_worker: self.stats.iter().map(|s| s.samples()).collect(),
+            batches_per_worker: self.stats.iter().map(|s| s.batches()).collect(),
+            queue_depths: self.shards.iter().map(|s| s.len()).collect(),
+        }
+    }
+
+    /// Requests accepted so far (== the next sequence number).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting requests, drains every shard, and joins the
+    /// workers. Called automatically on drop; call it explicitly to
+    /// observe completion.
+    pub fn shutdown(&self) {
+        self.closing.store(true, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.close();
+        }
+        let mut workers = self.workers.lock().expect("worker handles lock");
+        for handle in workers.drain(..) {
+            // A worker that panicked has already abandoned its jobs;
+            // surface the panic here instead of hanging callers — unless
+            // this thread is itself unwinding (e.g. the pool is dropped
+            // while a caller panics on `WorkerGone`), where re-raising
+            // would double-panic and abort, masking the original error.
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,205 @@
+//! A bounded MPMC ring: the per-shard request queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer multi-consumer FIFO with blocking push/pop
+/// and a close signal.
+///
+/// Built on `Mutex<VecDeque>` plus two condition variables — the
+/// workspace carries no external concurrency crates, and the queue sits
+/// in front of a kernel that takes microseconds per batch, so lock-free
+/// cleverness would be noise. The *bounded* part is the point: a full
+/// ring blocks producers, which is the pool's backpressure.
+#[derive(Debug)]
+pub(crate) struct Ring<T> {
+    state: Mutex<RingState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TryPushError<T> {
+    /// The ring is at capacity; retry or block.
+    Full(T),
+    /// The ring is closed; the item can never be accepted.
+    Closed(T),
+}
+
+impl<T> Ring<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            state: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks until there is room, then enqueues. Returns the item back
+    /// if the ring closed while (or before) waiting.
+    pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("ring lock");
+        while state.queue.len() == self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("ring lock");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("ring lock");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.queue.len() == self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.queue.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then moves up to
+    /// `max` items into `out` (in FIFO order) — the consumer-side
+    /// batching hook. Returns `false` once the ring is closed *and*
+    /// drained, with `out` left empty.
+    pub(crate) fn pop_many(&self, max: usize, out: &mut Vec<T>) -> bool {
+        debug_assert!(out.is_empty() && max > 0);
+        let mut state = self.state.lock().expect("ring lock");
+        while state.queue.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.not_empty.wait(state).expect("ring lock");
+        }
+        let take = state.queue.len().min(max);
+        out.extend(state.queue.drain(..take));
+        self.not_full.notify_all();
+        true
+    }
+
+    /// Closes the ring: producers fail fast, consumers drain what is
+    /// left and then see end-of-stream.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("ring lock");
+        state.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the ring *and drops everything still queued* — for a dying
+    /// consumer. Queued work fails fast (each dropped item can signal its
+    /// waiter) instead of sitting in front of a consumer that will never
+    /// return, and blocked producers wake into the closed-ring error.
+    pub(crate) fn close_and_purge(&self) {
+        let mut state = self.state.lock().expect("ring lock");
+        state.closed = true;
+        state.queue.clear();
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Current queue depth (for stats; racy by nature).
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("ring lock").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(ring.pop_many(3, &mut out));
+        assert_eq!(out, [0, 1, 2]);
+        out.clear();
+        assert!(ring.pop_many(10, &mut out));
+        assert_eq!(out, [3, 4]);
+    }
+
+    #[test]
+    fn try_push_reports_full_then_closed() {
+        let ring = Ring::new(1);
+        ring.try_push(1).unwrap();
+        assert_eq!(ring.try_push(2), Err(TryPushError::Full(2)));
+        ring.close();
+        assert_eq!(ring.try_push(3), Err(TryPushError::Closed(3)));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let ring = Ring::new(4);
+        ring.push(7).unwrap();
+        ring.close();
+        assert!(ring.push(8).is_err());
+        let mut out = Vec::new();
+        assert!(ring.pop_many(4, &mut out));
+        assert_eq!(out, [7]);
+        out.clear();
+        assert!(!ring.pop_many(4, &mut out));
+    }
+
+    #[test]
+    fn close_and_purge_drops_queued_items_and_rejects_producers() {
+        #[derive(Debug)]
+        struct NoteDrop(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let ring = Ring::new(4);
+        ring.push(NoteDrop(Arc::clone(&drops))).unwrap();
+        ring.push(NoteDrop(Arc::clone(&drops))).unwrap();
+        ring.close_and_purge();
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert!(ring.push(NoteDrop(Arc::clone(&drops))).is_err());
+        let mut out = Vec::new();
+        assert!(!ring.pop_many(4, &mut out));
+    }
+
+    #[test]
+    fn full_ring_blocks_until_consumed() {
+        let ring = Arc::new(Ring::new(1));
+        ring.push(0u32).unwrap();
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(1).is_ok())
+        };
+        // Give the producer a moment to block on the full ring.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert!(ring.pop_many(1, &mut out));
+        assert_eq!(out, [0]);
+        assert!(producer.join().unwrap());
+        out.clear();
+        assert!(ring.pop_many(1, &mut out));
+        assert_eq!(out, [1]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Worker threads: coalesced batch execution over one forked stream.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ctgauss_core::{BatchScratch, CtSampler};
+use ctgauss_prng::ChaChaRng;
+
+use crate::pool::{Completion, LaneWidth, SampleRequest};
+use crate::ring::Ring;
+
+/// How many queued requests a worker claims per ring pass. Requests are
+/// served strictly in FIFO order either way; claiming a run of them just
+/// amortizes the ring lock.
+const CLAIM: usize = 64;
+
+/// One queued request plus its response slot. If the job is dropped
+/// unfulfilled (worker panic unwinding), the waiting ticket is released
+/// with [`PoolError::WorkerGone`](crate::PoolError::WorkerGone) instead
+/// of hanging.
+#[derive(Debug)]
+pub(crate) struct Job {
+    request: SampleRequest,
+    /// Pool-wide submission sequence number, echoed back on fulfillment
+    /// so response auditing is end to end (a completion delivered by the
+    /// wrong job carries the wrong seq and is caught by the front end).
+    seq: u64,
+    completion: Arc<Completion>,
+    fulfilled: bool,
+}
+
+impl Job {
+    pub(crate) fn new(request: SampleRequest, seq: u64, completion: Arc<Completion>) -> Self {
+        Job {
+            request,
+            seq,
+            completion,
+            fulfilled: false,
+        }
+    }
+
+    fn fulfill(mut self, samples: Vec<i32>) {
+        self.completion.fulfill(self.seq, samples);
+        self.fulfilled = true;
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.completion.abandon();
+        }
+    }
+}
+
+/// Lock-free per-worker counters, shared with [`Pool::stats`](crate::Pool::stats).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStats {
+    requests: AtomicU64,
+    samples: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl WorkerStats {
+    pub(crate) fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+/// Closes (and purges) the shard ring when its worker exits for *any*
+/// reason. On graceful shutdown the ring is already closed and drained,
+/// so this is a no-op; if the worker panics it unblocks producers
+/// (submission fails with `WorkerGone` instead of parking forever on a
+/// ring nobody consumes — which would deadlock the pool-wide submission
+/// lock) and abandons queued jobs so their tickets also resolve to
+/// `WorkerGone`.
+struct ShardCloser(Arc<Ring<Job>>);
+
+impl Drop for ShardCloser {
+    fn drop(&mut self) {
+        self.0.close_and_purge();
+    }
+}
+
+/// Spawns worker `index` at the configured lane width (each variant is a
+/// separate monomorphization of the same loop).
+pub(crate) fn spawn_worker(
+    index: usize,
+    width: LaneWidth,
+    shard: Arc<Ring<Job>>,
+    profiles: Arc<[Arc<CtSampler>]>,
+    rng: ChaChaRng,
+    stats: Arc<WorkerStats>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ctgauss-pool-{index}"))
+        .spawn(move || {
+            let _closer = ShardCloser(Arc::clone(&shard));
+            match width {
+                LaneWidth::W1 => worker_loop::<1>(&shard, &profiles, rng, &stats),
+                LaneWidth::W2 => worker_loop::<2>(&shard, &profiles, rng, &stats),
+                LaneWidth::W4 => worker_loop::<4>(&shard, &profiles, rng, &stats),
+                LaneWidth::W8 => worker_loop::<8>(&shard, &profiles, rng, &stats),
+            }
+        })
+        .expect("spawn pool worker")
+}
+
+/// Per-profile execution state: reusable kernel scratch plus the carry
+/// of samples left over from the last partially-consumed batch. The
+/// carry is what coalesces small requests — the kernel only ever runs
+/// full `64 * W`-sample batches, and whatever a request does not consume
+/// is handed to the next request on this shard, in draw order, with no
+/// randomness discarded.
+struct ProfileState<const W: usize> {
+    sampler: Arc<CtSampler>,
+    scratch: BatchScratch<W>,
+    carry: VecDeque<i32>,
+    /// Reused staging buffer for the final partial batch of a request.
+    tail: Vec<i32>,
+}
+
+fn worker_loop<const W: usize>(
+    shard: &Ring<Job>,
+    profiles: &[Arc<CtSampler>],
+    mut rng: ChaChaRng,
+    stats: &WorkerStats,
+) {
+    let mut states: Vec<ProfileState<W>> = profiles
+        .iter()
+        .map(|sampler| ProfileState {
+            sampler: Arc::clone(sampler),
+            scratch: sampler.scratch::<W>(),
+            carry: VecDeque::new(),
+            tail: vec![0i32; 64 * W],
+        })
+        .collect();
+    let mut jobs: Vec<Job> = Vec::with_capacity(CLAIM);
+    // `pop_many` blocks for work and returns false only once the ring is
+    // closed *and* drained, so shutdown never drops a queued request.
+    while shard.pop_many(CLAIM, &mut jobs) {
+        for job in jobs.drain(..) {
+            let state = &mut states[job.request.profile.index];
+            let samples = serve(state, &mut rng, job.request.count, stats);
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats
+                .samples
+                .fetch_add(samples.len() as u64, Ordering::Relaxed);
+            job.fulfill(samples);
+        }
+    }
+}
+
+/// Fills one response: carry first, then whole kernel batches directly
+/// into the response buffer, then (if needed) one final batch staged
+/// through `tail` with the unused suffix pushed onto the carry.
+fn serve<const W: usize>(
+    state: &mut ProfileState<W>,
+    rng: &mut ChaChaRng,
+    count: usize,
+    stats: &WorkerStats,
+) -> Vec<i32> {
+    let mut out = vec![0i32; count];
+    // Drain the carry (leftovers of the previous request's last batch).
+    let take = count.min(state.carry.len());
+    for (slot, v) in out[..take].iter_mut().zip(state.carry.drain(..take)) {
+        *slot = v;
+    }
+    let mut filled = take;
+    let batch = 64 * W;
+    while count - filled >= batch {
+        state
+            .sampler
+            .sample_batch_with(rng, &mut state.scratch, &mut out[filled..filled + batch]);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        filled += batch;
+    }
+    if filled < count {
+        state
+            .sampler
+            .sample_batch_with(rng, &mut state.scratch, &mut state.tail);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        let need = count - filled;
+        out[filled..].copy_from_slice(&state.tail[..need]);
+        debug_assert!(state.carry.is_empty(), "carry drained before refill");
+        state.carry.extend(&state.tail[need..]);
+    }
+    out
+}

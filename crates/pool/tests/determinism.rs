@@ -1,0 +1,149 @@
+//! The pool's determinism contract, tested end to end.
+//!
+//! 1. `threads = 1, W = 1` reproduces the scalar `CtSampler::sample_into`
+//!    stream bit for bit over the worker's forked generator.
+//! 2. Every `LaneWidth` produces the identical stream (the draw-order
+//!    contract lifted to the service).
+//! 3. Any `(threads, width)` is replayable: the full response set is a
+//!    pure function of (seed, request trace), equal to a per-shard
+//!    scalar simulation.
+
+use ctgauss_core::SamplerSpec;
+use ctgauss_pool::{LaneWidth, Pool, ProfileId, SampleRequest};
+use ctgauss_prng::SeedTree;
+
+/// A cheap-to-build profile for service-level tests.
+fn test_spec() -> SamplerSpec {
+    SamplerSpec::new("2", 16)
+}
+
+/// Request sizes exercising sub-batch, exact-batch, multi-batch and
+/// carry-straddling counts (batch units are 64..512 depending on width).
+const TRACE: [usize; 12] = [10, 0, 54, 64, 100, 1, 513, 63, 256, 7, 300, 128];
+
+fn pool_with(threads: usize, width: LaneWidth, seed: u64) -> (Pool, ProfileId) {
+    let mut builder = Pool::builder().threads(threads).width(width).seed_u64(seed);
+    let profile = builder.profile(&test_spec()).expect("profile builds");
+    (builder.spawn(), profile)
+}
+
+/// Runs the trace through a pool and returns each response's samples, in
+/// submission order.
+fn run_trace(pool: &Pool, profile: ProfileId, trace: &[usize]) -> Vec<Vec<i32>> {
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|&count| {
+            pool.submit(SampleRequest { profile, count })
+                .expect("submit")
+        })
+        .collect();
+    tickets
+        .into_iter()
+        .map(|t| t.wait().expect("response").samples)
+        .collect()
+}
+
+#[test]
+fn single_thread_pool_reproduces_scalar_sample_into() {
+    let seed = 2024;
+    let (pool, profile) = pool_with(1, LaneWidth::W1, seed);
+    let responses = run_trace(&pool, profile, &TRACE);
+    let pooled: Vec<i32> = responses.concat();
+
+    // The scalar reference: one sample_into call of the total length over
+    // the same forked stream the single worker owns.
+    let sampler = test_spec().builder().build().expect("builds");
+    let mut rng = SeedTree::from_u64_seed(seed).fork_chacha(0);
+    let mut reference = vec![0i32; TRACE.iter().sum()];
+    sampler.sample_into(&mut reference, &mut rng);
+
+    assert_eq!(
+        pooled, reference,
+        "pool(threads=1, W=1) != scalar sample_into"
+    );
+    for (i, (r, &count)) in responses.iter().zip(&TRACE).enumerate() {
+        assert_eq!(r.len(), count, "request {i} length");
+    }
+}
+
+#[test]
+fn every_lane_width_produces_the_same_stream() {
+    let reference = {
+        let (pool, profile) = pool_with(1, LaneWidth::W1, 7);
+        run_trace(&pool, profile, &TRACE)
+    };
+    for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+        let (pool, profile) = pool_with(1, width, 7);
+        assert_eq!(
+            run_trace(&pool, profile, &TRACE),
+            reference,
+            "width {width:?} diverged from W1"
+        );
+    }
+}
+
+#[test]
+fn multi_thread_pool_is_replayable() {
+    for threads in [2usize, 3, 4] {
+        let (pool_a, profile_a) = pool_with(threads, LaneWidth::W4, 99);
+        let (pool_b, profile_b) = pool_with(threads, LaneWidth::W4, 99);
+        let a = run_trace(&pool_a, profile_a, &TRACE);
+        let b = run_trace(&pool_b, profile_b, &TRACE);
+        assert_eq!(a, b, "replay diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sharded_responses_match_per_shard_scalar_simulation() {
+    let threads = 3;
+    let seed = 555;
+    let (pool, profile) = pool_with(threads, LaneWidth::W2, seed);
+    let responses = run_trace(&pool, profile, &TRACE);
+
+    // Simulate each shard: requests are assigned round-robin by sequence
+    // number, and a shard's concatenated output is one scalar
+    // sample_into over its forked stream.
+    let sampler = test_spec().builder().build().expect("builds");
+    let seeds = SeedTree::from_u64_seed(seed);
+    for w in 0..threads {
+        let shard_requests: Vec<(usize, usize)> = TRACE
+            .iter()
+            .enumerate()
+            .filter(|(seq, _)| seq % threads == w)
+            .map(|(seq, &count)| (seq, count))
+            .collect();
+        let total: usize = shard_requests.iter().map(|&(_, c)| c).sum();
+        let mut rng = seeds.fork_chacha(w as u64);
+        let mut stream = vec![0i32; total];
+        sampler.sample_into(&mut stream, &mut rng);
+        let mut offset = 0;
+        for (seq, count) in shard_requests {
+            assert_eq!(
+                responses[seq],
+                stream[offset..offset + count],
+                "shard {w}, request seq {seq}"
+            );
+            offset += count;
+        }
+    }
+}
+
+#[test]
+fn distinct_workers_draw_distinct_streams() {
+    // Two equal-size requests land on workers 0 and 1; their samples must
+    // come from different forked streams (overwhelmingly: 256 samples).
+    let (pool, profile) = pool_with(2, LaneWidth::W1, 1);
+    let a = pool.sample_vec(profile, 256).expect("worker 0");
+    let b = pool.sample_vec(profile, 256).expect("worker 1");
+    assert_ne!(a, b, "worker streams must be independent");
+}
+
+#[test]
+fn seed_changes_the_streams() {
+    let (pool_a, profile_a) = pool_with(1, LaneWidth::W4, 1);
+    let (pool_b, profile_b) = pool_with(1, LaneWidth::W4, 2);
+    assert_ne!(
+        pool_a.sample_vec(profile_a, 256).expect("a"),
+        pool_b.sample_vec(profile_b, 256).expect("b"),
+    );
+}

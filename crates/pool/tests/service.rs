@@ -1,0 +1,193 @@
+//! Service-level behaviour: coalescing, error paths, statistics,
+//! multi-profile routing, goodness of fit through the pool, and the
+//! Falcon signing path drawing from a pool handle.
+
+use ctgauss_core::SamplerSpec;
+use ctgauss_falcon::sign::BaseSampler;
+use ctgauss_falcon::{FalconParams, SecretKey};
+use ctgauss_pool::{
+    falcon_profile_spec, LaneWidth, Pool, PoolError, PooledBase, ProfileId, SampleRequest,
+};
+use ctgauss_prng::ChaChaRng;
+use ctgauss_stats::{chi_square_test, discrete_gaussian_pmf, Histogram};
+
+fn test_spec() -> SamplerSpec {
+    SamplerSpec::new("2", 16)
+}
+
+#[test]
+fn small_requests_are_coalesced_into_full_batches() {
+    // 10 requests x 10 samples on one W=1 worker demand 100 samples;
+    // coalescing must run exactly ceil(100 / 64) = 2 kernel batches, not
+    // one per request.
+    let mut builder = Pool::builder().threads(1).width(LaneWidth::W1).seed_u64(3);
+    let profile = builder.profile(&test_spec()).expect("profile");
+    let pool = builder.spawn();
+    let tickets: Vec<_> = (0..10)
+        .map(|_| pool.submit(SampleRequest { profile, count: 10 }).unwrap())
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().samples.len(), 10);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.samples(), 100);
+    assert_eq!(stats.requests(), 10);
+    assert_eq!(
+        stats.batches(),
+        2,
+        "coalescer must pack 10 requests into 2 batches"
+    );
+}
+
+#[test]
+fn foreign_profile_ids_are_rejected() {
+    // Profile ids are bound to the pool that minted them. An id from
+    // another pool must be rejected even when its index is in range —
+    // silently serving whatever profile shares the index would hand the
+    // caller samples from the wrong distribution.
+    let mut other = Pool::builder().seed_u64(2);
+    let same_index: ProfileId = other.profile(&SamplerSpec::new("2", 12)).expect("other 0");
+    let out_of_range = other.profile(&test_spec()).expect("other 1");
+
+    let mut builder = Pool::builder().seed_u64(1);
+    let _ = builder.profile(&test_spec()).expect("profile");
+    let pool = builder.spawn();
+    for foreign in [same_index, out_of_range] {
+        let bogus = SampleRequest {
+            profile: foreign,
+            count: 1,
+        };
+        assert_eq!(pool.submit(bogus).err(), Some(PoolError::UnknownProfile));
+    }
+}
+
+#[test]
+fn shutdown_rejects_new_requests_and_drains_old_ones() {
+    let mut builder = Pool::builder().threads(2).seed_u64(5);
+    let profile = builder.profile(&test_spec()).expect("profile");
+    let pool = builder.spawn();
+    let pending: Vec<_> = (0..8)
+        .map(|i| {
+            pool.submit(SampleRequest {
+                profile,
+                count: 100 + i,
+            })
+            .unwrap()
+        })
+        .collect();
+    pool.shutdown();
+    // Everything submitted before shutdown is delivered...
+    for (i, t) in pending.into_iter().enumerate() {
+        assert_eq!(t.wait().unwrap().samples.len(), 100 + i);
+    }
+    // ...and nothing after it is accepted.
+    assert_eq!(
+        pool.submit(SampleRequest { profile, count: 1 }).err(),
+        Some(PoolError::ShuttingDown)
+    );
+}
+
+#[test]
+fn multiple_profiles_route_independently() {
+    let mut builder = Pool::builder().threads(2).seed_u64(11);
+    let narrow = builder.profile(&test_spec()).expect("narrow");
+    let wide = builder
+        .profile(&SamplerSpec::new("6.15543", 16))
+        .expect("wide");
+    let pool = builder.spawn();
+    let a = pool.sample_vec(narrow, 4096).unwrap();
+    let b = pool.sample_vec(wide, 4096).unwrap();
+    let spread = |v: &[i32]| {
+        let n = v.len() as f64;
+        let mean: f64 = v.iter().map(|&s| f64::from(s)).sum::<f64>() / n;
+        v.iter()
+            .map(|&s| (f64::from(s) - mean).powi(2))
+            .sum::<f64>()
+            / n
+    };
+    // sigma 2 vs sigma 6.15543: variances must reflect the profile.
+    assert!((spread(&a) - 4.0).abs() < 1.0, "narrow var {}", spread(&a));
+    assert!((spread(&b) - 37.9).abs() < 8.0, "wide var {}", spread(&b));
+}
+
+/// The satellite GOF requirement: 2^16 samples drawn through a 4-thread
+/// pool must pass the same chi-square threshold the scalar pipeline test
+/// uses (alpha = 0.001).
+#[test]
+fn pooled_output_passes_goodness_of_fit() {
+    let spec = SamplerSpec::new("2", 24);
+    let mut builder = Pool::builder()
+        .threads(4)
+        .width(LaneWidth::W4)
+        .seed_u64(20_19);
+    let profile = builder.profile(&spec).expect("profile");
+    let pool = builder.spawn();
+
+    // Mixed request sizes so the histogram aggregates over all four
+    // worker streams and plenty of carry boundaries.
+    let total: usize = 1 << 16;
+    let sizes = [977usize, 64, 1500, 33, 4096, 250];
+    let mut requested = 0;
+    let mut tickets = Vec::new();
+    let mut i = 0;
+    while requested < total {
+        let count = sizes[i % sizes.len()].min(total - requested);
+        tickets.push(pool.submit(SampleRequest { profile, count }).unwrap());
+        requested += count;
+        i += 1;
+    }
+    let bound = 26; // ceil(tau * sigma) for sigma 2, tau 13
+    let mut hist = Histogram::new(-bound, bound);
+    for t in tickets {
+        for s in t.wait().unwrap().samples {
+            hist.add(s);
+        }
+    }
+    assert_eq!(hist.total(), total as u64);
+    assert_eq!(hist.outliers(), 0);
+    let gof = chi_square_test(&hist, &discrete_gaussian_pmf(2.0, bound as u32));
+    assert!(
+        !gof.rejects_at(0.001),
+        "pooled output failed GOF: chi2 = {:.2}, p = {:.5}",
+        gof.statistic,
+        gof.p_value
+    );
+}
+
+#[test]
+fn pooled_base_is_deterministic_across_identical_pools() {
+    let make = || {
+        let mut builder = Pool::builder().threads(2).seed_u64(77);
+        let profile = builder.profile(&test_spec()).expect("profile");
+        (builder.spawn(), profile)
+    };
+    let (pool_a, pa) = make();
+    let (pool_b, pb) = make();
+    let mut base_a = PooledBase::with_refill(&pool_a, pa, 100).unwrap();
+    let mut base_b = PooledBase::with_refill(&pool_b, pb, 100).unwrap();
+    for i in 0..500 {
+        assert_eq!(base_a.next(), base_b.next(), "draw {i}");
+    }
+}
+
+/// The Falcon signing path drawing its base Gaussian from the pool: the
+/// signature must verify like any owned base sampler's.
+#[test]
+fn falcon_signs_through_the_pool() {
+    let mut builder = Pool::builder().threads(2).width(LaneWidth::W8).seed_u64(30);
+    let profile = builder
+        .profile(&falcon_profile_spec())
+        .expect("falcon profile");
+    let pool = builder.spawn();
+
+    let mut rng = ChaChaRng::from_u64_seed(40);
+    let sk = SecretKey::generate(FalconParams::new(5), &mut rng).expect("keygen");
+    let mut base = PooledBase::new(&pool, profile).unwrap();
+    let msg = b"signed with pooled randomness";
+    let sig = sk.sign(msg, &mut base, &mut rng).expect("signs");
+    assert!(sk.public_key().verify(msg, &sig));
+    assert!(
+        pool.stats().samples() > 0,
+        "signing must have drawn from the pool"
+    );
+}

@@ -14,6 +14,9 @@
 //!   Falcon's hash-to-point.
 //! * [`SplitMix64`] / [`Xoshiro256pp`] — fast non-cryptographic generators
 //!   for tests and workload generation.
+//! * [`SeedTree`] — domain-separated SHAKE-256 seed expansion, deriving
+//!   independent, individually replayable worker streams from one root
+//!   seed (the randomness backbone of the `ctgauss-pool` service).
 //! * [`RandomSource`] / [`BitSource`] — the traits samplers consume, plus
 //!   [`CountingSource`] for measuring exactly how much randomness a sampler
 //!   draws (byte-scanning CDT draws lazily; this is how we verify it).
@@ -41,11 +44,30 @@
 mod chacha;
 mod counting;
 mod keccak;
+mod seedtree;
 mod traits;
 mod xoshiro;
 
 pub use chacha::{ChaCha20, ChaChaRng};
 pub use counting::CountingSource;
 pub use keccak::{KeccakF1600, KeccakRng, Shake, ShakeVariant};
+pub use seedtree::SeedTree;
 pub use traits::{BitBuffer, BitSource, RandomSource};
 pub use xoshiro::{SplitMix64, Xoshiro256pp};
+
+// Every generator in this crate is consumed from worker threads by the
+// `ctgauss-pool` service, so `Send` (and, for the shared-nothing types,
+// `Sync`) is part of the public contract: losing it through an interior
+// `Rc`/raw-pointer refactor must fail compilation, not a downstream build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ChaChaRng>();
+    assert_send_sync::<KeccakRng>();
+    assert_send_sync::<Shake>();
+    assert_send_sync::<KeccakF1600>();
+    assert_send_sync::<SplitMix64>();
+    assert_send_sync::<Xoshiro256pp>();
+    assert_send_sync::<SeedTree>();
+    assert_send_sync::<CountingSource<ChaChaRng>>();
+    assert_send_sync::<BitBuffer<KeccakRng>>();
+};

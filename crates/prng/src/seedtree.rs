@@ -1,0 +1,191 @@
+//! Domain-separated seed expansion for deterministic multi-stream sampling.
+//!
+//! A sharded sampler service needs one independent PRNG stream per worker,
+//! all derived from a single root seed so the whole service is replayable.
+//! [`SeedTree`] provides that derivation: every node of the tree is a
+//! 256-bit seed, children are obtained by absorbing the parent seed, a
+//! domain-separation tag and the child index into SHAKE-256 and squeezing
+//! a fresh seed. Two different paths through the tree can never collide
+//! unless SHAKE-256 itself does, so streams forked for different workers
+//! (or different purposes) are computationally independent.
+//!
+//! The derivation is *positional*, not stateful: forking stream `i` does
+//! not disturb stream `j`, and re-deriving the same `(path, index)` always
+//! yields the same seed — the property the pool's replay contract rests on.
+
+use crate::{ChaChaRng, KeccakRng, Shake, ShakeVariant};
+
+/// Domain tag for root expansion of a 64-bit convenience seed.
+const ROOT_TAG: &[u8] = b"ctgauss.seedtree.root.v1";
+/// Domain tag for child-subtree derivation.
+const SUBTREE_TAG: &[u8] = b"ctgauss.seedtree.subtree.v1";
+/// Domain tag for leaf stream-seed derivation.
+const STREAM_TAG: &[u8] = b"ctgauss.seedtree.stream.v1";
+
+/// A node in a deterministic seed-derivation tree (SHAKE-256 based).
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_prng::{RandomSource, SeedTree};
+///
+/// let tree = SeedTree::from_u64_seed(7);
+/// // Worker streams are independent and order-insensitive:
+/// let mut w0 = tree.fork_chacha(0);
+/// let mut w1 = tree.fork_chacha(1);
+/// assert_ne!(w0.next_u64(), w1.next_u64());
+/// // ...and reproducible:
+/// let mut again = tree.fork_chacha(0);
+/// let mut w0b = tree.fork_chacha(0);
+/// assert_eq!(again.next_u64(), w0b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedTree {
+    seed: [u8; 32],
+}
+
+/// Expands `parent || tag || le64(index)` through SHAKE-256 into a fresh
+/// 256-bit seed. The three fields have fixed widths (32 bytes, constant
+/// tag, 8 bytes), so the encoding is injective per tag.
+fn derive(parent: &[u8; 32], tag: &[u8], index: u64) -> [u8; 32] {
+    let mut xof = Shake::new(ShakeVariant::Shake256);
+    xof.absorb(parent);
+    xof.absorb(tag);
+    xof.absorb(&index.to_le_bytes());
+    let mut out = [0u8; 32];
+    xof.squeeze_into(&mut out);
+    out
+}
+
+impl SeedTree {
+    /// Creates a root node from a 256-bit seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        SeedTree { seed }
+    }
+
+    /// Creates a root node from a 64-bit convenience seed (expanded through
+    /// SHAKE-256 so low-entropy test seeds still spread over the full
+    /// state). The expansion uses its own domain tag, so a convenience
+    /// root never aliases a stream or subtree derived from any other
+    /// root (including the all-zero one).
+    pub fn from_u64_seed(seed: u64) -> Self {
+        SeedTree {
+            seed: derive(&[0u8; 32], ROOT_TAG, seed),
+        }
+    }
+
+    /// This node's raw 256-bit seed.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Derives the child subtree at `index` — use one subtree per concern
+    /// (e.g. one per sampler profile) so streams never alias across
+    /// concerns even when leaf indices collide.
+    pub fn fork_subtree(&self, index: u64) -> SeedTree {
+        SeedTree {
+            seed: derive(&self.seed, SUBTREE_TAG, index),
+        }
+    }
+
+    /// Derives the 256-bit seed of leaf stream `index`.
+    ///
+    /// The result is the first 32 bytes of the SHAKE-256 expansion of
+    /// `seed || tag || le64(index)` — a disjoint prefix per index, which
+    /// the property tests in `crates/prng/tests/seedtree.rs` assert
+    /// against an independently computed expansion.
+    pub fn fork_stream(&self, index: u64) -> [u8; 32] {
+        derive(&self.seed, STREAM_TAG, index)
+    }
+
+    /// Derives leaf stream `index` as a [`ChaChaRng`] (the paper's PRNG).
+    pub fn fork_chacha(&self, index: u64) -> ChaChaRng {
+        ChaChaRng::from_seed(self.fork_stream(index))
+    }
+
+    /// Derives leaf stream `index` as a [`KeccakRng`] (the prior work's
+    /// PRNG).
+    pub fn fork_keccak(&self, index: u64) -> KeccakRng {
+        KeccakRng::from_seed(&self.fork_stream(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomSource;
+
+    #[test]
+    fn streams_are_reproducible_and_order_insensitive() {
+        let tree = SeedTree::from_u64_seed(42);
+        let a = tree.fork_stream(3);
+        let _ = tree.fork_stream(9); // deriving another stream...
+        let b = tree.fork_stream(3); // ...does not disturb stream 3
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_streams() {
+        let tree = SeedTree::from_u64_seed(1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            assert!(seen.insert(tree.fork_stream(i)), "stream {i} collided");
+        }
+    }
+
+    #[test]
+    fn subtree_and_stream_derivations_are_domain_separated() {
+        let tree = SeedTree::from_u64_seed(5);
+        // Same index through the two tags must not collide.
+        assert_ne!(tree.fork_subtree(7).seed, tree.fork_stream(7));
+        // Same leaf index under different subtrees must not collide.
+        assert_ne!(
+            tree.fork_subtree(0).fork_stream(1),
+            tree.fork_subtree(1).fork_stream(1)
+        );
+    }
+
+    #[test]
+    fn fork_stream_is_a_shake256_prefix() {
+        // Re-derive stream 11 by hand against the public Shake API.
+        let tree = SeedTree::from_seed([0xab; 32]);
+        let mut xof = Shake::new(ShakeVariant::Shake256);
+        xof.absorb(&[0xab; 32]);
+        xof.absorb(STREAM_TAG);
+        xof.absorb(&11u64.to_le_bytes());
+        let expansion = xof.finalize_squeeze(64);
+        assert_eq!(tree.fork_stream(11), expansion[..32]);
+    }
+
+    #[test]
+    fn u64_roots_do_not_alias_zero_root_streams() {
+        // from_u64_seed(s) must not equal the all-zero root's stream s
+        // (they use different domain tags), nor its subtree s.
+        let zero = SeedTree::from_seed([0u8; 32]);
+        for s in 0..32 {
+            let root = SeedTree::from_u64_seed(s);
+            assert_ne!(*root.seed(), zero.fork_stream(s), "stream alias at {s}");
+            assert_ne!(
+                *root.seed(),
+                *zero.fork_subtree(s).seed(),
+                "subtree alias at {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_generators_match_their_seeds() {
+        let tree = SeedTree::from_u64_seed(13);
+        let seed = tree.fork_stream(2);
+        let mut direct = ChaChaRng::from_seed(seed);
+        let mut forked = tree.fork_chacha(2);
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), forked.next_u64());
+        }
+        let mut direct = KeccakRng::from_seed(&seed);
+        let mut forked = tree.fork_keccak(2);
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), forked.next_u64());
+        }
+    }
+}

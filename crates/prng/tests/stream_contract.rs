@@ -1,0 +1,73 @@
+//! Property tests for the `fill_u64s` stream-equivalence contract.
+//!
+//! The samplers draw every batch record through one `fill_u64s` call, and
+//! the draw-order determinism contract (wide == W scalar batches, pool ==
+//! scalar `sample_into`) holds only if the block-filled overrides are
+//! exactly stream-equivalent to repeated `next_u64` — including across
+//! block/rate refill boundaries and from unaligned starting positions.
+
+use ctgauss_prng::{ChaChaRng, KeccakRng, RandomSource};
+use proptest::prelude::*;
+
+/// Request lengths that straddle every interesting refill boundary: the
+/// ChaCha block is 8 words, the SHAKE-256 rate is 17 words, and batch
+/// records are `n + 1` words for n up to 128.
+const AWKWARD_LENS: [usize; 5] = [1, 63, 64, 65, 1000];
+
+/// Drives `fill_u64s` through a schedule of awkward lengths on one
+/// generator and repeated `next_u64` on an identically seeded twin; the
+/// two must produce the same words and end at the same stream position.
+fn check_block_fill_matches_word_loop<R, F>(make: F, seed: u64, prefix_bytes: usize, order: usize)
+where
+    R: RandomSource,
+    F: Fn(u64) -> R,
+{
+    let mut fast = make(seed);
+    let mut slow = make(seed);
+    // Start mid-block: drain an arbitrary byte prefix through both.
+    let mut skip = vec![0u8; prefix_bytes];
+    fast.fill_bytes(&mut skip);
+    slow.fill_bytes(&mut skip);
+    // Rotate the schedule so every length gets to sit on every boundary
+    // the earlier requests leave behind.
+    for k in 0..AWKWARD_LENS.len() {
+        let len = AWKWARD_LENS[(k + order) % AWKWARD_LENS.len()];
+        let mut via_fill = vec![0u64; len];
+        fast.fill_u64s(&mut via_fill);
+        for (i, &w) in via_fill.iter().enumerate() {
+            assert_eq!(
+                w,
+                slow.next_u64(),
+                "len {len}, word {i}, prefix {prefix_bytes}"
+            );
+        }
+    }
+    // Both generators must resume the identical stream afterwards.
+    assert_eq!(fast.next_u64(), slow.next_u64());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ChaCha's whole-block `fill_u64s` equals repeated `next_u64` at
+    /// awkward lengths, across block boundaries and unaligned starts.
+    #[test]
+    fn prop_chacha_fill_u64s_is_stream_equivalent(
+        seed in any::<u64>(),
+        prefix in 0usize..130,
+        order in 0usize..5,
+    ) {
+        check_block_fill_matches_word_loop(ChaChaRng::from_u64_seed, seed, prefix, order);
+    }
+
+    /// Keccak's lane-filled `fill_u64s` equals repeated `next_u64` at
+    /// awkward lengths, across rate boundaries and unaligned starts.
+    #[test]
+    fn prop_keccak_fill_u64s_is_stream_equivalent(
+        seed in any::<u64>(),
+        prefix in 0usize..280,
+        order in 0usize..5,
+    ) {
+        check_block_fill_matches_word_loop(KeccakRng::from_u64_seed, seed, prefix, order);
+    }
+}

@@ -1,0 +1,342 @@
+//! `pool_server` — a stdin/stdout load generator for `ctgauss-pool`.
+//!
+//! Line protocol: one request per line, `<profile> <count>` (or just
+//! `<count>` for profile 0); blank lines and `#` comments are skipped.
+//! Profiles index a fixed table: 0 = sigma 2, 1 = sigma 6.15543,
+//! 2 = sigma 1.5 (all n = 24, the Figure 5 configurations).
+//!
+//! ```text
+//! # Generate a 10k-request trace, then replay it on 4 workers:
+//! pool_server gen 10000 --seed 1 > trace.txt
+//! pool_server run --threads 4 --verify < trace.txt
+//! # Thread-scaling sweep over the same trace:
+//! pool_server run --sweep 1,2,4,8 < trace.txt
+//! ```
+//!
+//! `run` reports p50/p99 request latency and samples/sec per thread
+//! count. `--verify` replays the trace twice and exits non-zero if any
+//! response is dropped, duplicated, mis-sized, or fails to replay
+//! bit-identically.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ctgauss_core::{CtSampler, SamplerSpec};
+use ctgauss_pool::{LaneWidth, Pool, SampleRequest};
+use ctgauss_prng::{RandomSource, SplitMix64};
+
+/// The registered sigma profiles, indexed by the trace's profile field.
+const PROFILES: [(&str, u32); 3] = [("2", 24), ("6.15543", 24), ("1.5", 24)];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pool_server gen <n> [--seed S] [--profiles K] [--max-count C]\n\
+                pool_server run [--threads T] [--width 1|2|4|8] [--seed S]\n\
+                             [--sweep T1,T2,..] [--verify] < trace"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => generate(&args[1..]),
+        Some("run") => run(&args[1..]),
+        // Bare flags mean `run` (so `pool_server --threads 4 < trace` works).
+        Some(flag) if flag.starts_with("--") => run(&args),
+        None => run(&args),
+        Some(_) => usage(),
+    }
+}
+
+/// Emits a reproducible synthetic trace: mixed small/bulk requests with
+/// a long-tail size distribution, like an LWE-ish workload would issue.
+fn generate(args: &[String]) -> ExitCode {
+    let mut n: Option<usize> = None;
+    let mut seed = 1u64;
+    let mut profiles = 1usize;
+    let mut max_count = 4096usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed"),
+            "--profiles" => {
+                profiles = it.next().and_then(|v| v.parse().ok()).expect("--profiles");
+                assert!(
+                    (1..=PROFILES.len()).contains(&profiles),
+                    "--profiles must be 1..={}",
+                    PROFILES.len()
+                );
+            }
+            "--max-count" => {
+                max_count = it.next().and_then(|v| v.parse().ok()).expect("--max-count");
+            }
+            v if n.is_none() && !v.starts_with("--") => n = v.parse().ok(),
+            _ => return usage(),
+        }
+    }
+    let Some(n) = n else { return usage() };
+    assert!(max_count >= 1, "--max-count must be at least 1");
+    let mut rng = SplitMix64::new(seed);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    writeln!(out, "# pool_server trace: {n} requests, seed {seed}").expect("stdout");
+    for _ in 0..n {
+        let profile = rng.next_u64() as usize % profiles;
+        // Long-tail sizes: mostly small draws, occasional bulk buffers.
+        // `--max-count` is a hard cap on every request size: the bulk arm
+        // draws uniformly from 512..max_count, and all arms clamp to it.
+        let count = match rng.next_u64() % 10 {
+            0..=5 => 1 + rng.next_u64() as usize % 64,
+            6..=8 => 64 + rng.next_u64() as usize % 512,
+            _ => 512 + rng.next_u64() as usize % max_count.saturating_sub(512).max(1),
+        }
+        .min(max_count);
+        writeln!(out, "{profile} {count}").expect("stdout");
+    }
+    ExitCode::SUCCESS
+}
+
+#[derive(Clone, Copy)]
+struct TraceLine {
+    profile: usize,
+    count: usize,
+}
+
+fn parse_trace(reader: impl BufRead) -> Vec<TraceLine> {
+    let mut trace = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.expect("read trace line");
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let first: usize = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .unwrap_or_else(|| panic!("trace line {}: expected numbers", lineno + 1));
+        let entry = match fields.next() {
+            Some(second) => TraceLine {
+                profile: first,
+                count: second
+                    .parse()
+                    .unwrap_or_else(|_| panic!("trace line {}: bad count", lineno + 1)),
+            },
+            None => TraceLine {
+                profile: 0,
+                count: first,
+            },
+        };
+        assert!(
+            entry.profile < PROFILES.len(),
+            "trace line {}: profile {} out of range (max {})",
+            lineno + 1,
+            entry.profile,
+            PROFILES.len() - 1
+        );
+        trace.push(entry);
+    }
+    trace
+}
+
+struct RunReport {
+    elapsed: Duration,
+    latencies: Vec<Duration>,
+    checksum: u64,
+    samples: u64,
+    per_worker: Vec<u64>,
+    /// (dropped-or-missized, duplicated) counts from the response audit.
+    dropped: usize,
+    duplicated: usize,
+}
+
+/// Replays `trace` on a fresh pool and audits every response.
+fn replay(
+    trace: &[TraceLine],
+    shared: &[Arc<CtSampler>],
+    threads: usize,
+    width: LaneWidth,
+    seed: u64,
+) -> RunReport {
+    let mut builder = Pool::builder()
+        .threads(threads)
+        .width(width)
+        .queue_capacity(1024)
+        .seed_u64(seed);
+    let profiles: Vec<_> = shared
+        .iter()
+        .map(|s| builder.shared_profile(Arc::clone(s)))
+        .collect();
+    let pool = builder.spawn();
+
+    let start = Instant::now();
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|line| {
+            pool.submit(SampleRequest {
+                profile: profiles[line.profile],
+                count: line.count,
+            })
+            .expect("submit")
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut seen = vec![false; trace.len()];
+    let mut checksum = 0xcbf29ce484222325u64;
+    let mut dropped = 0;
+    let mut duplicated = 0;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        // An erroring ticket never marks its seq in `seen`, so the
+        // unseen-seq sweep below counts it exactly once as dropped.
+        if let Ok(response) = ticket.wait() {
+            let seq = response.seq as usize;
+            if seq >= seen.len() || seen[seq] {
+                duplicated += 1;
+            } else {
+                seen[seq] = true;
+            }
+            if response.samples.len() != trace[i].count {
+                dropped += 1;
+            }
+            for &s in &response.samples {
+                checksum = (checksum ^ s as u32 as u64).wrapping_mul(0x100000001b3);
+            }
+            latencies.push(response.latency);
+        }
+    }
+    let elapsed = start.elapsed();
+    dropped += seen.iter().filter(|&&s| !s).count();
+    let stats = pool.stats();
+    RunReport {
+        elapsed,
+        latencies,
+        checksum,
+        samples: stats.samples(),
+        per_worker: stats.samples_per_worker.clone(),
+        dropped,
+        duplicated,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut threads = 4usize;
+    let mut width = LaneWidth::W4;
+    let mut seed = 7u64;
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).expect("--threads"),
+            "--width" => {
+                width = match it.next().map(String::as_str) {
+                    Some("1") => LaneWidth::W1,
+                    Some("2") => LaneWidth::W2,
+                    Some("4") => LaneWidth::W4,
+                    Some("8") => LaneWidth::W8,
+                    _ => return usage(),
+                }
+            }
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed"),
+            "--sweep" => {
+                sweep = Some(
+                    it.next()
+                        .expect("--sweep")
+                        .split(',')
+                        .map(|t| t.parse().expect("--sweep"))
+                        .collect(),
+                );
+            }
+            "--verify" => verify = true,
+            _ => return usage(),
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let trace = parse_trace(stdin.lock());
+    if trace.is_empty() {
+        eprintln!("pool_server: empty trace on stdin");
+        return ExitCode::from(2);
+    }
+    let total_requested: u64 = trace.iter().map(|l| l.count as u64).sum();
+    let needed_profiles = trace.iter().map(|l| l.profile).max().expect("non-empty") + 1;
+    eprintln!(
+        "pool_server: {} requests, {} samples, {} profile(s); building shared kernels...",
+        trace.len(),
+        total_requested,
+        needed_profiles
+    );
+    let shared: Vec<Arc<CtSampler>> = PROFILES[..needed_profiles]
+        .iter()
+        .map(|&(sigma, n)| {
+            SamplerSpec::new(sigma, n)
+                .build_shared()
+                .expect("profile builds")
+        })
+        .collect();
+
+    let thread_counts = sweep.unwrap_or_else(|| vec![threads]);
+    let mut failed = false;
+    for &t in &thread_counts {
+        let report = replay(&trace, &shared, t, width, seed);
+        let mut sorted = report.latencies.clone();
+        sorted.sort();
+        println!(
+            "threads={t} width={width:?} requests={} samples={} elapsed={:.3}s \
+             throughput={:.3e} samples/s p50={:?} p99={:?}",
+            trace.len(),
+            report.samples,
+            report.elapsed.as_secs_f64(),
+            report.samples as f64 / report.elapsed.as_secs_f64(),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+        );
+        println!("  per-worker samples: {:?}", report.per_worker);
+        if verify {
+            let replayed = replay(&trace, &shared, t, width, seed);
+            let audit_ok = report.dropped == 0
+                && report.duplicated == 0
+                && replayed.dropped == 0
+                && replayed.duplicated == 0;
+            let deterministic = report.checksum == replayed.checksum
+                && report.samples == total_requested
+                && replayed.samples == total_requested;
+            if audit_ok && deterministic {
+                println!(
+                    "  verify: ok ({} responses, none dropped/duplicated; \
+                     replay checksum {:016x} matches)",
+                    trace.len(),
+                    report.checksum
+                );
+            } else {
+                failed = true;
+                eprintln!(
+                    "  verify: FAILED (dropped={} duplicated={} samples={}/{} \
+                     checksum {:016x} vs replay {:016x})",
+                    report.dropped + replayed.dropped,
+                    report.duplicated + replayed.duplicated,
+                    report.samples,
+                    total_requested,
+                    report.checksum,
+                    replayed.checksum,
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
