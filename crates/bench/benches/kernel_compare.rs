@@ -1,12 +1,19 @@
-//! Compiled execution engine vs reference interpreter, per 64-sample batch
-//! (PRNG excluded — both sides consume the same pre-generated words).
+//! The three execution engines raced per 64-sample batch (PRNG excluded —
+//! all sides consume the same pre-generated words):
 //!
-//! The compiled side is `CtSampler::run_batch` (lowered kernel: DCE, op
-//! fusion, linear-scan slot allocation); the interpreter side is
-//! `CtSampler::run_batch_reference` (per-op `match` over the full SSA
-//! register file). Divide the reported per-batch time by 64 for
-//! per-sample ns. The wide rows execute 4 batch records per kernel pass
-//! through reusable scratch (256 samples per iteration).
+//! * `interpreter` — `CtSampler::run_batch_reference`: per-op `match` over
+//!   the full SSA register file (the reference oracle).
+//! * `compiled` — `CtSampler::run_batch_compiled`: the optimizing lowering
+//!   (DCE, fusion, GVN, list scheduling, slot allocation), still one
+//!   dispatch per instruction.
+//! * `tiled` — `CtSampler::run_batch`: the production superinstruction
+//!   engine, one dispatch per 2–4-op tile over a dense-packed stream.
+//!
+//! Divide the reported per-batch time by 64 for per-sample ns. The wide
+//! rows execute 4 batch records per kernel pass through reusable scratch
+//! (256 samples per iteration). Static dispatch counts per engine are
+//! printed at setup: the tiled engine's ~3–4× reduction there is the
+//! mechanism behind its scalar speedup.
 //!
 //! Configurations: sigma = 2 at n = 24 (the acceptance configuration),
 //! the paper's Falcon base distribution sigma = 2 at n = 128, and the
@@ -24,6 +31,21 @@ fn bench_kernel_compare(c: &mut Criterion) {
             .strategy(Strategy::SplitExact)
             .build()
             .expect("valid parameters");
+        let interp_dispatch = sampler.program().ops().len();
+        let compiled_dispatch = sampler.kernel().instrs().len();
+        let tiled = sampler.tiled_kernel();
+        eprintln!(
+            "[kernel_compare] {id}: static dispatches interpreter={interp_dispatch} \
+             compiled={compiled_dispatch} tiled={} ({:.2}x fewer, {} micro-ops, {})",
+            tiled.dispatch_count(),
+            compiled_dispatch as f64 / tiled.dispatch_count() as f64,
+            tiled.stats().micro_ops,
+            if tiled.stats().dense {
+                "dense u32"
+            } else {
+                "u16x4"
+            },
+        );
         let mut rng = ChaChaRng::from_u64_seed(5);
         let mut inputs = vec![0u64; n as usize];
         rng.fill_u64s(&mut inputs);
@@ -32,14 +54,17 @@ fn bench_kernel_compare(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(sampler.run_batch_reference(&inputs, signs)))
         });
         group.bench_with_input(BenchmarkId::new("compiled", &id), &id, |b, _| {
+            b.iter(|| std::hint::black_box(sampler.run_batch_compiled(&inputs, signs)))
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", &id), &id, |b, _| {
             b.iter(|| std::hint::black_box(sampler.run_batch(&inputs, signs)))
         });
-        // Wide compiled path, PRNG included but cheap (SplitMix64):
+        // Wide tiled path, PRNG included but cheap (SplitMix64):
         // 256 samples per iteration through reused scratch.
         let mut fast_rng = SplitMix64::new(17);
         let mut scratch = sampler.scratch::<4>();
         let mut out = [0i32; 256];
-        group.bench_with_input(BenchmarkId::new("compiled_wide4", &id), &id, |b, _| {
+        group.bench_with_input(BenchmarkId::new("tiled_wide4", &id), &id, |b, _| {
             b.iter(|| {
                 sampler.sample_batch_with(&mut fast_rng, &mut scratch, &mut out);
                 std::hint::black_box(out[0])

@@ -1,0 +1,50 @@
+//! Bit-matrix transposition and lane packing: the `transpose64` fast path
+//! vs the scalar bit-loop oracles.
+//!
+//! `pack_lanes`/`unpack_lanes` route through the Hacker's Delight
+//! recursive block-swap transpose (`O(64 log 64)` word ops); the
+//! `_scalar` rows are the retired `O(lanes × width)` single-bit loops,
+//! kept as correctness oracles. Per-iteration work is one full 64-lane
+//! conversion at width 64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctgauss_bitslice::{
+    pack_lanes, pack_lanes_scalar, transpose64, unpack_lanes, unpack_lanes_scalar,
+};
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose");
+    let lanes: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17))
+        .collect();
+    let words = pack_lanes(&lanes, 64);
+
+    let mut m = [0u64; 64];
+    m.copy_from_slice(&lanes);
+    group.bench_function("transpose64", |b| {
+        b.iter(|| {
+            transpose64(std::hint::black_box(&mut m));
+            std::hint::black_box(m[0])
+        })
+    });
+    group.bench_function("pack_lanes", |b| {
+        b.iter(|| std::hint::black_box(pack_lanes(std::hint::black_box(&lanes), 64)))
+    });
+    group.bench_function("pack_lanes_scalar", |b| {
+        b.iter(|| std::hint::black_box(pack_lanes_scalar(std::hint::black_box(&lanes), 64)))
+    });
+    group.bench_function("unpack_lanes", |b| {
+        b.iter(|| std::hint::black_box(unpack_lanes(std::hint::black_box(&words), 64)))
+    });
+    group.bench_function("unpack_lanes_scalar", |b| {
+        b.iter(|| std::hint::black_box(unpack_lanes_scalar(std::hint::black_box(&words), 64)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_transpose
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! CI smoke check for the three execution engines: interpreter, per-op
+//! compiled kernel, tiled superinstruction kernel.
+//!
+//! Builds the sigma = 2 (n = 24) and sigma = 6.15543 (n = 128)
+//! split-exact profiles and asserts, over random batches, that all three
+//! engines agree bit for bit at lane widths W = 1, 2 and 4; that the
+//! constant-time audits of both lowered engines coincide; and that the
+//! tiled engine's static dispatch count is at least 3× below the per-op
+//! kernel's. Exits non-zero on any violation.
+//!
+//! `--quick` shrinks the round count for CI; the profile builds dominate
+//! the runtime either way.
+
+use ctgauss_bitslice::{interpret_wide, TiledKernel};
+use ctgauss_core::{SamplerBuilder, Strategy};
+use ctgauss_prng::{RandomSource, SplitMix64};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 8 } else { 64 };
+    let mut failures = 0usize;
+    for (sigma, n) in [("2", 24u32), ("6.15543", 128)] {
+        eprintln!("[kernel_smoke] building sigma = {sigma}, n = {n} (split-exact) ...");
+        let sampler = SamplerBuilder::new(sigma, n)
+            .strategy(Strategy::SplitExact)
+            .build()
+            .expect("valid parameters");
+        let tiled = sampler.tiled_kernel();
+        let stats = tiled.stats();
+        let per_op = sampler.kernel().instrs().len();
+        let reduction = per_op as f64 / stats.dispatches as f64;
+        println!(
+            "sigma = {sigma}, n = {n}: {} micro-ops, {} tiles ({reduction:.2}x fewer dispatches, \
+             {} quads / {} triples / {} pairs / {} singles, {})",
+            stats.micro_ops,
+            stats.dispatches,
+            stats.quads,
+            stats.triples,
+            stats.pairs,
+            stats.singles,
+            if stats.dense { "dense u32" } else { "u16x4" },
+        );
+        if reduction < 3.0 {
+            println!("FAIL: dispatch reduction {reduction:.2}x below the 3x floor");
+            failures += 1;
+        }
+        if sampler.audit_tiled() != sampler.audit_compiled() {
+            println!("FAIL: tiled audit diverges from per-op kernel audit");
+            failures += 1;
+        }
+
+        // W = 1 through the sampler APIs: all three engines on the same
+        // randomness, compared lane for lane.
+        let mut rng = SplitMix64::new(0x5eed ^ u64::from(n));
+        for round in 0..rounds {
+            let mut inputs = vec![0u64; n as usize];
+            rng.fill_u64s(&mut inputs);
+            let signs = rng.next_u64();
+            let reference = sampler.run_batch_reference(&inputs, signs);
+            let compiled = sampler.run_batch_compiled(&inputs, signs);
+            let tiled_out = sampler.run_batch(&inputs, signs);
+            if compiled != reference || tiled_out != reference {
+                println!("FAIL: engine mismatch, sigma = {sigma}, round {round}");
+                failures += 1;
+                break;
+            }
+        }
+
+        // W = 2 and W = 4 through the kernels directly, against the wide
+        // interpreter oracle.
+        failures += check_wide::<2>(&sampler, tiled, rounds);
+        failures += check_wide::<4>(&sampler, tiled, rounds);
+    }
+    if failures > 0 {
+        println!("kernel_smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("kernel_smoke: all engines agree (W = 1, 2, 4), dispatch floor met");
+}
+
+fn check_wide<const W: usize>(
+    sampler: &ctgauss_core::CtSampler,
+    tiled: &TiledKernel,
+    rounds: usize,
+) -> usize {
+    let n = sampler.program().num_inputs();
+    let mut rng = SplitMix64::new(xw_seed::<W>());
+    for round in 0..rounds {
+        let mut inputs = vec![[0u64; W]; n as usize];
+        for lane_word in &mut inputs {
+            for w in lane_word.iter_mut() {
+                *w = rng.next_u64();
+            }
+        }
+        let expected = interpret_wide(sampler.program(), &inputs);
+        if sampler.kernel().run(&inputs) != expected || tiled.run(&inputs) != expected {
+            println!("FAIL: wide mismatch, W = {W}, round {round}");
+            return 1;
+        }
+    }
+    0
+}
+
+/// Distinct deterministic seed per lane width.
+fn xw_seed<const W: usize>() -> u64 {
+    0xa5eed ^ (W as u64)
+}

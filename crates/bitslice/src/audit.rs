@@ -6,7 +6,8 @@
 //! instruction sequence and the same memory addresses for every input, and
 //! every output is a pure function of the declared random-input words.
 
-use crate::kernel::{CompiledKernel, Opcode};
+use crate::kernel::{CompiledKernel, Instr, Opcode};
+use crate::tile::TiledKernel;
 use crate::{Op, Program};
 
 /// Result of auditing a [`Program`].
@@ -126,11 +127,63 @@ pub fn audit(program: &Program) -> AuditReport {
 /// assert_eq!(report.output_supports, audit(&p).output_supports);
 /// ```
 pub fn audit_kernel(kernel: &CompiledKernel) -> AuditReport {
-    // Forward pass over the instruction list, tracking the input support
-    // of each *slot*. Slot reuse is sound here for the same reason it is
-    // sound at execution time: dataflow is strictly forward.
-    let mut slot_supports: Vec<Vec<u32>> = vec![Vec::new(); kernel.num_slots()];
-    for instr in kernel.instrs() {
+    audit_instrs(
+        kernel.instrs(),
+        kernel.num_slots(),
+        kernel.output_slots(),
+        kernel.gate_count(),
+    )
+}
+
+/// Audits a [`TiledKernel`] — the superinstruction counterpart of
+/// [`audit_kernel`], so the constant-time argument survives the tiling
+/// optimization too.
+///
+/// A tile executes its micro-ops in stream order with no data-dependent
+/// control, so the input support of a tile's writes is exactly the union
+/// of its micro-ops' supports — i.e. auditing the decoded micro-op stream
+/// ([`TiledKernel::micro_instrs`]) audits the tiled execution. Because
+/// tiling is a pure re-encoding of the compiled kernel's instruction
+/// list, this report always equals [`audit_kernel`]'s for the source
+/// kernel.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_bitslice::{audit_kernel, audit_tiled, CompiledKernel, Op, Program, TiledKernel};
+///
+/// let p = Program::new(
+///     2,
+///     vec![Op::Input(0), Op::Input(1), Op::Not(1), Op::And(0, 2)],
+///     vec![3],
+/// );
+/// let kernel = CompiledKernel::lower(&p);
+/// let tiled = TiledKernel::lower(&kernel);
+/// assert_eq!(audit_tiled(&tiled), audit_kernel(&kernel));
+/// assert!(audit_tiled(&tiled).is_constant_time());
+/// ```
+pub fn audit_tiled(kernel: &TiledKernel) -> AuditReport {
+    audit_instrs(
+        &kernel.micro_instrs(),
+        kernel.num_slots(),
+        kernel.output_slots(),
+        kernel.gate_count(),
+    )
+}
+
+/// The shared forward dataflow over a lowered instruction stream,
+/// tracking the input support of each *slot*. Slot reuse is sound here
+/// for the same reason it is sound at execution time: dataflow is
+/// strictly forward. `dead_ops` is 0 by construction — lowering
+/// eliminates unreachable code before allocation.
+fn audit_instrs(
+    instrs: &[Instr],
+    num_slots: usize,
+    output_slots: &[u16],
+    gates: usize,
+) -> AuditReport {
+    let mut slot_supports: Vec<Vec<u32>> = vec![Vec::new(); num_slots];
+    for instr in instrs {
         let s = match instr.op {
             Opcode::Input => vec![u32::from(instr.a)],
             Opcode::Zero | Opcode::One => Vec::new(),
@@ -157,13 +210,12 @@ pub fn audit_kernel(kernel: &CompiledKernel) -> AuditReport {
     }
     AuditReport {
         straight_line: true,
-        output_supports: kernel
-            .output_slots()
+        output_supports: output_slots
             .iter()
             .map(|&s| slot_supports[s as usize].clone())
             .collect(),
         dead_ops: 0,
-        gates: kernel.gate_count(),
+        gates,
     }
 }
 

@@ -140,6 +140,7 @@ impl<const W: usize> LaneWord for [u64; W] {
 /// forms so a `Not` feeding a binary gate costs nothing extra: each fused
 /// opcode is still one constant-time word expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum Opcode {
     /// `dst = inputs[a]`.
     Input,
@@ -173,6 +174,41 @@ impl Opcode {
     pub fn is_gate(self) -> bool {
         !matches!(self, Opcode::Input | Opcode::Zero | Opcode::One)
     }
+
+    /// Whether `op(a, b) == op(b, a)` — used by the GVN pass to
+    /// canonicalize operand order before hashing, and by the tiler's dense
+    /// encoding.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Nand | Opcode::Nor | Opcode::Xnor
+        )
+    }
+
+    /// The opcode's stable numeric encoding, as stored in the tiled
+    /// kernel's packed instruction words.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Some(match code {
+            0 => Opcode::Input,
+            1 => Opcode::Zero,
+            2 => Opcode::One,
+            3 => Opcode::Not,
+            4 => Opcode::And,
+            5 => Opcode::Or,
+            6 => Opcode::Xor,
+            7 => Opcode::AndNot,
+            8 => Opcode::OrNot,
+            9 => Opcode::Nand,
+            10 => Opcode::Nor,
+            11 => Opcode::Xnor,
+            _ => return None,
+        })
+    }
 }
 
 /// One compiled instruction: `slots[dst] = op(slots[a], slots[b])`.
@@ -203,6 +239,12 @@ pub struct LoweringStats {
     pub fused: usize,
     /// Ops removed by constant folding / algebraic identities.
     pub folded: usize,
+    /// Ops removed by the post-fusion GVN/CSE pass (fusion and folding can
+    /// re-materialize values that pre-fusion hash-consing had caught).
+    pub gvn: usize,
+    /// Ops the list scheduler moved off their original position to expose
+    /// instruction-level parallelism inside tile windows.
+    pub scheduled: usize,
     /// Instructions in the compiled kernel (including loads).
     pub instrs: usize,
     /// Slots in the reusable register file (the kernel's working-set size
@@ -228,7 +270,7 @@ pub struct CompiledKernel {
 }
 
 /// The fused SSA node set built between DCE and register allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Node {
     Input(u32),
     Const(bool),
@@ -287,10 +329,19 @@ impl CompiledKernel {
             fusable[o as usize] = false;
         }
 
-        // Pass 2: forward rewrite of live ops into fused nodes.
+        // Pass 2: forward rewrite of live ops into fused nodes, with a
+        // GVN/CSE table over the *fused* node set. The source program is
+        // already hash-consed, but fusion and folding re-materialize
+        // values in the extended opcode space (two independent `Not`+`And`
+        // pairs both become `AndNot(x, y)`; folding aliases operands until
+        // two formerly-distinct gates coincide), so numbering the rewritten
+        // nodes catches duplicates the pre-fusion pass could not see.
+        // Commutative gates hash with sorted operands.
         // `remap[r]` is the fused node computing source register `r`.
         let mut nodes: Vec<Node> = Vec::with_capacity(program.ops().len());
         let mut remap: Vec<u32> = vec![u32::MAX; program.ops().len()];
+        let mut gvn: std::collections::HashMap<Node, u32> =
+            std::collections::HashMap::with_capacity(program.ops().len());
         for (r, &op) in program.ops().iter().enumerate() {
             if !live[r] {
                 continue;
@@ -299,8 +350,16 @@ impl CompiledKernel {
             remap[r] = match node {
                 Rewritten::Alias(n) => n,
                 Rewritten::New(node) => {
-                    nodes.push(node);
-                    (nodes.len() - 1) as u32
+                    let canon = canonicalize(node);
+                    if let Some(&prev) = gvn.get(&canon) {
+                        stats.gvn += 1;
+                        prev
+                    } else {
+                        nodes.push(canon);
+                        let id = (nodes.len() - 1) as u32;
+                        gvn.insert(canon, id);
+                        id
+                    }
                 }
             };
         }
@@ -331,6 +390,17 @@ impl CompiledKernel {
             kept.push(node);
         }
         let outputs: Vec<u32> = fused_outputs.iter().map(|&o| compact[o as usize]).collect();
+
+        // Pass 3.5: windowed list scheduling. Selector-chain kernels are
+        // long runs of dependent gates; executed back to back they
+        // serialize on the previous result. Reordering independent ops
+        // within a small sliding window spaces each gate away from its
+        // producers, so the CPU (and the tiled superinstruction handlers,
+        // which freeze 2–4 consecutive ops into one dispatch) can overlap
+        // them. The window bound also caps the live-range growth the
+        // reorder can cause, keeping the slot file inside the stack fast
+        // path.
+        let (kept, outputs) = schedule(&kept, &outputs, &mut stats);
 
         // Pass 4: last-use liveness + linear-scan slot allocation. Output
         // nodes stay live to the end of the kernel so their slots are
@@ -775,6 +845,120 @@ fn binary_gate(
         }
     }
     New(Node::Binary(op, ia, ib))
+}
+
+/// Canonical form of a fused node for the GVN table: commutative gates
+/// order their operands ascending, so `And(a, b)` and `And(b, a)` number
+/// identically. Semantics are unchanged (the reordered node is also the
+/// one stored and executed).
+fn canonicalize(node: Node) -> Node {
+    match node {
+        Node::Binary(op, a, b) if op.is_commutative() && a > b => Node::Binary(op, b, a),
+        _ => node,
+    }
+}
+
+/// How many upcoming nodes the list scheduler may choose between. Bounds
+/// both the reorder distance and the extra live width scheduling can
+/// create (each deferred node stays pending, so at most `SCHED_WINDOW`
+/// additional values are ever live versus the unscheduled order).
+const SCHED_WINDOW: usize = 16;
+
+/// Producer-distance at which an operand counts as "mature": once a value
+/// was computed this many instructions ago, scheduling its consumer no
+/// longer stalls on it, so ties are broken by original program order
+/// (preserving locality) rather than by chasing even older operands.
+const SCHED_MATURITY: usize = 2;
+
+/// The opcode class the scheduler clusters by: tiles are fixed opcode
+/// patterns, so among equally mature candidates, continuing the current
+/// run keeps the stream tileable at width 4.
+fn sched_class(node: Node) -> u8 {
+    match node {
+        Node::Input(_) => 0,
+        Node::Const(_) => 1,
+        Node::Unary(op, _) | Node::Binary(op, _, _) => 2 + op.code(),
+    }
+}
+
+/// Windowed list scheduling over the fused, compacted nodes.
+///
+/// Classic list scheduling restricted to a sliding window of
+/// [`SCHED_WINDOW`] candidates: at each step the scheduler picks, among
+/// the window's ready nodes (all operands already scheduled), the one
+/// whose most recently scheduled operand is furthest in the past — i.e.
+/// the node *least likely to stall* — preferring, at equal (capped)
+/// maturity, the candidate that continues the current opcode run (so the
+/// tiler downstream sees long homogeneous `And`/`Or`/load runs), and
+/// breaking remaining ties by original order. The window always contains
+/// at least one ready node (the lowest unscheduled index: SSA order means
+/// all its operands precede it), so the pass always terminates with a
+/// complete permutation. Returns the reordered nodes (operand indices
+/// renumbered) and the remapped outputs.
+fn schedule(kept: &[Node], outputs: &[u32], stats: &mut LoweringStats) -> (Vec<Node>, Vec<u32>) {
+    let n = kept.len();
+    // `sched_pos[old] = new position`, u32::MAX while unscheduled.
+    let mut sched_pos: Vec<u32> = vec![u32::MAX; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    // Lowest old index not yet scheduled — the window base.
+    let mut base = 0usize;
+    let mut last_class = u8::MAX;
+    for t in 0..n {
+        while base < n && sched_pos[base] != u32::MAX {
+            base += 1;
+        }
+        let window_end = (base + SCHED_WINDOW).min(n);
+        // Pick the best ready candidate; maturity is capped so "old
+        // enough" candidates tie and the run/order preferences decide.
+        let mut best: Option<((usize, bool), usize)> = None; // (score, old index)
+        for old in base..window_end {
+            if sched_pos[old] != u32::MAX {
+                continue;
+            }
+            let mut maturity = usize::MAX;
+            let mut ready = true;
+            for p in kept[old].operands().into_iter().flatten() {
+                let pos = sched_pos[p as usize];
+                if pos == u32::MAX {
+                    ready = false;
+                    break;
+                }
+                maturity = maturity.min(t - pos as usize);
+            }
+            if !ready {
+                continue;
+            }
+            let score = (
+                maturity.min(SCHED_MATURITY),
+                sched_class(kept[old]) == last_class,
+            );
+            // Strictly-greater keeps the earliest index on ties.
+            // (`map_or`, not `is_none_or`: the latter postdates the MSRV.)
+            if best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, old));
+            }
+        }
+        let (_, pick) = best.expect("window base is always ready in SSA order");
+        sched_pos[pick] = t as u32;
+        order.push(pick as u32);
+        last_class = sched_class(kept[pick]);
+        if pick != t {
+            stats.scheduled += 1;
+        }
+    }
+    let scheduled: Vec<Node> = order
+        .iter()
+        .map(|&old| {
+            let renumber = |x: u32| sched_pos[x as usize];
+            match kept[old as usize] {
+                n @ (Node::Input(_) | Node::Const(_)) => n,
+                Node::Unary(op, a) => Node::Unary(op, renumber(a)),
+                Node::Binary(op, a, b) => Node::Binary(op, renumber(a), renumber(b)),
+            }
+        })
+        .collect();
+    let outputs = outputs.iter().map(|&o| sched_pos[o as usize]).collect();
+    (scheduled, outputs)
 }
 
 /// Marks ops reachable from `roots` through operand edges (source SSA).

@@ -14,11 +14,16 @@
 //!   `b_0 & b_1 & ... & b_k` of Equation 2 are computed once.
 //! * [`interpret`] — executes a program over `u64` lanes (the reference
 //!   oracle: simple and obviously correct).
-//! * [`CompiledKernel`] — the production execution engine: a one-time
-//!   lowering pass (dead-code elimination, `AndNot`/`Xnor` op fusion,
-//!   constant folding, liveness + linear-scan slot allocation) followed by
-//!   allocation-free execution generic over the lane width
-//!   ([`LaneWord`]: `u64`, `[u64; 2]`, `[u64; 4]`, …).
+//! * [`CompiledKernel`] — the optimizing lowering pipeline: dead-code
+//!   elimination, `AndNot`/`Xnor` op fusion, constant folding, post-fusion
+//!   GVN/CSE, windowed list scheduling, and liveness + linear-scan slot
+//!   allocation, followed by allocation-free execution generic over the
+//!   lane width ([`LaneWord`]: `u64`, `[u64; 2]`, `[u64; 4]`, …).
+//! * [`TiledKernel`] — the production execution engine: the compiled
+//!   kernel's instruction stream re-lowered into superinstruction tiles
+//!   (straight-line unrolled handlers for the dominant 2–4-op patterns,
+//!   dense-packed operand stream), so the dispatch loop fires once per
+//!   tile instead of once per op.
 //! * [`transpose64`] / pack helpers — the classic bit-matrix transpose used
 //!   to move between sample-per-word and bit-position-per-word layouts.
 //! * [`audit`] / [`audit_kernel`] — static checkers that verify SSA
@@ -44,10 +49,14 @@ mod audit;
 mod compile;
 mod kernel;
 mod program;
+mod tile;
 mod transpose;
 
-pub use audit::{audit, audit_kernel, AuditReport};
+pub use audit::{audit, audit_kernel, audit_tiled, AuditReport};
 pub use compile::compile;
 pub use kernel::{CompiledKernel, Instr, LaneWord, LoweringStats, Opcode};
 pub use program::{interpret, interpret_wide, Op, Program};
-pub use transpose::{pack_lanes, transpose64, unpack_lanes};
+pub use tile::{Tile, TileStats, TiledKernel};
+pub use transpose::{
+    pack_lanes, pack_lanes_scalar, transpose64, unpack_lanes, unpack_lanes_scalar,
+};

@@ -103,6 +103,28 @@ impl Program {
         self.num_inputs
     }
 
+    /// Number of operations in the program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no operations. An empty program (no ops,
+    /// no outputs) is valid and executes to an empty output list — the
+    /// degenerate case the kernel lowerings and the tiler must accept.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ctgauss_bitslice::{interpret, Program};
+    ///
+    /// let p = Program::new(0, vec![], vec![]);
+    /// assert!(p.is_empty());
+    /// assert_eq!(interpret(&p, &[]), Vec::<u64>::new());
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
     /// The operations in execution order.
     pub fn ops(&self) -> &[Op] {
         &self.ops

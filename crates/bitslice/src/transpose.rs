@@ -35,12 +35,36 @@ pub fn transpose64(m: &mut [u64; 64]) {
 /// `i` of every lane (`lanes[l]` bit `i` lands at bit `l` of `out[i]`).
 ///
 /// This is the "pack" step of the paper's batch sampler when inputs are
-/// given per lane; width may be any bit count (not just 64).
+/// given per lane; width may be any bit count (not just 64). Packing *is*
+/// a (partial) 64×64 bit-matrix transposition, so this runs through
+/// [`transpose64`] — `O(64 log 64)` word ops instead of the
+/// `O(lanes × width)` single-bit loop of [`pack_lanes_scalar`], which
+/// survives as the reference oracle.
 ///
 /// # Panics
 ///
 /// Panics if more than 64 lanes are supplied.
+///
+/// # Examples
+///
+/// ```
+/// use ctgauss_bitslice::{pack_lanes, pack_lanes_scalar};
+///
+/// let lanes: Vec<u64> = (0..64).map(|l| l * 0x9e37_79b9).collect();
+/// assert_eq!(pack_lanes(&lanes, 40), pack_lanes_scalar(&lanes, 40));
+/// ```
 pub fn pack_lanes(lanes: &[u64], width: u32) -> Vec<u64> {
+    assert!(lanes.len() <= 64, "at most 64 lanes");
+    assert!(width <= 64, "lane width capped at 64 bits");
+    let mut m = [0u64; 64];
+    m[..lanes.len()].copy_from_slice(lanes);
+    transpose64(&mut m);
+    m[..width as usize].to_vec()
+}
+
+/// The `O(lanes × width)` scalar-bit-loop reference for [`pack_lanes`]:
+/// kept as the proptest/doctest oracle for the transpose fast path.
+pub fn pack_lanes_scalar(lanes: &[u64], width: u32) -> Vec<u64> {
     assert!(lanes.len() <= 64, "at most 64 lanes");
     assert!(width <= 64, "lane width capped at 64 bits");
     let mut out = vec![0u64; width as usize];
@@ -53,12 +77,23 @@ pub fn pack_lanes(lanes: &[u64], width: u32) -> Vec<u64> {
 }
 
 /// Inverse of [`pack_lanes`]: reassembles per-lane values from
-/// bit-position words.
+/// bit-position words — the same [`transpose64`] fast path in the other
+/// direction ([`unpack_lanes_scalar`] is the oracle).
 ///
 /// # Panics
 ///
 /// Panics if more than 64 words are supplied.
 pub fn unpack_lanes(words: &[u64], num_lanes: u32) -> Vec<u64> {
+    assert!(words.len() <= 64, "lane width capped at 64 bits");
+    assert!(num_lanes <= 64, "at most 64 lanes");
+    let mut m = [0u64; 64];
+    m[..words.len()].copy_from_slice(words);
+    transpose64(&mut m);
+    m[..num_lanes as usize].to_vec()
+}
+
+/// The scalar-bit-loop reference for [`unpack_lanes`].
+pub fn unpack_lanes_scalar(words: &[u64], num_lanes: u32) -> Vec<u64> {
     assert!(words.len() <= 64, "lane width capped at 64 bits");
     assert!(num_lanes <= 64, "at most 64 lanes");
     let mut out = vec![0u64; num_lanes as usize];
@@ -145,6 +180,20 @@ mod tests {
             let words = pack_lanes(&masked, width);
             let back = unpack_lanes(&words, masked.len() as u32);
             prop_assert_eq!(masked, back);
+        }
+
+        /// The transpose fast paths are bit-exact with the scalar oracles
+        /// for every lane count and width, including unmasked high bits.
+        #[test]
+        fn prop_pack_fast_equals_scalar(lanes in proptest::collection::vec(any::<u64>(), 0..65),
+                                        width in 0u32..65) {
+            prop_assert_eq!(pack_lanes(&lanes, width), pack_lanes_scalar(&lanes, width));
+        }
+
+        #[test]
+        fn prop_unpack_fast_equals_scalar(words in proptest::collection::vec(any::<u64>(), 0..65),
+                                          num_lanes in 0u32..65) {
+            prop_assert_eq!(unpack_lanes(&words, num_lanes), unpack_lanes_scalar(&words, num_lanes));
         }
     }
 }

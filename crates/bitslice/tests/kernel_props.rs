@@ -1,10 +1,13 @@
-//! Property tests: a lowered [`CompiledKernel`] is bit-exact with the
-//! reference interpreter on random well-formed programs and random inputs,
-//! for lane widths W = 1, 2 and 4, and its constant-time audit never gains
-//! an input dependence over the source program's.
+//! Property tests: a lowered [`CompiledKernel`] and its superinstruction
+//! re-lowering ([`TiledKernel`]) are bit-exact with the reference
+//! interpreter on random well-formed programs and random inputs, for lane
+//! widths W = 1, 2 and 4; tiling is a pure re-encoding of the compiled
+//! instruction stream; and neither engine's constant-time audit ever
+//! gains an input dependence over the source program's.
 
 use ctgauss_bitslice::{
-    audit, audit_kernel, interpret, interpret_wide, CompiledKernel, Op, Program,
+    audit, audit_kernel, audit_tiled, interpret, interpret_wide, CompiledKernel, Op, Program,
+    TiledKernel,
 };
 use proptest::prelude::*;
 
@@ -50,7 +53,8 @@ fn build_program(seed: u64, num_inputs: u32, len: usize) -> Program {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
 
-    /// W = 1: compiled output equals the interpreter on random inputs.
+    /// W = 1: compiled and tiled outputs equal the interpreter on random
+    /// inputs, and tiling is a pure re-encoding of the compiled stream.
     #[test]
     fn prop_kernel_equals_interpreter_scalar(
         seed in any::<u64>(),
@@ -60,6 +64,7 @@ proptest! {
     ) {
         let program = build_program(seed, num_inputs, len);
         let kernel = CompiledKernel::lower(&program);
+        let tiled = TiledKernel::lower(&kernel);
         let mut s = input_seed;
         let inputs: Vec<u64> = (0..num_inputs)
             .map(|i| {
@@ -67,11 +72,19 @@ proptest! {
                 s
             })
             .collect();
-        prop_assert_eq!(kernel.run(&inputs), interpret(&program, &inputs), "{}", kernel);
+        let expected = interpret(&program, &inputs);
+        prop_assert_eq!(kernel.run(&inputs), expected.clone(), "{}", kernel);
+        prop_assert_eq!(tiled.run(&inputs), expected, "{}", tiled);
+        prop_assert_eq!(tiled.micro_instrs(), kernel.instrs().to_vec());
+        prop_assert_eq!(
+            tiled.tiles().iter().map(|t| t.width()).sum::<usize>(),
+            kernel.instrs().len()
+        );
     }
 
     /// W = 2 and W = 4: every lane word of the wide execution equals the
-    /// wide interpreter, which in turn mirrors the scalar one.
+    /// wide interpreter, which in turn mirrors the scalar one — for both
+    /// the per-op kernel and the tiled engine.
     #[test]
     fn prop_kernel_equals_interpreter_wide(
         seed in any::<u64>(),
@@ -81,16 +94,21 @@ proptest! {
     ) {
         let program = build_program(seed, num_inputs, len);
         let kernel = CompiledKernel::lower(&program);
+        let tiled = TiledKernel::lower(&kernel);
         let mut s = input_seed;
         let mut word = move || {
             s = s.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
             s
         };
         let inputs2: Vec<[u64; 2]> = (0..num_inputs).map(|_| [word(), word()]).collect();
-        prop_assert_eq!(kernel.run(&inputs2), interpret_wide(&program, &inputs2));
+        let expected2 = interpret_wide(&program, &inputs2);
+        prop_assert_eq!(kernel.run(&inputs2), expected2.clone());
+        prop_assert_eq!(tiled.run(&inputs2), expected2);
         let inputs4: Vec<[u64; 4]> =
             (0..num_inputs).map(|_| [word(), word(), word(), word()]).collect();
-        prop_assert_eq!(kernel.run(&inputs4), interpret_wide(&program, &inputs4));
+        let expected4 = interpret_wide(&program, &inputs4);
+        prop_assert_eq!(kernel.run(&inputs4), expected4.clone());
+        prop_assert_eq!(tiled.run(&inputs4), expected4);
     }
 
     /// The fused kernel's audit stays constant-time and never *gains* an
@@ -116,10 +134,17 @@ proptest! {
                 );
             }
         }
+        // Tiling preserves the audit verbatim: a tile's support is the
+        // union of its ops' supports, so the tiled report equals the
+        // per-op kernel's.
+        let rt = audit_tiled(&TiledKernel::lower(&kernel));
+        prop_assert!(rt.is_constant_time());
+        prop_assert_eq!(rt, rk);
     }
 
     /// Lowering is idempotent on the outputs: re-running on the same
-    /// program yields an identical kernel (determinism of the pipeline).
+    /// program yields an identical kernel (determinism of the pipeline),
+    /// and the tile re-lowering inherits that determinism.
     #[test]
     fn prop_lowering_is_deterministic(
         seed in any::<u64>(),
@@ -127,6 +152,8 @@ proptest! {
         len in 1usize..60,
     ) {
         let program = build_program(seed, num_inputs, len);
-        prop_assert_eq!(CompiledKernel::lower(&program), CompiledKernel::lower(&program));
+        let (a, b) = (CompiledKernel::lower(&program), CompiledKernel::lower(&program));
+        prop_assert_eq!(TiledKernel::lower(&a), TiledKernel::lower(&b));
+        prop_assert_eq!(a, b);
     }
 }

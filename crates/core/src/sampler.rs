@@ -1,6 +1,8 @@
 //! The compiled constant-time sampler.
 
-use ctgauss_bitslice::{audit, audit_kernel, interpret, AuditReport, CompiledKernel, Program};
+use ctgauss_bitslice::{
+    audit, audit_kernel, audit_tiled, interpret, AuditReport, CompiledKernel, Program, TiledKernel,
+};
 use ctgauss_knuthyao::ProbabilityMatrix;
 use ctgauss_prng::RandomSource;
 
@@ -27,10 +29,14 @@ const MAX_SAMPLE_BITS: usize = 31;
 /// sampled values.
 ///
 /// At build time the straight-line SSA program is lowered once to a
-/// [`CompiledKernel`] (dead-code elimination, op fusion, register
-/// allocation); every sampling API executes that kernel. The original
-/// interpreter survives as the reference oracle behind
-/// [`run_batch_reference`](Self::run_batch_reference).
+/// [`CompiledKernel`] (dead-code elimination, op fusion, GVN/CSE, list
+/// scheduling, register allocation) and then re-lowered to a
+/// [`TiledKernel`] (superinstruction tiles: one dispatch per 2–4-op
+/// pattern instead of one per op); every sampling API executes the tiled
+/// kernel. Both earlier engines survive as bit-exact oracles: the
+/// interpreter behind [`run_batch_reference`](Self::run_batch_reference)
+/// and the per-op kernel behind
+/// [`run_batch_compiled`](Self::run_batch_compiled).
 ///
 /// # Randomness draw order
 ///
@@ -70,6 +76,7 @@ const MAX_SAMPLE_BITS: usize = 31;
 pub struct CtSampler {
     program: Program,
     kernel: CompiledKernel,
+    tiled: TiledKernel,
     matrix: ProbabilityMatrix,
     report: BuildReport,
 }
@@ -124,9 +131,11 @@ impl CtSampler {
             kernel.num_outputs() <= MAX_SAMPLE_BITS,
             "sample magnitude exceeds {MAX_SAMPLE_BITS} bits"
         );
+        let tiled = TiledKernel::lower(&kernel);
         CtSampler {
             program,
             kernel,
+            tiled,
             matrix,
             report,
         }
@@ -138,10 +147,19 @@ impl CtSampler {
         &self.program
     }
 
-    /// The lowered execution kernel: fused opcodes, register-allocated
-    /// slots ([`CompiledKernel::stats`] reports what lowering did).
+    /// The optimizing-lowered per-op kernel: fused opcodes,
+    /// register-allocated slots ([`CompiledKernel::stats`] reports what
+    /// lowering did). Kept as the second oracle; execution goes through
+    /// [`tiled_kernel`](Self::tiled_kernel).
     pub fn kernel(&self) -> &CompiledKernel {
         &self.kernel
+    }
+
+    /// The superinstruction-threaded production engine: the per-op
+    /// kernel's instruction stream grouped into tiles dispatched once
+    /// each ([`TiledKernel::stats`] reports the dispatch reduction).
+    pub fn tiled_kernel(&self) -> &TiledKernel {
+        &self.tiled
     }
 
     /// The probability matrix the sampler was synthesized from.
@@ -172,12 +190,19 @@ impl CtSampler {
         audit(&self.program)
     }
 
-    /// Statically audits the *lowered kernel* — the code that actually
-    /// executes — covering the fused opcodes, so the constant-time
-    /// argument survives the optimization. Supports are never larger than
-    /// [`audit`](Self::audit)'s.
+    /// Statically audits the lowered per-op kernel, covering the fused
+    /// opcodes, so the constant-time argument survives the optimization.
+    /// Supports are never larger than [`audit`](Self::audit)'s.
     pub fn audit_compiled(&self) -> AuditReport {
         audit_kernel(&self.kernel)
+    }
+
+    /// Statically audits the *tiled kernel* — the code that actually
+    /// executes. Tiling is a pure re-encoding (a tile's support is the
+    /// union of its ops' supports), so this report always equals
+    /// [`audit_compiled`](Self::audit_compiled)'s.
+    pub fn audit_tiled(&self) -> AuditReport {
+        audit_tiled(&self.tiled)
     }
 
     /// Creates reusable scratch for the `_with` batch APIs at lane-block
@@ -209,13 +234,30 @@ impl CtSampler {
     /// Runs a batch on caller-provided randomness: `inputs[i]` packs bit
     /// `b_i` of every lane, `signs` packs the sign bits. Used by the
     /// Table 2 kernel benchmarks (PRNG cost excluded) and by tests.
-    /// Executes the compiled kernel through its masked stack fast path
-    /// (allocation-free for kernels up to 2048 slots).
+    /// Executes the tiled superinstruction kernel through its masked
+    /// stack fast path (allocation-free for kernels up to 2048 slots).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the program's input count.
     pub fn run_batch(&self, inputs: &[u64], signs: u64) -> [i32; 64] {
+        let nw = self.tiled.num_outputs();
+        let mut words = [0u64; MAX_SAMPLE_BITS];
+        self.tiled.execute_fast(inputs, &mut words[..nw]);
+        let mut out = [0i32; 64];
+        decode_lanes(&words[..nw], signs, &mut out);
+        out
+    }
+
+    /// [`run_batch`](Self::run_batch) through the *per-op* compiled
+    /// kernel — one dispatch per instruction, no tiling. Kept as the
+    /// mid-level oracle (and the `kernel_compare` baseline) between the
+    /// interpreter and the tiled engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the program's input count.
+    pub fn run_batch_compiled(&self, inputs: &[u64], signs: u64) -> [i32; 64] {
         let nw = self.kernel.num_outputs();
         let mut words = [0u64; MAX_SAMPLE_BITS];
         self.kernel.execute_fast(inputs, &mut words[..nw]);
@@ -227,7 +269,7 @@ impl CtSampler {
     /// The interpreter-executed reference oracle for
     /// [`run_batch`](Self::run_batch): same inputs, same outputs, no
     /// lowering — kept for equivalence tests and audits of the compiled
-    /// engine.
+    /// engines.
     ///
     /// # Panics
     ///
@@ -270,7 +312,7 @@ impl CtSampler {
             }
             signs[w] = record[n];
         }
-        self.kernel
+        self.tiled
             .execute(&scratch.inputs, &mut scratch.slots, &mut scratch.words);
         for w in 0..W {
             let mut lanes = [0i32; 64];
@@ -429,7 +471,12 @@ mod tests {
             assert_eq!(
                 out,
                 sampler.run_batch_reference(&inputs, 0),
-                "{strategy}: kernel vs interpreter"
+                "{strategy}: tiled kernel vs interpreter"
+            );
+            assert_eq!(
+                out,
+                sampler.run_batch_compiled(&inputs, 0),
+                "{strategy}: tiled kernel vs per-op kernel"
             );
             for (lane, leaf) in chunk.iter().enumerate() {
                 assert_eq!(
@@ -455,7 +502,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_kernel_matches_interpreter_on_random_batches() {
+    fn all_three_engines_agree_on_random_batches() {
         for strategy in [Strategy::SplitExact, Strategy::Simple] {
             let sampler = SamplerBuilder::new("2", 14)
                 .strategy(strategy)
@@ -466,13 +513,45 @@ mod tests {
                 let mut inputs = vec![0u64; 14];
                 rng.fill_u64s(&mut inputs);
                 let signs = rng.next_u64();
+                let tiled = sampler.run_batch(&inputs, signs);
                 assert_eq!(
-                    sampler.run_batch(&inputs, signs),
+                    tiled,
                     sampler.run_batch_reference(&inputs, signs),
-                    "{strategy}, round {round}"
+                    "{strategy}, round {round}: tiled vs interpreter"
+                );
+                assert_eq!(
+                    tiled,
+                    sampler.run_batch_compiled(&inputs, signs),
+                    "{strategy}, round {round}: tiled vs per-op kernel"
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiled_kernel_cuts_dispatches_and_preserves_the_stream() {
+        let sampler = SamplerBuilder::new("2", 24).build().unwrap();
+        let tiled = sampler.tiled_kernel();
+        let stats = tiled.stats();
+        // Tiling is a pure re-encoding of the per-op kernel...
+        assert_eq!(tiled.micro_instrs(), sampler.kernel().instrs());
+        assert_eq!(stats.micro_ops, sampler.kernel().instrs().len());
+        // ...that fires the dispatch loop >= 3x less often on the
+        // And/Or-dominated selector-chain kernels.
+        assert!(
+            stats.dispatches * 3 <= stats.micro_ops,
+            "expected >= 3x static dispatch reduction, got {} tiles for {} micro-ops",
+            stats.dispatches,
+            stats.micro_ops
+        );
+    }
+
+    #[test]
+    fn tiled_audit_equals_compiled_audit() {
+        let sampler = SamplerBuilder::new("2", 16).build().unwrap();
+        let tiled_audit = sampler.audit_tiled();
+        assert!(tiled_audit.is_constant_time());
+        assert_eq!(tiled_audit, sampler.audit_compiled());
     }
 
     #[test]

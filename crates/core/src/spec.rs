@@ -9,14 +9,17 @@ use crate::sampler::CtSampler;
 /// "sigma profile" multi-threaded services key requests on.
 ///
 /// Building a [`CtSampler`] runs the whole Figure-4 pipeline (matrix
-/// enumeration, exact Boolean minimization, kernel lowering), which takes
-/// seconds at paper parameters — far too much to repeat per worker
-/// thread. A `SamplerSpec` is the cheap, `Eq + Hash` identity of that
-/// work: [`build_shared`](Self::build_shared) runs the pipeline once and
-/// hands back an `Arc<CtSampler>` every worker can clone. `CtSampler`
-/// has no interior mutability (workers pass their own scratch into the
-/// `_with` APIs), so sharing one lowered kernel across threads is safe by
-/// construction — asserted at compile time below.
+/// enumeration, exact Boolean minimization, kernel lowering, then the
+/// superinstruction tile re-lowering), which takes seconds at paper
+/// parameters — far too much to repeat per worker thread. A
+/// `SamplerSpec` is the cheap, `Eq + Hash` identity of that work:
+/// [`build_shared`](Self::build_shared) runs the pipeline once and hands
+/// back an `Arc<CtSampler>` every worker can clone — one immutable tiled
+/// artifact (instruction stream, tile stream, slot plan) shared by the
+/// whole pool. `CtSampler` has no interior mutability (workers pass
+/// their own scratch into the `_with` APIs), so sharing the lowered
+/// kernels across threads is safe by construction — asserted at compile
+/// time below.
 ///
 /// # Examples
 ///
