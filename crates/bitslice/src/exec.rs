@@ -1,0 +1,46 @@
+//! The shared stack-scratch dispatch behind both `execute_fast` entry
+//! points.
+//!
+//! The per-op kernel and the tiled kernel run their masked,
+//! bounds-check-free inner loops over a fixed power-of-two stack array
+//! sized to the smallest tier that fits the kernel's slot count, falling
+//! back to a heap buffer above the largest tier. That tier selection used
+//! to be spelled out twice (once per engine); [`with_stack_slots!`] is the
+//! single definition both expand — same tiers, same codegen, one place to
+//! change.
+
+/// Runs `$masked` with `$slots` bound to a zeroed `&mut [$lane; N]` stack
+/// array of the smallest power-of-two tier (128 / 512 / 2048) holding
+/// `$num_slots` lane words, or `$heap` with `$slots` bound to a zeroed
+/// `&mut [$lane]` heap buffer when even the largest tier is too small.
+///
+/// The masked body is monomorphized once per tier, so the executor's
+/// `N - 1` index masking stays a compile-time constant in every arm.
+macro_rules! with_stack_slots {
+    ($num_slots:expr, $lane:ty, |$slots:ident| $masked:expr, |$heap_slots:ident| $heap:expr $(,)?) => {{
+        match $num_slots {
+            0..=128 => {
+                let mut arr = [<$lane as crate::kernel::LaneWord>::ZERO; 128];
+                let $slots = &mut arr;
+                $masked
+            }
+            129..=512 => {
+                let mut arr = [<$lane as crate::kernel::LaneWord>::ZERO; 512];
+                let $slots = &mut arr;
+                $masked
+            }
+            513..=2048 => {
+                let mut arr = [<$lane as crate::kernel::LaneWord>::ZERO; 2048];
+                let $slots = &mut arr;
+                $masked
+            }
+            n => {
+                let mut buf = vec![<$lane as crate::kernel::LaneWord>::ZERO; n];
+                let $heap_slots = &mut buf[..];
+                $heap
+            }
+        }
+    }};
+}
+
+pub(crate) use with_stack_slots;

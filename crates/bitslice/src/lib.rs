@@ -45,8 +45,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod audit;
 mod compile;
+mod exec;
 mod kernel;
 mod program;
 mod tile;

@@ -212,6 +212,10 @@ macro_rules! tiles {
         }
 
         impl Tile {
+            /// Every tile, in declaration (= matcher-priority and numeric
+            /// code) order.
+            pub const ALL: &'static [Tile] = &[$(Tile::$name),+];
+
             /// Number of micro-ops one dispatch of this tile executes.
             pub fn width(self) -> usize {
                 match self {
@@ -224,6 +228,17 @@ macro_rules! tiles {
                 match self {
                     $( Tile::$name => &[$(Opcode::$op),+], )+
                 }
+            }
+
+            /// The tile's stable numeric encoding (its position in
+            /// [`ALL`](Self::ALL)), as stored in serialized artifacts.
+            pub fn code(self) -> u8 {
+                self as u8
+            }
+
+            /// Inverse of [`code`](Self::code).
+            pub fn from_code(code: u8) -> Option<Tile> {
+                Tile::ALL.get(code as usize).copied()
             }
         }
 
@@ -398,24 +413,63 @@ impl TiledKernel {
         let instrs = kernel.instrs();
         let ops: Vec<Opcode> = instrs.iter().map(|i| i.op).collect();
         let mut tiles = Vec::new();
-        let mut stats = TileStats {
-            micro_ops: instrs.len(),
-            ..TileStats::default()
-        };
         let mut i = 0;
         while i < ops.len() {
             let tile = find_tile(&ops[i..]);
-            let w = tile.width();
-            match w {
+            tiles.push(tile);
+            i += tile.width();
+        }
+        Self::assemble(
+            kernel.num_inputs(),
+            kernel.num_slots() as u16,
+            tiles,
+            instrs,
+            kernel.output_slots().to_vec(),
+        )
+    }
+
+    /// Reassembles a tiled kernel from deserialized artifact parts.
+    ///
+    /// The caller ([`crate::artifact`]) has already validated the parts:
+    /// operand/output ids are in range and the tile stream decodes to
+    /// exactly `instrs` (widths sum to the stream length, each tile's
+    /// opcode pattern matches in place). The packed operand encoding and
+    /// the stats are recomputed with the same rules as
+    /// [`lower`](Self::lower), so a deserialized kernel is structurally
+    /// identical to the one that was serialized.
+    pub(crate) fn from_artifact(
+        num_inputs: u32,
+        num_slots: u16,
+        tiles: Vec<Tile>,
+        instrs: &[Instr],
+        output_slots: Vec<u16>,
+    ) -> Self {
+        Self::assemble(num_inputs, num_slots, tiles, instrs, output_slots)
+    }
+
+    /// Shared tail of [`lower`] and [`from_artifact`]: packs the operand
+    /// stream (dense one-`u32` encoding when every id fits 9 bits) and
+    /// derives the tile-size histogram.
+    fn assemble(
+        num_inputs: u32,
+        num_slots: u16,
+        tiles: Vec<Tile>,
+        instrs: &[Instr],
+        output_slots: Vec<u16>,
+    ) -> Self {
+        let mut stats = TileStats {
+            micro_ops: instrs.len(),
+            dispatches: tiles.len(),
+            ..TileStats::default()
+        };
+        for tile in &tiles {
+            match tile.width() {
                 4 => stats.quads += 1,
                 3 => stats.triples += 1,
                 2 => stats.pairs += 1,
                 _ => stats.singles += 1,
             }
-            tiles.push(tile);
-            i += w;
         }
-        stats.dispatches = tiles.len();
 
         // Every id the executor ever reads appears in some instruction
         // field (each allocated slot is some dst; input indices are `a`
@@ -448,11 +502,11 @@ impl TiledKernel {
         };
 
         TiledKernel {
-            num_inputs: kernel.num_inputs(),
-            num_slots: kernel.num_slots() as u16,
+            num_inputs,
+            num_slots,
             tiles,
             code,
-            output_slots: kernel.output_slots().to_vec(),
+            output_slots,
             stats,
         }
     }
@@ -570,26 +624,19 @@ impl TiledKernel {
     /// declared counts.
     pub fn execute_fast<L: LaneWord>(&self, inputs: &[L], outputs: &mut [L]) {
         self.check_shapes(inputs.len(), outputs.len());
-        match (self.num_slots, &self.code) {
-            (0..=128, Code::Dense(c)) => {
-                self.run_masked(DenseStream(c), inputs, &mut [L::ZERO; 128], outputs)
-            }
-            (0..=128, Code::Wide(c)) => {
-                self.run_masked(WideStream(c), inputs, &mut [L::ZERO; 128], outputs)
-            }
-            (129..=512, Code::Dense(c)) => {
-                self.run_masked(DenseStream(c), inputs, &mut [L::ZERO; 512], outputs)
-            }
-            (129..=512, Code::Wide(c)) => {
-                self.run_masked(WideStream(c), inputs, &mut [L::ZERO; 512], outputs)
-            }
-            (513..=2048, Code::Wide(c)) => {
-                self.run_masked(WideStream(c), inputs, &mut [L::ZERO; 2048], outputs)
-            }
-            _ => {
-                let mut slots = vec![L::ZERO; self.num_slots as usize];
-                self.execute(inputs, &mut slots, outputs);
-            }
+        match &self.code {
+            Code::Dense(c) => crate::exec::with_stack_slots!(
+                self.num_slots as usize,
+                L,
+                |slots| self.run_masked(DenseStream(c), inputs, slots, outputs),
+                |slots| self.run_plain(DenseStream(c), inputs, slots, outputs),
+            ),
+            Code::Wide(c) => crate::exec::with_stack_slots!(
+                self.num_slots as usize,
+                L,
+                |slots| self.run_masked(WideStream(c), inputs, slots, outputs),
+                |slots| self.run_plain(WideStream(c), inputs, slots, outputs),
+            ),
         }
     }
 
@@ -823,6 +870,16 @@ mod tests {
         let mut outputs = vec![0u64; tiled.num_outputs()];
         tiled.execute(&inputs, &mut slots, &mut outputs);
         assert_eq!(outputs, tiled.run(&inputs));
+    }
+
+    #[test]
+    fn tile_codes_round_trip() {
+        for (i, &tile) in Tile::ALL.iter().enumerate() {
+            assert_eq!(tile.code() as usize, i);
+            assert_eq!(Tile::from_code(tile.code()), Some(tile));
+        }
+        assert_eq!(Tile::from_code(Tile::ALL.len() as u8), None);
+        assert_eq!(Tile::from_code(u8::MAX), None);
     }
 
     #[test]

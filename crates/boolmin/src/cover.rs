@@ -83,6 +83,15 @@ impl Cover {
         self.cubes.iter().any(|c| c.contains_assignment(bits))
     }
 
+    /// Sorts the cubes into the canonical [`Cube`] order. A cover is a
+    /// sum, so the function is unchanged; minimizers call this so equal
+    /// covers are byte-for-byte equal regardless of the (hash-iteration)
+    /// order the cubes were discovered in — the property stage
+    /// fingerprints and the kernel cache rely on.
+    pub fn sort_canonical(&mut self) {
+        self.cubes.sort_unstable();
+    }
+
     /// Removes duplicate cubes and cubes contained in another single cube.
     pub fn remove_contained(&mut self) {
         let mut keep = vec![true; self.cubes.len()];

@@ -20,6 +20,12 @@ pub enum VarState {
 /// (contradictory) cube — never representable through this API because
 /// intersections that produce `00` return `None` instead.
 ///
+/// Cubes are totally ordered by their representation (mask words, then
+/// variable count). The order has no Boolean meaning; it exists so cube
+/// lists can be sorted into one canonical sequence — minimizer outputs are
+/// ordered this way to keep downstream content fingerprints reproducible
+/// across runs.
+///
 /// # Examples
 ///
 /// ```
@@ -31,7 +37,7 @@ pub enum VarState {
 /// assert!(!c.contains_assignment(&[true, false, true]));
 /// assert_eq!(c.literal_count(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Cube {
     /// Bit `i` set: variable `i` may take value 0.
     mask0: Vec<u64>,

@@ -61,6 +61,10 @@ pub fn minimize_heuristic(on: &Cover, off: &Cover) -> Cover {
     }
     let mut out = Cover::from_cubes(nvars, current);
     out.remove_contained();
+    // The loop above is already deterministic (stable sorts over value
+    // orderings); canonical output order additionally makes equal results
+    // byte-identical, which the synthesis-stage fingerprints key on.
+    out.sort_canonical();
     out
 }
 

@@ -131,6 +131,14 @@ impl Implicant {
 
 /// Generates all prime implicants of `on ∪ dc` by iterative pairwise
 /// merging (classic Quine-McCluskey).
+///
+/// The returned primes are sorted by `(mask, value)`. The merge loop
+/// tracks candidates in a `HashSet`, whose iteration order varies from run
+/// to run (per-thread `RandomState`); everything downstream — essential
+/// selection, the Petrick search's tie-breaking, the final cover — keys on
+/// prime *indices*, so an unsorted return order would make the minimized
+/// cover nondeterministic and break the reproducible stage fingerprints
+/// the kernel cache is addressed by.
 fn prime_implicants(minterms: &[u32]) -> Vec<Implicant> {
     let mut current: HashSet<Implicant> = minterms
         .iter()
@@ -164,6 +172,7 @@ fn prime_implicants(minterms: &[u32]) -> Vec<Implicant> {
         }
         current = next;
     }
+    primes.sort_unstable_by_key(|p| (p.mask, p.value));
     primes
 }
 
@@ -245,6 +254,12 @@ fn min_cover(num_minterms: usize, cover_sets: &[Vec<usize>]) -> Vec<usize> {
 /// OFF minterm, and (c) have the minimum possible number of product terms;
 /// among minimum-term covers, a small literal count is preferred via the
 /// prime ordering heuristic in the search.
+///
+/// The returned cover is **deterministic across runs and threads** and
+/// canonically sorted: primes enter every downstream decision in sorted
+/// order and the chosen cubes are sorted before returning, so repeated
+/// minimization of the same table yields the identical cube sequence (the
+/// synthesis-stage fingerprints depend on this).
 ///
 /// # Panics
 ///
@@ -328,7 +343,9 @@ pub fn minimize_exact(table: &TruthTable) -> Cover {
     selected.sort_unstable();
     selected.dedup();
     let cubes = selected.iter().map(|&p| primes[p].to_cube(nvars)).collect();
-    Cover::from_cubes(nvars, cubes)
+    let mut cover = Cover::from_cubes(nvars, cubes);
+    cover.sort_canonical();
+    cover
 }
 
 #[cfg(test)]
@@ -451,6 +468,44 @@ mod tests {
     #[should_panic(expected = "limited to")]
     fn too_many_vars_rejected() {
         let _ = TruthTable::new(20);
+    }
+
+    /// The minimized cover must be the identical cube sequence on every
+    /// run. `HashSet`/`HashMap` iteration order differs per *thread*
+    /// (`RandomState` keys are generated per thread), so minimizing the
+    /// same tables on freshly spawned threads is a faithful stand-in for
+    /// separate processes: any hash-order dependence left in the pipeline
+    /// shows up as diverging covers here. Pins the determinism the
+    /// synthesis-stage fingerprints and the kernel cache rely on.
+    #[test]
+    fn minimization_is_deterministic_across_threads() {
+        // A batch of awkward tables: xor-ish, majority, random-looking
+        // bit patterns with don't-cares, single minterms.
+        let tables: Vec<TruthTable> = vec![
+            table_from_fn(4, |m| Some((m.count_ones() % 2) == 1)),
+            table_from_fn(4, |m| Some(m.count_ones() >= 2)),
+            table_from_fn(6, |m| Some((0x9b71_d224_ae62_c1f3u64 >> m) & 1 == 1)),
+            table_from_fn(6, |m| match (0xcafe_f00d_dead_beefu64 >> m) & 3 {
+                0 | 1 => Some(false),
+                2 => Some(true),
+                _ => None,
+            }),
+            table_from_fn(5, |m| Some(m == 13)),
+        ];
+        let run = |tables: Vec<TruthTable>| -> Vec<String> {
+            tables
+                .iter()
+                .map(|t| format!("{:?}", minimize_exact(t)))
+                .collect()
+        };
+        let here = run(tables.clone());
+        for round in 0..4 {
+            let cloned = tables.clone();
+            let there = std::thread::spawn(move || run(cloned))
+                .join()
+                .expect("worker thread");
+            assert_eq!(here, there, "round {round}: cover order diverged");
+        }
     }
 
     /// Brute-force minimum cube count by trying all k-subsets of primes in

@@ -1,14 +1,30 @@
 //! The sampler builder: parameters in, compiled constant-time sampler out.
+//!
+//! Since the staged-pipeline refactor, [`SamplerBuilder::build`] runs the
+//! Figure-4 chain as six named passes (see [`SynthStage`]), each timed,
+//! content-fingerprinted, and re-checked against the previous stage's
+//! oracle on a fixed probe batch before the next pass may run.
+//! [`SamplerBuilder::build_traced`] returns the resulting [`BuildTrace`]
+//! alongside the sampler; the [`KernelCache`](crate::KernelCache) uses
+//! the same trace machinery to record which stages a warm start skipped.
 
 use core::fmt;
+use std::rc::Rc;
+use std::time::Instant;
 
-use ctgauss_bitslice::compile;
+use ctgauss_bitslice::{compile, interpret, CompiledKernel, Program, TiledKernel};
+use ctgauss_boolmin::{Cover, Expr, VarState};
 use ctgauss_knuthyao::{
-    delta, enumerate_leaves, max_run_length, GaussianParams, ParamError, ProbabilityMatrix,
+    delta, enumerate_leaves, max_run_length, ColumnScanSampler, GaussianParams, Leaf, ParamError,
+    ProbabilityMatrix,
 };
+use ctgauss_prng::{RandomSource, SplitMix64};
 
 use crate::sampler::CtSampler;
-use crate::sublists::{combine_sublists, simple_expressions, split_by_run, synthesize_sublist};
+use crate::stages::{spec_fingerprint, BuildTrace, CacheDisposition, Fingerprint, SynthStage};
+use crate::sublists::{
+    combine_sublists, simple_expressions, split_by_run, synthesize_sublist, SublistFunctions,
+};
 
 /// Which Boolean minimization pipeline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,6 +56,11 @@ pub enum BuildError {
     /// The distribution produced no leaves (cannot happen for valid
     /// Gaussian parameters; guarded for defence in depth).
     EmptyDistribution,
+    /// A pipeline stage failed its post-pass invariant: its output was
+    /// not bit-equivalent to the previous stage's oracle on the fixed
+    /// probe batch. Indicates a synthesis bug (or memory corruption) —
+    /// the pipeline refuses to hand out a sampler that could mis-sample.
+    StageInvariant(SynthStage),
 }
 
 impl fmt::Display for BuildError {
@@ -47,6 +68,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Params(e) => write!(f, "invalid parameters: {e}"),
             BuildError::EmptyDistribution => write!(f, "distribution has no DDG leaves"),
+            BuildError::StageInvariant(stage) => write!(
+                f,
+                "synthesis stage '{stage}' failed its probe-batch equivalence check"
+            ),
         }
     }
 }
@@ -55,7 +80,7 @@ impl std::error::Error for BuildError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BuildError::Params(e) => Some(e),
-            BuildError::EmptyDistribution => None,
+            BuildError::EmptyDistribution | BuildError::StageInvariant(_) => None,
         }
     }
 }
@@ -123,6 +148,23 @@ pub struct SamplerBuilder {
     strategy: Strategy,
 }
 
+/// The `MinimizedSop` stage's output: per-sublist minimized covers for
+/// the paper's split, or the already-recombined expressions for the
+/// simple baseline (whose minimizer works directly on full-width covers).
+enum Sop {
+    Split(Vec<SublistFunctions>),
+    Simple(Vec<Rc<Expr>>),
+}
+
+/// Seed of the fixed probe batch every post-pass invariant check runs on.
+/// Fixed so probe results (and thus build success) are deterministic.
+const PROBE_SEED: u64 = 0x1735_0c7b_a11e_5eed;
+
+/// How many DDG leaves the `MinimizedSop` probe replays (spread evenly
+/// across the list). Bounded so probing stays a rounding error next to
+/// minimization itself.
+const PROBE_LEAVES: usize = 48;
+
 impl SamplerBuilder {
     /// Starts a builder for standard deviation `sigma` (exact decimal
     /// literal) and probability precision `n` bits.
@@ -150,12 +192,34 @@ impl SamplerBuilder {
     }
 
     /// Runs the full pipeline: matrix, list `L`, sublist split, Boolean
-    /// minimization, Equation 2 recombination, bitslice compilation.
+    /// minimization, Equation 2 recombination, bitslice compilation and
+    /// both kernel lowerings.
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::Params`] for invalid `(sigma, n, tau)`.
+    /// Returns [`BuildError::Params`] for invalid `(sigma, n, tau)` and
+    /// [`BuildError::StageInvariant`] if any stage fails its probe check.
     pub fn build(&self) -> Result<CtSampler, BuildError> {
+        Ok(self.build_traced()?.0)
+    }
+
+    /// [`build`](Self::build), additionally returning the staged
+    /// pipeline's [`BuildTrace`] (per-stage wall time, content
+    /// fingerprints, skip flags).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](Self::build).
+    pub fn build_traced(&self) -> Result<(CtSampler, BuildTrace), BuildError> {
+        let mut trace = BuildTrace::new(CacheDisposition::Bypassed);
+
+        // Stage 1: Spec — the value identity seeding every fingerprint.
+        let t = Instant::now();
+        let spec_fp = spec_fingerprint(&self.sigma, self.precision, self.tail_cut, self.strategy);
+        trace.push(SynthStage::Spec, spec_fp, t.elapsed(), true);
+
+        // Stage 2: ProbTables — probability matrix and the leaf list L.
+        let t = Instant::now();
         let params = GaussianParams::new(&self.sigma, self.precision, self.tail_cut)?;
         let matrix = ProbabilityMatrix::build(&params)?;
         let leaves = enumerate_leaves(&matrix);
@@ -166,11 +230,15 @@ impl SamplerBuilder {
         let sample_bits = matrix.sample_bits();
         let d = delta(&leaves);
         let max_run = max_run_length(&leaves);
+        let tables_fp = tables_fingerprint(spec_fp, &matrix, &leaves);
+        trace.push(SynthStage::ProbTables, tables_fp, t.elapsed(), true);
 
-        let (exprs, sublist_infos) = match self.strategy {
+        // Stage 3: MinimizedSop — the expensive offline minimization.
+        let t = Instant::now();
+        let (sop, sublist_infos) = match self.strategy {
             Strategy::SplitExact => {
                 let split = split_by_run(&leaves, max_run);
-                let sublists: Vec<_> = split
+                let sublists: Vec<SublistFunctions> = split
                     .iter()
                     .enumerate()
                     .map(|(kappa, sl)| {
@@ -189,12 +257,43 @@ impl SamplerBuilder {
                         exact: s.exact,
                     })
                     .collect();
-                (combine_sublists(&sublists, sample_bits), infos)
+                (Sop::Split(sublists), infos)
             }
-            Strategy::Simple => (simple_expressions(&leaves, n, sample_bits), Vec::new()),
+            Strategy::Simple => (
+                Sop::Simple(simple_expressions(&leaves, n, sample_bits)),
+                Vec::new(),
+            ),
         };
+        probe_sop(&sop, &leaves, n)?;
+        let sop_fp = sop_fingerprint(tables_fp, &sop);
+        trace.push(SynthStage::MinimizedSop, sop_fp, t.elapsed(), true);
 
+        // Stage 4: Program — Equation-2 recombination + hash-consed
+        // compilation to straight-line SSA.
+        let t = Instant::now();
+        let exprs = match &sop {
+            Sop::Split(sublists) => combine_sublists(sublists, sample_bits),
+            Sop::Simple(exprs) => exprs.clone(),
+        };
         let program = compile(&exprs, n);
+        probe_program(&program, &matrix)?;
+        let program_fp = program_fingerprint(sop_fp, &program);
+        trace.push(SynthStage::Program, program_fp, t.elapsed(), true);
+
+        // Stage 5: CompiledKernel — the optimizing lowering.
+        let t = Instant::now();
+        let kernel = CompiledKernel::lower(&program);
+        probe_kernel(&kernel, &program)?;
+        let kernel_fp = kernel_fingerprint(program_fp, &kernel);
+        trace.push(SynthStage::CompiledKernel, kernel_fp, t.elapsed(), true);
+
+        // Stage 6: TiledKernel — superinstruction re-lowering.
+        let t = Instant::now();
+        let tiled = TiledKernel::lower(&kernel);
+        probe_tiled(&tiled, &kernel)?;
+        let tiled_fp = tiled_fingerprint(kernel_fp, &tiled);
+        trace.push(SynthStage::TiledKernel, tiled_fp, t.elapsed(), true);
+
         let report = BuildReport {
             strategy: self.strategy,
             leaves: leaves.len(),
@@ -204,8 +303,262 @@ impl SamplerBuilder {
             gates: program.gate_count(),
             ops: program.ops().len(),
         };
-        Ok(CtSampler::from_parts(program, matrix, report))
+        let sampler = CtSampler::from_parts(program, kernel, tiled, matrix, report);
+        Ok((sampler, trace))
     }
+}
+
+/// The fixed probe batch: `n` bit-plane words, 64 lanes of pseudorandom
+/// bit streams, identical on every build.
+pub(crate) fn probe_inputs(n: u32) -> Vec<u64> {
+    let mut rng = SplitMix64::new(PROBE_SEED);
+    let mut inputs = vec![0u64; n as usize];
+    rng.fill_u64s(&mut inputs);
+    inputs
+}
+
+/// `MinimizedSop` invariant: the minimized functions reproduce the sample
+/// value of probe leaves from the previous stage's list `L` (evenly
+/// spread; every leaf's free-bit assignment must evaluate to its value).
+fn probe_sop(sop: &Sop, leaves: &[Leaf], n: u32) -> Result<(), BuildError> {
+    let stride = (leaves.len() / PROBE_LEAVES).max(1);
+    for leaf in leaves.iter().step_by(stride) {
+        let value = match sop {
+            Sop::Split(sublists) => {
+                let sl = &sublists[leaf.run_length() as usize];
+                let kappa = sl.kappa;
+                let bits: Vec<bool> = (0..sl.window)
+                    .map(|p| p < leaf.free_bits() && leaf.bits.get(kappa + 1 + p))
+                    .collect();
+                sl.covers.iter().enumerate().fold(0u32, |v, (iota, cover)| {
+                    v | (u32::from(cover.evaluate(&bits)) << iota)
+                })
+            }
+            Sop::Simple(exprs) => {
+                let mut bits = vec![false; n as usize];
+                for (pos, b) in leaf.bits.iter().enumerate() {
+                    bits[pos] = b;
+                }
+                exprs.iter().enumerate().fold(0u32, |v, (iota, e)| {
+                    v | (u32::from(e.evaluate(&bits)) << iota)
+                })
+            }
+        };
+        if value != leaf.value {
+            return Err(BuildError::StageInvariant(SynthStage::MinimizedSop));
+        }
+    }
+    Ok(())
+}
+
+/// `Program` invariant: on the fixed probe batch, every lane whose
+/// Knuth-Yao walk (Algorithm 1, the `ProbTables` oracle) terminates
+/// within `n` bits must decode to exactly the walked sample value.
+pub(crate) fn probe_program(
+    program: &Program,
+    matrix: &ProbabilityMatrix,
+) -> Result<(), BuildError> {
+    let inputs = probe_inputs(program.num_inputs());
+    let words = interpret(program, &inputs);
+    let oracle = ColumnScanSampler::new(matrix);
+    for lane in 0..64u32 {
+        let mut pos = 0usize;
+        let mut next_bit = || {
+            let b = (inputs[pos] >> lane) & 1 == 1;
+            pos += 1;
+            b
+        };
+        if let Some(expected) = oracle.walk_with(&mut next_bit) {
+            let got = words.iter().enumerate().fold(0u32, |v, (iota, w)| {
+                v | ((((w >> lane) & 1) as u32) << iota)
+            });
+            if got != expected {
+                return Err(BuildError::StageInvariant(SynthStage::Program));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `CompiledKernel` invariant: bit-equivalence with the source program's
+/// interpreter on the fixed probe batch.
+pub(crate) fn probe_kernel(kernel: &CompiledKernel, program: &Program) -> Result<(), BuildError> {
+    let inputs = probe_inputs(program.num_inputs());
+    if kernel.run(&inputs) != interpret(program, &inputs) {
+        return Err(BuildError::StageInvariant(SynthStage::CompiledKernel));
+    }
+    Ok(())
+}
+
+/// `TiledKernel` invariant: the tile stream decodes back to exactly the
+/// per-op instruction list, and execution is bit-equivalent to the per-op
+/// kernel on the fixed probe batch.
+pub(crate) fn probe_tiled(tiled: &TiledKernel, kernel: &CompiledKernel) -> Result<(), BuildError> {
+    if tiled.micro_instrs() != kernel.instrs() {
+        return Err(BuildError::StageInvariant(SynthStage::TiledKernel));
+    }
+    let inputs = probe_inputs(kernel.num_inputs());
+    if tiled.run(&inputs) != kernel.run(&inputs) {
+        return Err(BuildError::StageInvariant(SynthStage::TiledKernel));
+    }
+    Ok(())
+}
+
+/// Chains a new fingerprint off the previous stage's value.
+fn chain(prev: u64) -> Fingerprint {
+    let mut fp = Fingerprint::new();
+    fp.u64(prev);
+    fp
+}
+
+/// `ProbTables` content: matrix dimensions and bits, then the leaf list.
+fn tables_fingerprint(prev: u64, matrix: &ProbabilityMatrix, leaves: &[Leaf]) -> u64 {
+    let mut fp = chain(prev);
+    fp.u32(matrix.rows())
+        .u32(matrix.precision())
+        .u32(matrix.sample_bits());
+    for v in 0..matrix.rows() {
+        for j in 0..matrix.precision() {
+            fp.bool(matrix.bit(v, j));
+        }
+    }
+    fp.usize(leaves.len());
+    for leaf in leaves {
+        fp.u32(leaf.value).u32(leaf.bits.len());
+        for b in leaf.bits.iter() {
+            fp.bool(b);
+        }
+    }
+    fp.value()
+}
+
+/// Mixes one minimized cover: variable count, then each cube's per-variable
+/// state. Covers are canonically sorted by the minimizers, so this is
+/// run-independent.
+fn cover_fingerprint(fp: &mut Fingerprint, cover: &Cover) {
+    fp.u32(cover.nvars()).usize(cover.cube_count());
+    for cube in cover.cubes() {
+        for v in 0..cover.nvars() {
+            fp.u8(match cube.var(v) {
+                VarState::Zero => 0,
+                VarState::One => 1,
+                VarState::DontCare => 2,
+            });
+        }
+    }
+}
+
+/// Structural, sharing-aware expression hash (used for the simple
+/// baseline, whose minimizer emits expressions directly).
+fn expr_fingerprint(e: &Rc<Expr>, memo: &mut std::collections::HashMap<*const Expr, u64>) -> u64 {
+    if let Some(&h) = memo.get(&Rc::as_ptr(e)) {
+        return h;
+    }
+    let mut fp = Fingerprint::new();
+    match &**e {
+        Expr::Const(v) => fp.u8(0).bool(*v),
+        Expr::Var(i) => fp.u8(1).u32(*i),
+        Expr::Not(a) => fp.u8(2).u64(expr_fingerprint(a, memo)),
+        Expr::And(a, b) => fp
+            .u8(3)
+            .u64(expr_fingerprint(a, memo))
+            .u64(expr_fingerprint(b, memo)),
+        Expr::Or(a, b) => fp
+            .u8(4)
+            .u64(expr_fingerprint(a, memo))
+            .u64(expr_fingerprint(b, memo)),
+        Expr::Xor(a, b) => fp
+            .u8(5)
+            .u64(expr_fingerprint(a, memo))
+            .u64(expr_fingerprint(b, memo)),
+    };
+    let h = fp.value();
+    memo.insert(Rc::as_ptr(e), h);
+    h
+}
+
+/// `MinimizedSop` content: per-sublist covers (split) or the minimized
+/// expression forest (simple).
+fn sop_fingerprint(prev: u64, sop: &Sop) -> u64 {
+    let mut fp = chain(prev);
+    match sop {
+        Sop::Split(sublists) => {
+            fp.u8(0).usize(sublists.len());
+            for sl in sublists {
+                fp.u32(sl.kappa)
+                    .usize(sl.leaves)
+                    .u32(sl.window)
+                    .bool(sl.exact)
+                    .usize(sl.covers.len());
+                for cover in &sl.covers {
+                    cover_fingerprint(&mut fp, cover);
+                }
+            }
+        }
+        Sop::Simple(exprs) => {
+            fp.u8(1).usize(exprs.len());
+            let mut memo = std::collections::HashMap::new();
+            for e in exprs {
+                fp.u64(expr_fingerprint(e, &mut memo));
+            }
+        }
+    }
+    fp.value()
+}
+
+/// `Program` content: the SSA op stream and the declared outputs.
+fn program_fingerprint(prev: u64, program: &Program) -> u64 {
+    use ctgauss_bitslice::Op;
+    let mut fp = chain(prev);
+    fp.u32(program.num_inputs()).usize(program.ops().len());
+    for &op in program.ops() {
+        let (tag, a, b) = match op {
+            Op::Input(i) => (0u8, i, 0),
+            Op::Const(false) => (1, 0, 0),
+            Op::Const(true) => (2, 0, 0),
+            Op::Not(a) => (3, a, 0),
+            Op::And(a, b) => (4, a, b),
+            Op::Or(a, b) => (5, a, b),
+            Op::Xor(a, b) => (6, a, b),
+        };
+        fp.u8(tag).u32(a).u32(b);
+    }
+    fp.usize(program.outputs().len());
+    for &o in program.outputs() {
+        fp.u32(o);
+    }
+    fp.value()
+}
+
+/// `CompiledKernel` content: the fused instruction stream, slot count and
+/// output slots.
+fn kernel_fingerprint(prev: u64, kernel: &CompiledKernel) -> u64 {
+    let mut fp = chain(prev);
+    fp.u32(kernel.num_inputs())
+        .usize(kernel.num_slots())
+        .usize(kernel.instrs().len());
+    for i in kernel.instrs() {
+        fp.u8(i.op.code())
+            .u32(u32::from(i.dst))
+            .u32(u32::from(i.a))
+            .u32(u32::from(i.b));
+    }
+    fp.usize(kernel.output_slots().len());
+    for &o in kernel.output_slots() {
+        fp.u32(u32::from(o));
+    }
+    fp.value()
+}
+
+/// `TiledKernel` content: the tile stream on top of the kernel stream it
+/// re-encodes.
+fn tiled_fingerprint(prev: u64, tiled: &TiledKernel) -> u64 {
+    let mut fp = chain(prev);
+    fp.usize(tiled.tiles().len());
+    for t in tiled.tiles() {
+        fp.u8(t.code());
+    }
+    fp.value()
 }
 
 #[cfg(test)]
@@ -271,5 +624,65 @@ mod tests {
             r.gates
         );
         assert!(r.ops as u32 >= 24, "program must at least load the inputs");
+    }
+
+    #[test]
+    fn trace_records_every_stage_in_order() {
+        let (_, trace) = SamplerBuilder::new("2", 14).build_traced().unwrap();
+        let stages: Vec<SynthStage> = trace.stages.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, SynthStage::ALL.to_vec());
+        assert!(trace.stages.iter().all(|r| r.ran));
+        assert_eq!(trace.cache, CacheDisposition::Bypassed);
+    }
+
+    #[test]
+    fn stage_fingerprints_chain_and_differ() {
+        let (_, trace) = SamplerBuilder::new("2", 14).build_traced().unwrap();
+        let fps: Vec<u64> = trace.stages.iter().map(|r| r.fingerprint).collect();
+        let mut dedup = fps.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), fps.len(), "stage fingerprints must differ");
+    }
+
+    #[test]
+    fn traces_are_reproducible_across_builds_and_threads() {
+        // HashMap/HashSet iteration order differs per thread; the boolmin
+        // determinism fix plus the RandomState-free fingerprints must
+        // make traces identical anyway — the cache key depends on it.
+        let fps = |b: &SamplerBuilder| -> Vec<u64> {
+            b.build_traced()
+                .unwrap()
+                .1
+                .stages
+                .iter()
+                .map(|r| r.fingerprint)
+                .collect()
+        };
+        for strategy in [Strategy::SplitExact, Strategy::Simple] {
+            let builder = SamplerBuilder::new("2", 14).strategy(strategy);
+            let here = fps(&builder);
+            let b2 = builder.clone();
+            let there = std::thread::spawn(move || fps(&b2)).join().unwrap();
+            assert_eq!(
+                here, there,
+                "{strategy}: fingerprints diverged across threads"
+            );
+        }
+    }
+
+    #[test]
+    fn different_specs_have_different_final_fingerprints() {
+        let fp = |sigma: &str, n: u32| {
+            SamplerBuilder::new(sigma, n)
+                .build_traced()
+                .unwrap()
+                .1
+                .fingerprint()
+        };
+        let base = fp("2", 12);
+        assert_eq!(base, fp("2", 12));
+        assert_ne!(base, fp("2", 13));
+        assert_ne!(base, fp("1.5", 12));
     }
 }

@@ -1,0 +1,490 @@
+//! The content-addressed kernel cache: cold-starting from precompiled
+//! artifacts instead of re-running Boolean minimization.
+//!
+//! Synthesis runs once, offline; execution is the hot path. This module
+//! closes the gap for *process* lifetimes: the first
+//! [`SamplerSpec::build_shared`](crate::SamplerSpec::build_shared) for a
+//! profile runs the full staged pipeline and serializes its products (a
+//! [`KernelArtifact`]) into a cache directory; every later process with
+//! the same spec loads the artifact, rebuilds only the cheap probability
+//! tables, and skips minimization, compilation and both kernel lowerings
+//! entirely — the [`BuildTrace`] records exactly which stages were
+//! skipped.
+//!
+//! # Addressing and trust
+//!
+//! Files are named by the spec's content fingerprint (the `Spec` stage
+//! fingerprint: sigma, precision, tail cut, strategy, chained onto
+//! [`SYNTH_FORMAT_VERSION`](crate::SYNTH_FORMAT_VERSION)), so distinct
+//! profiles never collide and any synthesis-semantics version bump
+//! orphans old entries instead of serving them. A loaded artifact must
+//! additionally survive the full structural validation of
+//! [`KernelArtifact::from_bytes`] (checksum, SSA well-formedness, operand
+//! bounds, tile-decode faithfulness) *and* the same probe-batch
+//! bit-equivalence checks the fresh pipeline applies — against the
+//! Algorithm-1 oracle of the probability tables this process just
+//! rebuilt. A corrupted, truncated, stale or foreign file therefore
+//! degrades to a cache miss and an in-process synthesis, never to wrong
+//! samples.
+//!
+//! # Location
+//!
+//! `$CTGAUSS_CACHE_DIR` when set (the empty string, `0` or `off`
+//! disables caching); otherwise a `ctgauss-cache/` directory next to the
+//! running binary's `target` directory when one is found on its path
+//! (the workspace-local default), falling back to the system temp
+//! directory. Writes go through a unique temp file plus an atomic rename,
+//! so concurrent processes race benignly.
+
+use std::env;
+use std::ffi::OsStr;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ctgauss_bitslice::artifact::{self, ByteReader, ByteWriter, KernelArtifact};
+use ctgauss_knuthyao::{GaussianParams, ProbabilityMatrix};
+
+use crate::builder::{
+    probe_kernel, probe_program, probe_tiled, BuildReport, Strategy, SublistInfo,
+};
+use crate::sampler::CtSampler;
+use crate::stages::{BuildTrace, CacheDisposition, SynthStage};
+
+/// File extension of cache entries.
+const ENTRY_EXT: &str = "ctk";
+
+/// A content-addressed, filesystem-backed store of serialized kernels.
+///
+/// Cheap to construct (no I/O until a load or store) and safe to share:
+/// all methods take `&self`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ctgauss_core::{KernelCache, SamplerSpec};
+///
+/// let cache = KernelCache::at("/var/cache/ctgauss");
+/// let spec = SamplerSpec::new("2", 24);
+/// // Cold: synthesizes and stores. Warm (any later process): loads.
+/// let (sampler, trace) = spec.build_shared_with(&cache).unwrap();
+/// assert!(trace.ran(ctgauss_core::SynthStage::ProbTables));
+/// # let _ = sampler;
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelCache {
+    /// `None` = caching disabled; every load misses, every store no-ops.
+    dir: Option<PathBuf>,
+}
+
+impl KernelCache {
+    /// The cache at an explicit directory (created lazily on first
+    /// store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        KernelCache {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// A disabled cache: loads always miss, stores are dropped.
+    pub fn disabled() -> Self {
+        KernelCache { dir: None }
+    }
+
+    /// The cache configured by the environment: `$CTGAUSS_CACHE_DIR`
+    /// (empty / `0` / `off` disables), else the target-local default,
+    /// else the system temp directory (see the module docs).
+    pub fn from_env() -> Self {
+        match env::var_os("CTGAUSS_CACHE_DIR") {
+            Some(v) if v.is_empty() || v == OsStr::new("0") || v == OsStr::new("off") => {
+                KernelCache::disabled()
+            }
+            Some(v) => KernelCache::at(PathBuf::from(v)),
+            None => KernelCache {
+                dir: Some(default_dir()),
+            },
+        }
+    }
+
+    /// Whether stores and loads can do anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The backing directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The file a fingerprint maps to, if the cache is enabled.
+    pub fn entry_path(&self, fingerprint: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{fingerprint:016x}.{ENTRY_EXT}")))
+    }
+
+    /// Reads the raw bytes stored under a fingerprint. `None` on a
+    /// disabled cache, a missing entry, or any I/O error — the caller
+    /// falls back to synthesis either way.
+    pub fn load_bytes(&self, fingerprint: u64) -> Option<Vec<u8>> {
+        fs::read(self.entry_path(fingerprint)?).ok()
+    }
+
+    /// Stores bytes under a fingerprint: unique temp file in the cache
+    /// directory, then an atomic rename onto the final name, so readers
+    /// never observe a half-written entry and concurrent writers last-one
+    /// -wins with identical content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (callers treat a failed store as
+    /// "cache stayed cold", not as a build failure).
+    pub fn store_bytes(&self, fingerprint: u64, bytes: &[u8]) -> io::Result<()> {
+        let Some(path) = self.entry_path(fingerprint) else {
+            return Ok(());
+        };
+        let dir = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(dir)?;
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".{fingerprint:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The workspace-local default: a `ctgauss-cache/` inside the `target`
+/// directory the running binary lives under, or the system temp dir when
+/// the binary is not in a cargo target tree.
+fn default_dir() -> PathBuf {
+    if let Ok(exe) = env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name() == Some(OsStr::new("target")) {
+                return ancestor.join("ctgauss-cache");
+            }
+        }
+    }
+    env::temp_dir().join("ctgauss-cache")
+}
+
+/// Serializes the core-owned artifact meta section: the six stage
+/// fingerprints plus the build report, so a warm start reproduces the
+/// fresh build's trace and `CtSampler::report` exactly.
+pub(crate) fn encode_meta(trace: &BuildTrace, report: &BuildReport) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for stage in SynthStage::ALL {
+        let fp = trace.stage(stage).map_or(0, |r| r.fingerprint);
+        w.u64(fp);
+    }
+    w.u8(match report.strategy {
+        Strategy::SplitExact => 0,
+        Strategy::Simple => 1,
+    });
+    w.u64(report.leaves as u64);
+    w.u32(report.delta);
+    w.u32(report.max_run);
+    w.u32(report.sublists.len() as u32);
+    for s in &report.sublists {
+        w.u32(s.kappa);
+        w.u64(s.leaves as u64);
+        w.u32(s.window);
+        w.u32(s.literals);
+        w.u8(u8::from(s.exact));
+    }
+    w.u64(report.gates as u64);
+    w.u64(report.ops as u64);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_meta`]. `None` on any malformation.
+pub(crate) fn decode_meta(meta: &[u8]) -> Option<([u64; 6], BuildReport)> {
+    let mut r = ByteReader::new(meta);
+    let mut fps = [0u64; 6];
+    for fp in &mut fps {
+        *fp = r.u64().ok()?;
+    }
+    let strategy = match r.u8().ok()? {
+        0 => Strategy::SplitExact,
+        1 => Strategy::Simple,
+        _ => return None,
+    };
+    let leaves = usize::try_from(r.u64().ok()?).ok()?;
+    let delta = r.u32().ok()?;
+    let max_run = r.u32().ok()?;
+    let n_sublists = r.u32().ok()? as usize;
+    let mut sublists = Vec::with_capacity(n_sublists.min(meta.len()));
+    for _ in 0..n_sublists {
+        sublists.push(SublistInfo {
+            kappa: r.u32().ok()?,
+            leaves: usize::try_from(r.u64().ok()?).ok()?,
+            window: r.u32().ok()?,
+            literals: r.u32().ok()?,
+            exact: r.u8().ok()? == 1,
+        });
+    }
+    let gates = usize::try_from(r.u64().ok()?).ok()?;
+    let ops = usize::try_from(r.u64().ok()?).ok()?;
+    r.finish().ok()?;
+    Some((
+        fps,
+        BuildReport {
+            strategy,
+            leaves,
+            delta,
+            max_run,
+            sublists,
+            gates,
+            ops,
+        },
+    ))
+}
+
+/// Attempts a warm start: load, validate and re-probe the artifact under
+/// `spec_fp`, rebuilding only the probability tables in-process. `None`
+/// on any miss or doubt — the caller falls back to full synthesis.
+pub(crate) fn load_sampler(
+    cache: &KernelCache,
+    spec_fp: u64,
+    sigma: &str,
+    precision: u32,
+    tail_cut: u32,
+    strategy: Strategy,
+) -> Option<(CtSampler, BuildTrace)> {
+    let bytes = cache.load_bytes(spec_fp)?;
+    let artifact = KernelArtifact::from_bytes(&bytes).ok()?;
+    if artifact.fingerprint() != spec_fp {
+        return None;
+    }
+    let (stage_fps, report) = decode_meta(artifact.meta())?;
+    if stage_fps[0] != spec_fp || report.strategy != strategy {
+        return None;
+    }
+
+    // Re-run the cheap ProbTables stage: the artifact replaces the
+    // synthesis stages, not the distribution tables the sampler carries.
+    let tables_start = Instant::now();
+    let params = GaussianParams::new(sigma, precision, tail_cut).ok()?;
+    let matrix = ProbabilityMatrix::build(&params).ok()?;
+    let tables_time = tables_start.elapsed();
+
+    let (_, program, kernel, tiled, _) = artifact.into_parts();
+
+    // Shape gates against *this* spec's tables, then the same probe-batch
+    // equivalence checks the fresh pipeline runs — anchored at the
+    // Algorithm-1 oracle, so a stale artifact that no longer matches the
+    // distribution cannot execute.
+    if program.num_inputs() != matrix.precision()
+        || program.outputs().len() != matrix.sample_bits() as usize
+        || kernel.num_outputs() > crate::sampler::MAX_SAMPLE_BITS
+    {
+        return None;
+    }
+    probe_program(&program, &matrix).ok()?;
+    probe_kernel(&kernel, &program).ok()?;
+    probe_tiled(&tiled, &kernel).ok()?;
+
+    let mut trace = BuildTrace::new(CacheDisposition::Hit);
+    for (i, stage) in SynthStage::ALL.into_iter().enumerate() {
+        let (duration, ran) = match stage {
+            SynthStage::Spec | SynthStage::ProbTables => (
+                if stage == SynthStage::ProbTables {
+                    tables_time
+                } else {
+                    Default::default()
+                },
+                true,
+            ),
+            _ => (Default::default(), false),
+        };
+        trace.push(stage, stage_fps[i], duration, ran);
+    }
+
+    let sampler = CtSampler::from_parts(program, kernel, tiled, matrix, report);
+    Some((sampler, trace))
+}
+
+/// Serializes a freshly built sampler and writes it under `spec_fp`.
+/// Returns whether the entry landed on disk.
+pub(crate) fn store_sampler(
+    cache: &KernelCache,
+    spec_fp: u64,
+    sampler: &CtSampler,
+    trace: &BuildTrace,
+) -> bool {
+    if !cache.is_enabled() {
+        return false;
+    }
+    let meta = encode_meta(trace, sampler.report());
+    // The borrowing encoder: the sampler keeps its kernels, nothing is
+    // cloned for the write-back.
+    let bytes = artifact::encode(
+        spec_fp,
+        sampler.program(),
+        sampler.kernel(),
+        sampler.tiled_kernel(),
+        &meta,
+    );
+    cache.store_bytes(spec_fp, &bytes).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SamplerSpec;
+    use ctgauss_prng::ChaChaRng;
+
+    /// A fresh, unique cache directory for one test.
+    fn scratch_cache(tag: &str) -> KernelCache {
+        let dir = env::temp_dir().join(format!("ctgauss-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        KernelCache::at(dir)
+    }
+
+    fn stream(sampler: &CtSampler, seed: u64) -> Vec<i32> {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let mut out = vec![0i32; 300];
+        sampler.sample_into(&mut out, &mut rng);
+        out
+    }
+
+    #[test]
+    fn cold_miss_stores_then_warm_hit_skips_synthesis() {
+        let cache = scratch_cache("cold-warm");
+        let spec = SamplerSpec::new("2", 14);
+
+        let (cold, cold_trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(cold_trace.cache, CacheDisposition::Miss { stored: true });
+        assert!(cold_trace.ran(SynthStage::MinimizedSop));
+
+        let (warm, warm_trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(warm_trace.cache, CacheDisposition::Hit);
+        assert!(warm_trace.ran(SynthStage::ProbTables));
+        for stage in [
+            SynthStage::MinimizedSop,
+            SynthStage::Program,
+            SynthStage::CompiledKernel,
+            SynthStage::TiledKernel,
+        ] {
+            assert!(!warm_trace.ran(stage), "{stage} must be served from cache");
+        }
+        // Same fingerprints, same kernels, bit-identical streams.
+        assert_eq!(
+            cold_trace
+                .stages
+                .iter()
+                .map(|r| r.fingerprint)
+                .collect::<Vec<_>>(),
+            warm_trace
+                .stages
+                .iter()
+                .map(|r| r.fingerprint)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(warm.program(), cold.program());
+        assert_eq!(warm.kernel(), cold.kernel());
+        assert_eq!(warm.tiled_kernel(), cold.tiled_kernel());
+        assert_eq!(stream(&warm, 7), stream(&cold, 7));
+        // The warm report survives serialization intact.
+        assert_eq!(warm.report().sublists, cold.report().sublists);
+        assert_eq!(warm.report().gates, cold.report().gates);
+
+        let _ = fs::remove_dir_all(cache.dir().unwrap());
+    }
+
+    #[test]
+    fn warm_equals_direct_builder_build() {
+        let cache = scratch_cache("warm-vs-fresh");
+        let spec = SamplerSpec::new("2", 16).tail_cut(10);
+        let _ = spec.build_shared_with(&cache).unwrap();
+        let (warm, trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Hit);
+        let fresh = spec.builder().build().unwrap();
+        assert_eq!(stream(&warm, 99), stream(&fresh, 99));
+        let _ = fs::remove_dir_all(cache.dir().unwrap());
+    }
+
+    #[test]
+    fn corrupted_entry_falls_back_to_synthesis_and_heals() {
+        let cache = scratch_cache("corrupt");
+        let spec = SamplerSpec::new("2", 12);
+        let (cold, _) = spec.build_shared_with(&cache).unwrap();
+
+        // Flip one payload byte on disk: the load must reject it.
+        let path = cache.entry_path(spec.fingerprint()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        fs::write(&path, &bytes).unwrap();
+
+        let (rebuilt, trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Miss { stored: true });
+        assert_eq!(stream(&rebuilt, 3), stream(&cold, 3));
+        // The rebuild healed the entry: next start is warm again.
+        let (_, trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Hit);
+        let _ = fs::remove_dir_all(cache.dir().unwrap());
+    }
+
+    #[test]
+    fn foreign_entry_under_wrong_name_is_rejected() {
+        let cache = scratch_cache("foreign");
+        let spec_a = SamplerSpec::new("2", 12);
+        let spec_b = SamplerSpec::new("2", 13);
+        let _ = spec_a.build_shared_with(&cache).unwrap();
+        // Masquerade A's artifact as B's.
+        fs::copy(
+            cache.entry_path(spec_a.fingerprint()).unwrap(),
+            cache.entry_path(spec_b.fingerprint()).unwrap(),
+        )
+        .unwrap();
+        let (_, trace) = spec_b.build_shared_with(&cache).unwrap();
+        assert_eq!(
+            trace.cache,
+            CacheDisposition::Miss { stored: true },
+            "embedded fingerprint must gate foreign entries"
+        );
+        let _ = fs::remove_dir_all(cache.dir().unwrap());
+    }
+
+    #[test]
+    fn disabled_cache_bypasses() {
+        let cache = KernelCache::disabled();
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.entry_path(1), None);
+        let (sampler, trace) = SamplerSpec::new("2", 12).build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Bypassed);
+        assert!(trace.ran(SynthStage::TiledKernel));
+        assert_eq!(
+            sampler.sample_batch(&mut ChaChaRng::from_u64_seed(1)).len(),
+            64
+        );
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let spec = SamplerSpec::new("2", 12);
+        let (sampler, trace) = spec.builder().build_traced().unwrap();
+        let meta = encode_meta(&trace, sampler.report());
+        let (fps, report) = decode_meta(&meta).unwrap();
+        for (i, stage) in SynthStage::ALL.into_iter().enumerate() {
+            assert_eq!(fps[i], trace.stage(stage).unwrap().fingerprint);
+        }
+        assert_eq!(report.sublists, sampler.report().sublists);
+        assert_eq!(report.gates, sampler.report().gates);
+        assert_eq!(report.ops, sampler.report().ops);
+        // Truncated meta is rejected.
+        assert!(decode_meta(&meta[..meta.len() - 1]).is_none());
+        assert!(decode_meta(&[]).is_none());
+    }
+}

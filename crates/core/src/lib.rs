@@ -30,6 +30,17 @@
 //! available as [`Strategy::Simple`]: one heuristic minimization of the
 //! full `n`-variable functions with no sublist split.
 //!
+//! The chain runs as an explicit staged pipeline ([`SynthStage`]:
+//! `Spec → ProbTables → MinimizedSop → Program → CompiledKernel →
+//! TiledKernel`) — each pass timed, content-fingerprinted and re-checked
+//! against the previous stage's oracle on a fixed probe batch
+//! ([`SamplerBuilder::build_traced`] returns the [`BuildTrace`]). Because
+//! synthesis is deterministic and fingerprints are stable across
+//! processes, [`SamplerSpec::build_shared`] can cold-start from a
+//! content-addressed [`KernelCache`] of serialized artifacts
+//! ([`ctgauss_bitslice::artifact`]), skipping minimization and lowering
+//! entirely when a valid precompiled kernel exists on disk.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,13 +61,19 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod cache;
 mod sampler;
 mod spec;
+mod stages;
 mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
+pub use cache::KernelCache;
 pub use sampler::{BatchScratch, CtSampler, SampleStream};
 pub use spec::SamplerSpec;
+pub use stages::{
+    BuildTrace, CacheDisposition, Fingerprint, StageRecord, SynthStage, SYNTH_FORMAT_VERSION,
+};
 pub use sublists::{
     combine_sublists, simple_expressions, split_by_run, synthesize_sublist, SublistFunctions,
 };

@@ -18,7 +18,9 @@ const MAX_STACK_DRAW: usize = 160;
 /// output buffers can live on the stack and the magnitude always fits the
 /// positive range of the `i32` sample type (31 bits, not 32: a magnitude
 /// with bit 31 set would overflow the constant-time sign application).
-const MAX_SAMPLE_BITS: usize = 31;
+/// Crate-visible so the kernel cache can pre-screen artifacts against the
+/// same bound instead of tripping the construction assert.
+pub(crate) const MAX_SAMPLE_BITS: usize = 31;
 
 /// A constant-time, bitsliced discrete Gaussian sampler.
 ///
@@ -121,17 +123,22 @@ impl<const W: usize> BatchScratch<W> {
 }
 
 impl CtSampler {
+    /// Assembles a sampler from the staged pipeline's products — freshly
+    /// synthesized by [`SamplerBuilder::build`](crate::SamplerBuilder) or
+    /// deserialized from a validated cache artifact. Both paths hand in
+    /// the same (program, kernel, tiled) triple, which the builder's
+    /// probe checks / the artifact loader have already proven coherent.
     pub(crate) fn from_parts(
         program: Program,
+        kernel: CompiledKernel,
+        tiled: TiledKernel,
         matrix: ProbabilityMatrix,
         report: BuildReport,
     ) -> Self {
-        let kernel = CompiledKernel::lower(&program);
         assert!(
             kernel.num_outputs() <= MAX_SAMPLE_BITS,
             "sample magnitude exceeds {MAX_SAMPLE_BITS} bits"
         );
-        let tiled = TiledKernel::lower(&kernel);
         CtSampler {
             program,
             kernel,

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use crate::builder::{BuildError, SamplerBuilder, Strategy};
+use crate::cache::{self, KernelCache};
 use crate::sampler::CtSampler;
+use crate::stages::{spec_fingerprint, BuildTrace, CacheDisposition};
 
 /// A value-comparable description of one sampler configuration — the
 /// "sigma profile" multi-threaded services key requests on.
@@ -16,7 +18,10 @@ use crate::sampler::CtSampler;
 /// [`build_shared`](Self::build_shared) runs the pipeline once and hands
 /// back an `Arc<CtSampler>` every worker can clone — one immutable tiled
 /// artifact (instruction stream, tile stream, slot plan) shared by the
-/// whole pool. `CtSampler` has no interior mutability (workers pass
+/// whole pool. It first consults the content-addressed
+/// [`KernelCache`] (keyed on [`fingerprint`](Self::fingerprint)), so a
+/// process whose cache is warm skips minimization and lowering entirely
+/// and cold-starts from the serialized artifact. `CtSampler` has no interior mutability (workers pass
 /// their own scratch into the `_with` APIs), so sharing the lowered
 /// kernels across threads is safe by construction — asserted at compile
 /// time below.
@@ -85,14 +90,69 @@ impl SamplerSpec {
         self.precision
     }
 
-    /// Runs the build pipeline once and wraps the lowered sampler for
-    /// sharing across threads.
+    /// The spec's stable content fingerprint — the `Spec` stage
+    /// fingerprint and the [`KernelCache`] key: sigma literal, precision,
+    /// tail cut and strategy chained onto
+    /// [`SYNTH_FORMAT_VERSION`](crate::SYNTH_FORMAT_VERSION). Equal specs
+    /// always fingerprint equally, across runs and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        spec_fingerprint(&self.sigma, self.precision, self.tail_cut, self.strategy)
+    }
+
+    /// Builds the sampler once and wraps it for sharing across threads,
+    /// cold-starting from the environment-configured [`KernelCache`]
+    /// when a valid precompiled artifact exists (see
+    /// [`KernelCache::from_env`]); on a miss the freshly synthesized
+    /// kernel is written back, so the *next* process starts warm.
     ///
     /// # Errors
     ///
-    /// Propagates [`BuildError`] from the pipeline.
+    /// Propagates [`BuildError`] from the pipeline. Cache problems are
+    /// never errors: a missing, corrupted or stale artifact falls back to
+    /// in-process synthesis, and a failed write-back is dropped.
     pub fn build_shared(&self) -> Result<Arc<CtSampler>, BuildError> {
-        Ok(Arc::new(self.builder().build()?))
+        Ok(self.build_shared_traced()?.0)
+    }
+
+    /// [`build_shared`](Self::build_shared), additionally returning the
+    /// [`BuildTrace`] (which stages ran vs. were served from cache, with
+    /// timings and fingerprints).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build_shared`](Self::build_shared).
+    pub fn build_shared_traced(&self) -> Result<(Arc<CtSampler>, BuildTrace), BuildError> {
+        self.build_shared_with(&KernelCache::from_env())
+    }
+
+    /// [`build_shared_traced`](Self::build_shared_traced) against an
+    /// explicit cache (tests, services with their own cache layout, or
+    /// [`KernelCache::disabled`] to force synthesis).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build_shared`](Self::build_shared).
+    pub fn build_shared_with(
+        &self,
+        cache: &KernelCache,
+    ) -> Result<(Arc<CtSampler>, BuildTrace), BuildError> {
+        let key = self.fingerprint();
+        if let Some((sampler, trace)) = cache::load_sampler(
+            cache,
+            key,
+            &self.sigma,
+            self.precision,
+            self.tail_cut,
+            self.strategy,
+        ) {
+            return Ok((Arc::new(sampler), trace));
+        }
+        let (sampler, mut trace) = self.builder().build_traced()?;
+        if cache.is_enabled() {
+            let stored = cache::store_sampler(cache, key, &sampler, &trace);
+            trace.cache = CacheDisposition::Miss { stored };
+        }
+        Ok((Arc::new(sampler), trace))
     }
 
     /// The equivalent single-owner builder.

@@ -1,8 +1,10 @@
 //! The four base-sampler configurations of Table 1, each owning a ChaCha
 //! PRNG (the paper keeps the PRNG fixed across samplers).
 
+use std::sync::Arc;
+
 use ctgauss_cdt::{BinarySearchCdt, ByteScanCdt, CdtTable, LinearSearchCdt};
-use ctgauss_core::{BatchScratch, CtSampler, SamplerBuilder, Strategy};
+use ctgauss_core::{BatchScratch, CtSampler, SamplerSpec, Strategy};
 use ctgauss_knuthyao::GaussianParams;
 use ctgauss_prng::ChaChaRng;
 
@@ -23,7 +25,7 @@ const WIDE: usize = 8;
 /// reused for every refill, so steady-state signing performs no heap
 /// allocation in the sampling path.
 pub struct KnuthYaoCtBase {
-    sampler: CtSampler,
+    sampler: Arc<CtSampler>,
     rng: ChaChaRng,
     scratch: BatchScratch<WIDE>,
     buf: [i32; 64 * WIDE],
@@ -32,11 +34,16 @@ pub struct KnuthYaoCtBase {
 
 impl KnuthYaoCtBase {
     /// Builds the sampler (split-exact strategy) and seeds its PRNG.
+    ///
+    /// Goes through [`SamplerSpec::build_shared`], so signing cold-starts
+    /// from a warm [`KernelCache`](ctgauss_core::KernelCache) — the n =
+    /// 128 minimization (the dominant startup cost) is skipped whenever a
+    /// precompiled artifact is available.
     pub fn new(seed: u64) -> Self {
-        let sampler = SamplerBuilder::new("2", 128)
+        let sampler = SamplerSpec::new("2", 128)
             .tail_cut(13)
             .strategy(Strategy::SplitExact)
-            .build()
+            .build_shared()
             .expect("paper parameters build");
         let scratch = sampler.scratch::<WIDE>();
         KnuthYaoCtBase {
