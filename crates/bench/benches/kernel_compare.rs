@@ -18,9 +18,15 @@
 //! Configurations: sigma = 2 at n = 24 (the acceptance configuration),
 //! the paper's Falcon base distribution sigma = 2 at n = 128, and the
 //! large-sigma Table 2 case sigma = 6.15543 at n = 128.
+//!
+//! The `backend_*` rows sweep every lane backend available on the host
+//! (scalar u64, portable `[u64; N]`, and the native vector ISAs) through
+//! the dispatched tiled executor on pre-generated planar randomness.
+//! Element throughput is reported (64 × width samples per iteration), so
+//! the rows are directly comparable per sample across widths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ctgauss_core::{SamplerBuilder, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctgauss_core::{Backend, SamplerBuilder, Strategy};
 use ctgauss_prng::{ChaChaRng, RandomSource, SplitMix64};
 
 fn bench_kernel_compare(c: &mut Criterion) {
@@ -50,6 +56,7 @@ fn bench_kernel_compare(c: &mut Criterion) {
         let mut inputs = vec![0u64; n as usize];
         rng.fill_u64s(&mut inputs);
         let signs = rng.next_u64();
+        group.throughput(Throughput::Elements(64));
         group.bench_with_input(BenchmarkId::new("interpreter", &id), &id, |b, _| {
             b.iter(|| std::hint::black_box(sampler.run_batch_reference(&inputs, signs)))
         });
@@ -64,12 +71,40 @@ fn bench_kernel_compare(c: &mut Criterion) {
         let mut fast_rng = SplitMix64::new(17);
         let mut scratch = sampler.scratch::<4>();
         let mut out = [0i32; 256];
+        group.throughput(Throughput::Elements(256));
         group.bench_with_input(BenchmarkId::new("tiled_wide4", &id), &id, |b, _| {
             b.iter(|| {
                 sampler.sample_batch_with(&mut fast_rng, &mut scratch, &mut out);
                 std::hint::black_box(out[0])
             })
         });
+        // The runtime-dispatched lane backends, PRNG excluded: one tiled
+        // kernel pass over pre-generated planar randomness plus the
+        // per-lane sample decode. 64 * width samples per iteration.
+        let nw = sampler.tiled_kernel().num_outputs();
+        for backend in Backend::available() {
+            let w = backend.width();
+            let mut planar = vec![0u64; n as usize * w];
+            rng.fill_u64s(&mut planar);
+            let mut lane_signs = vec![0u64; w];
+            rng.fill_u64s(&mut lane_signs);
+            let mut words = vec![0u64; nw * w];
+            let mut lanes_out = vec![0i32; 64 * w];
+            group.throughput(Throughput::Elements(64 * w as u64));
+            let row = format!("backend_{}", backend.name());
+            group.bench_with_input(BenchmarkId::new(row, &id), &id, |b, _| {
+                b.iter(|| {
+                    sampler.run_batch_lanes(
+                        backend,
+                        &planar,
+                        &mut words,
+                        &lane_signs,
+                        &mut lanes_out,
+                    );
+                    std::hint::black_box(lanes_out[0])
+                })
+            });
+        }
     }
     group.finish();
 }

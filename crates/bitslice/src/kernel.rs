@@ -51,9 +51,20 @@ use core::fmt;
 use crate::{Op, Program};
 
 /// One SIMD lane word of the kernel evaluator: a single `u64` for the
-/// paper's 64-lane batches, or a `[u64; W]` block for `64 * W` lanes (the
-/// fixed-size array ops auto-vectorize on machines with wide vector units).
+/// paper's 64-lane batches, a `[u64; W]` block for `64 * W` lanes (the
+/// fixed-size array ops auto-vectorize on machines with wide vector units),
+/// or a hardware vector register wrapper from the `simd` module
+/// (dispatched via [`Backend`](crate::Backend)).
+///
+/// Every implementation views the word as [`WIDTH`](Self::WIDTH) plain
+/// `u64`s: [`load`](Self::load)/[`store`](Self::store) round-trip exactly,
+/// and each bitwise op acts elementwise on those `u64`s. That invariant is
+/// what lets the runtime [`crate::Backend`] dispatch swap lane types under
+/// an unchanged planar `&[u64]` buffer layout — and what the cross-width
+/// differential tests pin against the scalar `u64` oracle.
 pub trait LaneWord: Copy {
+    /// Number of `u64` machine words packed in one lane word.
+    const WIDTH: usize;
     /// The all-zeros word.
     const ZERO: Self;
     /// The all-ones word.
@@ -66,9 +77,24 @@ pub trait LaneWord: Copy {
     fn or(self, other: Self) -> Self;
     /// Bitwise XOR.
     fn xor(self, other: Self) -> Self;
+    /// Reads one lane word from the first [`WIDTH`](Self::WIDTH) words of
+    /// `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `WIDTH` words.
+    fn load(words: &[u64]) -> Self;
+    /// Writes this lane word into the first [`WIDTH`](Self::WIDTH) words of
+    /// `out`, inverse of [`load`](Self::load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` holds fewer than `WIDTH` words.
+    fn store(self, out: &mut [u64]);
 }
 
 impl LaneWord for u64 {
+    const WIDTH: usize = 1;
     const ZERO: Self = 0;
     const ONES: Self = u64::MAX;
 
@@ -91,9 +117,20 @@ impl LaneWord for u64 {
     fn xor(self, other: Self) -> Self {
         self ^ other
     }
+
+    #[inline(always)]
+    fn load(words: &[u64]) -> Self {
+        words[0]
+    }
+
+    #[inline(always)]
+    fn store(self, out: &mut [u64]) {
+        out[0] = self;
+    }
 }
 
 impl<const W: usize> LaneWord for [u64; W] {
+    const WIDTH: usize = W;
     const ZERO: Self = [0; W];
     const ONES: Self = [u64::MAX; W];
 
@@ -131,6 +168,16 @@ impl<const W: usize> LaneWord for [u64; W] {
             o[w] = self[w] ^ other[w];
         }
         o
+    }
+
+    #[inline(always)]
+    fn load(words: &[u64]) -> Self {
+        words[..W].try_into().expect("W words")
+    }
+
+    #[inline(always)]
+    fn store(self, out: &mut [u64]) {
+        out[..W].copy_from_slice(&self);
     }
 }
 
@@ -577,6 +624,7 @@ impl CompiledKernel {
     /// Panics if `inputs.len()` differs from the declared input count,
     /// `slots` is shorter than `num_slots()`, or `outputs.len()` differs
     /// from the declared output count.
+    #[inline]
     pub fn execute<L: LaneWord>(&self, inputs: &[L], slots: &mut [L], outputs: &mut [L]) {
         assert_eq!(
             inputs.len() as u32,
@@ -624,6 +672,7 @@ impl CompiledKernel {
     /// drops all slice bounds checks from the dispatch loop. Masking never
     /// changes an index because lowering guarantees every slot id is below
     /// [`num_slots`](Self::num_slots)` <= N`.
+    #[inline(always)]
     fn execute_masked<L: LaneWord, const N: usize>(
         &self,
         inputs: &[L],
@@ -664,6 +713,7 @@ impl CompiledKernel {
     ///
     /// Panics if `inputs.len()` or `outputs.len()` mismatch the kernel's
     /// declared counts.
+    #[inline(always)]
     pub fn execute_fast<L: LaneWord>(&self, inputs: &[L], outputs: &mut [L]) {
         assert_eq!(
             inputs.len() as u32,
@@ -958,7 +1008,7 @@ fn schedule(kept: &[Node], outputs: &[u32], stats: &mut LoweringStats) -> (Vec<N
             );
             // Strictly-greater keeps the earliest index on ties.
             // (`map_or`, not `is_none_or`: the latter postdates the MSRV.)
-            if best.map_or(true, |(s, _)| score > s) {
+            if best.is_none_or(|(s, _)| score > s) {
                 best = Some((score, old));
             }
         }

@@ -24,6 +24,10 @@
 //!   (straight-line unrolled handlers for the dominant 2–4-op patterns,
 //!   dense-packed operand stream), so the dispatch loop fires once per
 //!   tile instead of once per op.
+//! * [`Backend`] — runtime-dispatched SIMD lane backends (SSE2 / AVX2 /
+//!   AVX-512 / NEON intrinsics plus the always-available portable words),
+//!   selected by CPU feature detection and overridable through the
+//!   `CTGAUSS_FORCE_BACKEND` environment variable.
 //! * [`transpose64`] / pack helpers — the classic bit-matrix transpose used
 //!   to move between sample-per-word and bit-position-per-word layouts.
 //! * [`audit`] / [`audit_kernel`] — static checkers that verify SSA
@@ -42,7 +46,10 @@
 //! let out = interpret(&program, &[0b1100, 0b1010]);
 //! assert_eq!(out[0], 0b0100);
 //! ```
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module needs scoped `unsafe` for the
+// `core::arch` intrinsics behind runtime feature detection. Everything
+// else in the crate stays unsafe-free, enforced at the crate level.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
@@ -51,13 +58,16 @@ mod compile;
 mod exec;
 mod kernel;
 mod program;
+#[allow(unsafe_code)]
+mod simd;
 mod tile;
 mod transpose;
 
 pub use audit::{audit, audit_kernel, audit_tiled, AuditReport};
 pub use compile::compile;
 pub use kernel::{CompiledKernel, Instr, LaneWord, LoweringStats, Opcode};
-pub use program::{interpret, interpret_wide, Op, Program};
+pub use program::{interpret, interpret_lanes, interpret_wide, Op, Program};
+pub use simd::{Backend, FORCE_BACKEND_ENV};
 pub use tile::{Tile, TileStats, TiledKernel};
 pub use transpose::{
     pack_lanes, pack_lanes_scalar, transpose64, unpack_lanes, unpack_lanes_scalar,

@@ -257,6 +257,44 @@ pub fn interpret_wide<const W: usize>(program: &Program, inputs: &[[u64; W]]) ->
         .collect()
 }
 
+/// Executes a program over any [`LaneWord`](crate::LaneWord) type — the
+/// interpreter engine of the runtime [`crate::Backend`] dispatch,
+/// generalizing [`interpret`] (`L = u64`) and [`interpret_wide`]
+/// (`L = [u64; W]`) to the hardware vector wrappers in the `simd` module.
+///
+/// The scalar [`interpret`] stays as the independent reference oracle: the
+/// cross-width differential tests compare every `interpret_lanes`
+/// instantiation against it lane by lane.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the program's declared input count.
+#[inline(always)]
+pub fn interpret_lanes<L: crate::LaneWord>(program: &Program, inputs: &[L]) -> Vec<L> {
+    assert_eq!(
+        inputs.len() as u32,
+        program.num_inputs(),
+        "input word count mismatch"
+    );
+    let mut regs: Vec<L> = vec![L::ZERO; program.ops().len()];
+    for (r, op) in program.ops().iter().enumerate() {
+        regs[r] = match *op {
+            Op::Input(i) => inputs[i as usize],
+            Op::Const(false) => L::ZERO,
+            Op::Const(true) => L::ONES,
+            Op::Not(a) => regs[a as usize].not(),
+            Op::And(a, b) => regs[a as usize].and(regs[b as usize]),
+            Op::Or(a, b) => regs[a as usize].or(regs[b as usize]),
+            Op::Xor(a, b) => regs[a as usize].xor(regs[b as usize]),
+        };
+    }
+    program
+        .outputs()
+        .iter()
+        .map(|&o| regs[o as usize])
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

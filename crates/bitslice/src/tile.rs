@@ -263,6 +263,7 @@ macro_rules! tiles {
             /// so the compiler drops all slice bounds checks from the
             /// tile handlers (lowering guarantees every id is below
             /// `num_slots <= N`, so masking never changes an index).
+            #[inline(always)]
             fn run_masked<L: LaneWord, S: OpStream, const N: usize>(
                 &self,
                 code: S,
@@ -291,6 +292,7 @@ macro_rules! tiles {
             /// caller-provided slice scratch, ordinary bounds checks —
             /// the path large (> 2048-slot) kernels and the wide batch
             /// APIs use.
+            #[inline(always)]
             fn run_plain<L: LaneWord, S: OpStream>(
                 &self,
                 code: S,
@@ -599,6 +601,7 @@ impl TiledKernel {
     /// Panics if `inputs.len()` differs from the declared input count,
     /// `slots` is shorter than [`num_slots`](Self::num_slots), or
     /// `outputs.len()` differs from the declared output count.
+    #[inline]
     pub fn execute<L: LaneWord>(&self, inputs: &[L], slots: &mut [L], outputs: &mut [L]) {
         self.check_shapes(inputs.len(), outputs.len());
         assert!(
@@ -622,6 +625,7 @@ impl TiledKernel {
     ///
     /// Panics if `inputs.len()` or `outputs.len()` mismatch the kernel's
     /// declared counts.
+    #[inline(always)]
     pub fn execute_fast<L: LaneWord>(&self, inputs: &[L], outputs: &mut [L]) {
         self.check_shapes(inputs.len(), outputs.len());
         match &self.code {

@@ -1,0 +1,169 @@
+//! Cross-width differential matrix: every lane backend compiled for this
+//! host must be bit-identical to the scalar `u64` oracle through all three
+//! execution engines (interpreter, per-op [`CompiledKernel`], tiled
+//! [`TiledKernel`]) on random well-formed programs and random inputs.
+//!
+//! The matrix is backend-major: each proptest case iterates the full
+//! [`Backend::available()`] list, so the portable lane words are always
+//! pinned against the oracle even on hosts where detection would pick a
+//! native ISA, and the native cells (SSE2/AVX2/AVX-512/NEON) are exercised
+//! exactly where the CPU supports them. `CTGAUSS_FORCE_BACKEND` selection
+//! is covered by a serialized env round-trip test below; the CI
+//! `simd-smoke` job additionally forces the portable backend through a
+//! full kernel run in a separate process.
+
+use ctgauss_bitslice::{interpret, Backend, CompiledKernel, Op, Program, TiledKernel};
+use proptest::prelude::*;
+
+/// Deterministically expands a seed into a random well-formed program —
+/// same shape as the `kernel_props` generator so the two suites explore
+/// comparable program space.
+fn build_program(seed: u64, num_inputs: u32, len: usize) -> Program {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step — self-contained so the generator is stable.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut ops = Vec::with_capacity(len);
+    for r in 0..len {
+        let pick = |next: &mut dyn FnMut() -> u64| (next() % r.max(1) as u64) as u32;
+        let op = if r == 0 {
+            Op::Input(next() as u32 % num_inputs)
+        } else {
+            match next() % 10 {
+                0 => Op::Input(next() as u32 % num_inputs),
+                1 => Op::Const(next() & 1 == 1),
+                2..=4 => Op::Not(pick(&mut next)),
+                5 | 6 => Op::And(pick(&mut next), pick(&mut next)),
+                7 => Op::Or(pick(&mut next), pick(&mut next)),
+                _ => Op::Xor(pick(&mut next), pick(&mut next)),
+            }
+        };
+        ops.push(op);
+    }
+    let n_outputs = 1 + (next() % 4) as usize;
+    let outputs = (0..n_outputs)
+        .map(|_| (next() % len as u64) as u32)
+        .collect();
+    Program::new(num_inputs, ops, outputs)
+}
+
+/// Planar random inputs for a `width`-lane run: `num_inputs * width` words,
+/// input-major (`inputs[i * width + lane]`).
+fn planar_inputs(num_inputs: usize, width: usize, input_seed: u64) -> Vec<u64> {
+    let mut s = input_seed;
+    (0..num_inputs * width)
+        .map(|i| {
+            s = s
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(i as u64 | 1);
+            s
+        })
+        .collect()
+}
+
+/// The scalar oracle, broadcast over lanes: output plane `o`, lane `w` of a
+/// planar run must equal `interpret` on the single-lane slice of the inputs.
+fn oracle(program: &Program, inputs: &[u64], width: usize) -> Vec<u64> {
+    let num_inputs = inputs.len() / width;
+    let num_outputs = program.outputs().len();
+    let mut expected = vec![0u64; num_outputs * width];
+    for lane in 0..width {
+        let lane_inputs: Vec<u64> = (0..num_inputs).map(|i| inputs[i * width + lane]).collect();
+        for (o, word) in interpret(program, &lane_inputs).into_iter().enumerate() {
+            expected[o * width + lane] = word;
+        }
+    }
+    expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The full backend x engine matrix on one random (program, inputs)
+    /// cell: for every available backend, all three engines reproduce the
+    /// per-lane scalar oracle bit for bit.
+    #[test]
+    fn prop_every_backend_and_engine_matches_scalar_oracle(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+        input_seed in any::<u64>(),
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        let kernel = CompiledKernel::lower(&program);
+        let tiled = TiledKernel::lower(&kernel);
+        let num_outputs = program.outputs().len();
+        for backend in Backend::available() {
+            let width = backend.width();
+            let inputs = planar_inputs(num_inputs as usize, width, input_seed);
+            let expected = oracle(&program, &inputs, width);
+            let mut got = vec![0u64; num_outputs * width];
+            backend.run_interpreter(&program, &inputs, &mut got);
+            prop_assert_eq!(&got, &expected, "interpreter diverged on {}", backend);
+            got.fill(0);
+            backend.run_compiled(&kernel, &inputs, &mut got);
+            prop_assert_eq!(&got, &expected, "compiled kernel diverged on {}", backend);
+            got.fill(0);
+            backend.run_tiled(&tiled, &inputs, &mut got);
+            prop_assert_eq!(&got, &expected, "tiled kernel diverged on {}", backend);
+        }
+    }
+
+    /// Same-width backends are interchangeable: a portable lane word and a
+    /// native vector register of the same width produce identical planar
+    /// output buffers (this is what lets the pool map `LaneWidth` onto
+    /// whatever ISA the host offers without perturbing replay).
+    #[test]
+    fn prop_same_width_backends_are_bit_identical(
+        seed in any::<u64>(),
+        num_inputs in 1u32..6,
+        len in 1usize..60,
+        input_seed in any::<u64>(),
+    ) {
+        let program = build_program(seed, num_inputs, len);
+        let kernel = CompiledKernel::lower(&program);
+        let tiled = TiledKernel::lower(&kernel);
+        let num_outputs = program.outputs().len();
+        let available = Backend::available();
+        for width in [2usize, 4, 8] {
+            let peers: Vec<Backend> =
+                available.iter().copied().filter(|b| b.width() == width).collect();
+            if peers.len() < 2 {
+                continue;
+            }
+            let inputs = planar_inputs(num_inputs as usize, width, input_seed);
+            let mut reference = vec![0u64; num_outputs * width];
+            peers[0].run_tiled(&tiled, &inputs, &mut reference);
+            for &peer in &peers[1..] {
+                let mut got = vec![0u64; num_outputs * width];
+                peer.run_tiled(&tiled, &inputs, &mut got);
+                prop_assert_eq!(&got, &reference, "{} != {}", peer, peers[0]);
+                got.fill(0);
+                peer.run_compiled(&kernel, &inputs, &mut got);
+                prop_assert_eq!(&got, &reference, "compiled {} != tiled {}", peer, peers[0]);
+            }
+        }
+    }
+}
+
+/// `CTGAUSS_FORCE_BACKEND` round-trips every available backend name through
+/// [`Backend::select`]. Kept as a single sequential test (not proptest) so
+/// the process-global environment is only mutated from one place; no other
+/// test in this binary consults the variable.
+#[test]
+fn force_backend_env_round_trips_every_available_backend() {
+    for backend in Backend::available() {
+        std::env::set_var(ctgauss_bitslice::FORCE_BACKEND_ENV, backend.name());
+        assert_eq!(Backend::select(), backend, "forcing {}", backend.name());
+    }
+    // The documented friendly alias.
+    std::env::set_var(ctgauss_bitslice::FORCE_BACKEND_ENV, "portable");
+    assert_eq!(Backend::select(), Backend::Portable256);
+    std::env::remove_var(ctgauss_bitslice::FORCE_BACKEND_ENV);
+    assert!(Backend::select().is_available());
+}

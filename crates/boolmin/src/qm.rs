@@ -213,7 +213,7 @@ fn min_cover(num_minterms: usize, cover_sets: &[Vec<usize>]) -> Vec<usize> {
         }
         let Some(m) = target else {
             // Everything covered: record the incumbent.
-            if best.as_ref().map_or(true, |b| chosen.len() < b.len()) {
+            if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
                 *best = Some(chosen.clone());
             }
             return;

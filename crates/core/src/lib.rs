@@ -69,7 +69,10 @@ mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
 pub use cache::KernelCache;
-pub use sampler::{BatchScratch, CtSampler, SampleStream};
+// Re-exported so service layers can pick lane backends without a direct
+// bitslice dependency.
+pub use ctgauss_bitslice::{Backend, FORCE_BACKEND_ENV};
+pub use sampler::{BatchScratch, CtSampler, LaneScratch, SampleStream};
 pub use spec::SamplerSpec;
 pub use stages::{
     BuildTrace, CacheDisposition, Fingerprint, StageRecord, SynthStage, SYNTH_FORMAT_VERSION,

@@ -1,7 +1,8 @@
 //! The compiled constant-time sampler.
 
 use ctgauss_bitslice::{
-    audit, audit_kernel, audit_tiled, interpret, AuditReport, CompiledKernel, Program, TiledKernel,
+    audit, audit_kernel, audit_tiled, interpret, AuditReport, Backend, CompiledKernel, Program,
+    TiledKernel,
 };
 use ctgauss_knuthyao::ProbabilityMatrix;
 use ctgauss_prng::RandomSource;
@@ -81,6 +82,12 @@ pub struct CtSampler {
     tiled: TiledKernel,
     matrix: ProbabilityMatrix,
     report: BuildReport,
+    /// The SIMD lane backend the bulk APIs execute on, selected at
+    /// construction time ([`Backend::select`]: the widest available on
+    /// the running CPU, or the `CTGAUSS_FORCE_BACKEND` override). The
+    /// randomness draw-order contract makes the sample stream identical
+    /// across backends, so this only affects speed — never values.
+    backend: Backend,
 }
 
 /// Caller-reusable scratch for the zero-allocation batch APIs
@@ -122,6 +129,47 @@ impl<const W: usize> BatchScratch<W> {
     }
 }
 
+/// Caller-reusable scratch for the backend-dispatched batch API
+/// ([`CtSampler::sample_batch_lanes`]): like [`BatchScratch`], but the
+/// lane width is a runtime property of the chosen [`Backend`] instead of
+/// a const generic, so one call site serves every backend.
+///
+/// Buffers are planar and input-major (`buf[i * width + w]` is machine
+/// word `w` of plane `i`) — byte-identical to the `[[u64; W]]` layout of
+/// the const-generic paths. Create with [`CtSampler::lane_scratch`];
+/// reuse across batches.
+#[derive(Debug, Clone)]
+pub struct LaneScratch {
+    backend: Backend,
+    /// Flat randomness buffer: `width` consecutive `(n + 1)`-word records.
+    draw: Vec<u64>,
+    /// De-interleaved planar kernel inputs.
+    inputs: Vec<u64>,
+    /// Planar kernel outputs (sample bit planes).
+    words: Vec<u64>,
+}
+
+impl LaneScratch {
+    /// The backend this scratch dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Lane width in `u64` words (`64 * width()` samples per batch).
+    pub fn width(&self) -> usize {
+        self.backend.width()
+    }
+
+    /// Sizes every buffer for `sampler` (no-op when already sized).
+    fn fit(&mut self, sampler: &CtSampler) {
+        let n = sampler.program.num_inputs() as usize;
+        let w = self.backend.width();
+        self.draw.resize((n + 1) * w, 0);
+        self.inputs.resize(n * w, 0);
+        self.words.resize(sampler.tiled.num_outputs() * w, 0);
+    }
+}
+
 impl CtSampler {
     /// Assembles a sampler from the staged pipeline's products — freshly
     /// synthesized by [`SamplerBuilder::build`](crate::SamplerBuilder) or
@@ -145,7 +193,30 @@ impl CtSampler {
             tiled,
             matrix,
             report,
+            backend: Backend::select(),
         }
+    }
+
+    /// The SIMD lane backend the bulk sampling APIs execute on — the
+    /// widest available on the running CPU at construction time, or the
+    /// `CTGAUSS_FORCE_BACKEND` override.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Overrides the execution backend — the differential tests' hook for
+    /// pinning every backend to the same stream. Samples are bit-identical
+    /// across backends by the draw-order contract; only speed changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on the running machine.
+    pub fn set_backend(&mut self, backend: Backend) {
+        assert!(
+            backend.is_available(),
+            "backend {backend} is not available on this machine"
+        );
+        self.backend = backend;
     }
 
     /// The compiled straight-line program (the SSA source of the kernel
@@ -216,6 +287,34 @@ impl CtSampler {
     /// width `W`.
     pub fn scratch<const W: usize>(&self) -> BatchScratch<W> {
         let mut s = BatchScratch::empty();
+        s.fit(self);
+        s
+    }
+
+    /// Creates reusable scratch for [`sample_batch_lanes`](Self::sample_batch_lanes)
+    /// on this sampler's selected [`backend`](Self::backend).
+    pub fn lane_scratch(&self) -> LaneScratch {
+        self.lane_scratch_for(self.backend)
+    }
+
+    /// Creates reusable scratch dispatching to an explicit backend — the
+    /// hook the cross-width differential tests use to pin every backend
+    /// to the scalar stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on the running machine.
+    pub fn lane_scratch_for(&self, backend: Backend) -> LaneScratch {
+        assert!(
+            backend.is_available(),
+            "backend {backend} is not available on this machine"
+        );
+        let mut s = LaneScratch {
+            backend,
+            draw: Vec::new(),
+            inputs: Vec::new(),
+            words: Vec::new(),
+        };
         s.fit(self);
         s
     }
@@ -332,6 +431,91 @@ impl CtSampler {
         }
     }
 
+    /// Generates `64 * width` signed samples through the scratch's SIMD
+    /// backend — the backend-dispatched sibling of
+    /// [`sample_batch_with`](Self::sample_batch_with), and the engine
+    /// behind [`sample_into`](Self::sample_into).
+    ///
+    /// Draws `width` consecutive batch records in one
+    /// [`RandomSource::fill_u64s`] call and executes the tiled kernel once
+    /// over the backend's lane word, so the result equals `width`
+    /// consecutive [`sample_batch`](Self::sample_batch) calls on the same
+    /// generator — for *every* backend (the draw-order contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 64 * scratch.width()`.
+    pub fn sample_batch_lanes<R: RandomSource>(
+        &self,
+        rng: &mut R,
+        scratch: &mut LaneScratch,
+        out: &mut [i32],
+    ) {
+        let w = scratch.backend.width();
+        assert_eq!(
+            out.len(),
+            64 * w,
+            "output slice must hold 64 * width samples"
+        );
+        let n = self.program.num_inputs() as usize;
+        scratch.fit(self);
+        rng.fill_u64s(&mut scratch.draw);
+        // De-interleave the records into planar input-major lane words.
+        let mut signs = [0u64; 8];
+        for (lane, sign) in signs.iter_mut().enumerate().take(w) {
+            let record = &scratch.draw[lane * (n + 1)..(lane + 1) * (n + 1)];
+            for (i, &word) in record[..n].iter().enumerate() {
+                scratch.inputs[i * w + lane] = word;
+            }
+            *sign = record[n];
+        }
+        self.run_batch_lanes(
+            scratch.backend,
+            &scratch.inputs,
+            &mut scratch.words,
+            &signs[..w],
+            out,
+        );
+    }
+
+    /// Runs one `64 * width`-sample batch on caller-provided planar
+    /// randomness through an explicit backend — the backend-generic
+    /// sibling of [`run_batch`](Self::run_batch) (PRNG cost excluded),
+    /// used by the kernel benchmarks and the timing-leak harness.
+    ///
+    /// `inputs[i * width + lane]` is machine word `lane` of bit plane `i`;
+    /// `words` is planar kernel-output scratch of `num_outputs * width`
+    /// words; `signs` holds one sign word per lane word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend is unavailable or any buffer length
+    /// mismatches the sampler's shape at the backend's width.
+    pub fn run_batch_lanes(
+        &self,
+        backend: Backend,
+        inputs: &[u64],
+        words: &mut [u64],
+        signs: &[u64],
+        out: &mut [i32],
+    ) {
+        let w = backend.width();
+        let nw = self.tiled.num_outputs();
+        assert_eq!(signs.len(), w, "one sign word per lane word");
+        assert_eq!(words.len(), nw * w, "output scratch length mismatch");
+        assert_eq!(out.len(), 64 * w, "output slice length mismatch");
+        backend.run_tiled(&self.tiled, inputs, words);
+        for lane in 0..w {
+            let mut plane = [0u64; MAX_SAMPLE_BITS];
+            for (iota, p) in plane[..nw].iter_mut().enumerate() {
+                *p = words[iota * w + lane];
+            }
+            let mut lanes = [0i32; 64];
+            decode_lanes(&plane[..nw], signs[lane], &mut lanes);
+            out[64 * lane..64 * (lane + 1)].copy_from_slice(&lanes);
+        }
+    }
+
     /// Generates `64 * W` signed samples in one kernel pass.
     ///
     /// One instruction dispatch performs `W` word operations, so wider
@@ -370,26 +554,34 @@ impl CtSampler {
 
     /// Fills `out` with signed samples — the bulk API.
     ///
-    /// Runs 4-wide kernel batches (256 samples) while they fit, one
-    /// 2-wide batch if at least 128 samples remain, then scalar batches,
-    /// drawing `ceil(out.len() / 64)` batch records in total; a final
-    /// partial batch is truncated. Scratch for the wide phases is
-    /// allocated once per call and amortized across all batches; the
-    /// scalar phase is allocation-free. The output equals the prefix of
-    /// repeated [`sample_batch`](Self::sample_batch) calls on the same
-    /// generator.
+    /// Runs batches at the selected [`backend`](Self::backend)'s full
+    /// width while they fit, steps down through the narrower available
+    /// backends for the remainder, then scalar batches, drawing
+    /// `ceil(out.len() / 64)` batch records in total; a final partial
+    /// batch is truncated. Scratch for the wide phases is allocated once
+    /// per phase and amortized across its batches; the scalar phase is
+    /// allocation-free. The output equals the prefix of repeated
+    /// [`sample_batch`](Self::sample_batch) calls on the same generator —
+    /// the batching schedule (and therefore the backend) never changes
+    /// the stream, only the speed.
     pub fn sample_into<R: RandomSource>(&self, out: &mut [i32], rng: &mut R) {
         let mut filled = 0;
-        if out.len() - filled >= 256 {
-            let mut scratch = self.scratch::<4>();
-            while out.len() - filled >= 256 {
-                self.sample_batch_with(rng, &mut scratch, &mut out[filled..filled + 256]);
-                filled += 256;
+        let mut width = self.backend.width();
+        while width > 1 {
+            let span = 64 * width;
+            if out.len() - filled >= span {
+                let backend = if width == self.backend.width() {
+                    self.backend
+                } else {
+                    Backend::select_for_width(width)
+                };
+                let mut scratch = self.lane_scratch_for(backend);
+                while out.len() - filled >= span {
+                    self.sample_batch_lanes(rng, &mut scratch, &mut out[filled..filled + span]);
+                    filled += span;
+                }
             }
-        }
-        if out.len() - filled >= 128 {
-            self.sample_batch_wide_into::<2, _>(rng, &mut out[filled..filled + 128]);
-            filled += 128;
+            width /= 2;
         }
         while out.len() - filled >= 64 {
             out[filled..filled + 64].copy_from_slice(&self.sample_batch(rng));

@@ -17,7 +17,7 @@ struct BitWriter {
 
 impl BitWriter {
     fn push(&mut self, bit: bool) {
-        if self.used % 8 == 0 {
+        if self.used.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {

@@ -49,7 +49,10 @@ pub fn galois_conjugate(f: &[BigInt]) -> Vec<BigInt> {
 /// Panics if the length is odd or less than 2.
 pub fn field_norm(f: &[BigInt]) -> Vec<BigInt> {
     let n = f.len();
-    assert!(n >= 2 && n % 2 == 0, "field norm needs even length");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "field norm needs even length"
+    );
     let prod = negacyclic_mul(f, &galois_conjugate(f));
     // f(x) f(-x) is invariant under x -> -x, so odd coefficients vanish.
     for (i, c) in prod.iter().enumerate() {

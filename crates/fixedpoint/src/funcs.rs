@@ -65,7 +65,7 @@ fn atan_inv_u64(x: u64, work: u32) -> Fixed {
         if term.is_zero() {
             break;
         }
-        if j % 2 == 0 {
+        if j.is_multiple_of(2) {
             positive.add_assign(&term);
         } else {
             negative.add_assign(&term);

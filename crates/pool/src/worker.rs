@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ctgauss_core::{BatchScratch, CtSampler};
+use ctgauss_core::{Backend, CtSampler, LaneScratch};
 use ctgauss_prng::ChaChaRng;
 
 use crate::pool::{Completion, LaneWidth, SampleRequest};
@@ -92,8 +92,14 @@ impl Drop for ShardCloser {
     }
 }
 
-/// Spawns worker `index` at the configured lane width (each variant is a
-/// separate monomorphization of the same loop).
+/// Spawns worker `index` at the configured lane width. The width is
+/// mapped onto the preferred available SIMD [`Backend`] of that exact
+/// width (`CTGAUSS_FORCE_BACKEND` wins when it matches), so `LaneWidth`
+/// keeps its meaning — batch units of `64 * W` samples — while the
+/// kernel runs on real vector registers where the CPU has them. The
+/// draw-order contract keeps the response streams identical across
+/// backends of the same width (and, via the carry coalescer, across
+/// widths too).
 pub(crate) fn spawn_worker(
     index: usize,
     width: LaneWidth,
@@ -106,12 +112,8 @@ pub(crate) fn spawn_worker(
         .name(format!("ctgauss-pool-{index}"))
         .spawn(move || {
             let _closer = ShardCloser(Arc::clone(&shard));
-            match width {
-                LaneWidth::W1 => worker_loop::<1>(&shard, &profiles, rng, &stats),
-                LaneWidth::W2 => worker_loop::<2>(&shard, &profiles, rng, &stats),
-                LaneWidth::W4 => worker_loop::<4>(&shard, &profiles, rng, &stats),
-                LaneWidth::W8 => worker_loop::<8>(&shard, &profiles, rng, &stats),
-            }
+            let backend = Backend::select_for_width(width.lanes());
+            worker_loop(backend, &shard, &profiles, rng, &stats)
         })
         .expect("spawn pool worker")
 }
@@ -122,27 +124,28 @@ pub(crate) fn spawn_worker(
 /// full `64 * W`-sample batches, and whatever a request does not consume
 /// is handed to the next request on this shard, in draw order, with no
 /// randomness discarded.
-struct ProfileState<const W: usize> {
+struct ProfileState {
     sampler: Arc<CtSampler>,
-    scratch: BatchScratch<W>,
+    scratch: LaneScratch,
     carry: VecDeque<i32>,
     /// Reused staging buffer for the final partial batch of a request.
     tail: Vec<i32>,
 }
 
-fn worker_loop<const W: usize>(
+fn worker_loop(
+    backend: Backend,
     shard: &Ring<Job>,
     profiles: &[Arc<CtSampler>],
     mut rng: ChaChaRng,
     stats: &WorkerStats,
 ) {
-    let mut states: Vec<ProfileState<W>> = profiles
+    let mut states: Vec<ProfileState> = profiles
         .iter()
         .map(|sampler| ProfileState {
             sampler: Arc::clone(sampler),
-            scratch: sampler.scratch::<W>(),
+            scratch: sampler.lane_scratch_for(backend),
             carry: VecDeque::new(),
-            tail: vec![0i32; 64 * W],
+            tail: vec![0i32; 64 * backend.width()],
         })
         .collect();
     let mut jobs: Vec<Job> = Vec::with_capacity(CLAIM);
@@ -164,8 +167,8 @@ fn worker_loop<const W: usize>(
 /// Fills one response: carry first, then whole kernel batches directly
 /// into the response buffer, then (if needed) one final batch staged
 /// through `tail` with the unused suffix pushed onto the carry.
-fn serve<const W: usize>(
-    state: &mut ProfileState<W>,
+fn serve(
+    state: &mut ProfileState,
     rng: &mut ChaChaRng,
     count: usize,
     stats: &WorkerStats,
@@ -177,18 +180,18 @@ fn serve<const W: usize>(
         *slot = v;
     }
     let mut filled = take;
-    let batch = 64 * W;
+    let batch = 64 * state.scratch.width();
     while count - filled >= batch {
         state
             .sampler
-            .sample_batch_with(rng, &mut state.scratch, &mut out[filled..filled + batch]);
+            .sample_batch_lanes(rng, &mut state.scratch, &mut out[filled..filled + batch]);
         stats.batches.fetch_add(1, Ordering::Relaxed);
         filled += batch;
     }
     if filled < count {
         state
             .sampler
-            .sample_batch_with(rng, &mut state.scratch, &mut state.tail);
+            .sample_batch_lanes(rng, &mut state.scratch, &mut state.tail);
         stats.batches.fetch_add(1, Ordering::Relaxed);
         let need = count - filled;
         out[filled..].copy_from_slice(&state.tail[..need]);

@@ -82,6 +82,56 @@ fn every_lane_width_produces_the_same_stream() {
     }
 }
 
+/// Deterministically expands a seed into a 1000-request trace. Sizes mix
+/// zero-length, sub-batch, exact-batch and multi-batch counts so every
+/// width's carry coalescer is straddled many times.
+fn thousand_request_trace(seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..1000)
+        .map(|_| match next() % 8 {
+            0 => 0,
+            1 => (next() % 64) as usize,         // sub-batch
+            2 => 64 * (1 + next() % 8) as usize, // whole batches
+            3 => 513,                            // straddles every width
+            _ => (next() % 200) as usize,
+        })
+        .collect()
+}
+
+/// The recorded 1k-request regression trace: replayed with the worker
+/// backend forced (via `LaneWidth`, which the worker maps onto the widest
+/// available backend of that exact width) to every lane width, every
+/// response must be bit-identical to the scalar `W1` recording — and a
+/// second pool at the same width must reproduce it exactly (replay).
+#[test]
+fn thousand_request_trace_replays_bit_exactly_at_every_lane_width() {
+    let seed = 31337;
+    let trace = thousand_request_trace(0xD1FF_5EED);
+    let reference = {
+        let (pool, profile) = pool_with(1, LaneWidth::W1, seed);
+        run_trace(&pool, profile, &trace)
+    };
+    for width in [LaneWidth::W1, LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+        let (pool, profile) = pool_with(1, width, seed);
+        let replay = run_trace(&pool, profile, &trace);
+        assert_eq!(
+            replay.len(),
+            reference.len(),
+            "width {width:?} response count"
+        );
+        for (seq, (got, want)) in replay.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "width {width:?} diverged at request seq {seq}");
+        }
+    }
+}
+
 #[test]
 fn multi_thread_pool_is_replayable() {
     for threads in [2usize, 3, 4] {

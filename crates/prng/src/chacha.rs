@@ -37,35 +37,44 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// One ChaCha quarter-round over four independent blocks at once: `v[i]`
-/// holds state word `i` of all four blocks, so every step is a 4-lane
-/// elementwise op (add / xor / rotate) that auto-vectorizes.
+/// One ChaCha quarter-round over `N` independent blocks at once: `v[i]`
+/// holds state word `i` of all `N` blocks, so every step is an `N`-lane
+/// elementwise op (add / xor / rotate) that auto-vectorizes — to 128-bit
+/// registers at `N = 4` on the x86_64 baseline, and to 256-bit registers
+/// at `N = 8` when compiled under the AVX2 shim of
+/// [`ChaCha20::eight_blocks_u64s`].
 #[inline(always)]
-fn quarter_round_x4(v: &mut [[u32; 4]; 16], a: usize, b: usize, c: usize, d: usize) {
+fn quarter_round_xn<const N: usize>(
+    v: &mut [[u32; N]; 16],
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) {
     #[inline(always)]
-    fn add(x: [u32; 4], y: [u32; 4]) -> [u32; 4] {
-        let mut o = [0; 4];
-        for l in 0..4 {
+    fn add<const N: usize>(x: [u32; N], y: [u32; N]) -> [u32; N] {
+        let mut o = [0; N];
+        for l in 0..N {
             o[l] = x[l].wrapping_add(y[l]);
         }
         o
     }
     #[inline(always)]
-    fn xor_rot<const R: u32>(x: [u32; 4], y: [u32; 4]) -> [u32; 4] {
-        let mut o = [0; 4];
-        for l in 0..4 {
+    fn xor_rot<const N: usize, const R: u32>(x: [u32; N], y: [u32; N]) -> [u32; N] {
+        let mut o = [0; N];
+        for l in 0..N {
             o[l] = (x[l] ^ y[l]).rotate_left(R);
         }
         o
     }
     v[a] = add(v[a], v[b]);
-    v[d] = xor_rot::<16>(v[d], v[a]);
+    v[d] = xor_rot::<N, 16>(v[d], v[a]);
     v[c] = add(v[c], v[d]);
-    v[b] = xor_rot::<12>(v[b], v[c]);
+    v[b] = xor_rot::<N, 12>(v[b], v[c]);
     v[a] = add(v[a], v[b]);
-    v[d] = xor_rot::<8>(v[d], v[a]);
+    v[d] = xor_rot::<N, 8>(v[d], v[a]);
     v[c] = add(v[c], v[d]);
-    v[b] = xor_rot::<7>(v[b], v[c]);
+    v[b] = xor_rot::<N, 7>(v[b], v[c]);
 }
 
 impl ChaCha20 {
@@ -112,34 +121,56 @@ impl ChaCha20 {
     /// instructions. Byte-identical to four [`block`](Self::block) calls
     /// with wrapping counter increments.
     fn four_states(&self, counter: u32) -> [[u32; 16]; 4] {
+        self.wide_states::<4>(counter)
+    }
+
+    /// Runs the `N` consecutive blocks `counter .. counter + N` together
+    /// in structure-of-arrays form — the width-generic engine behind
+    /// [`four_blocks`](Self::four_blocks) (`N = 4`) and
+    /// [`eight_blocks_u64s`](Self::eight_blocks_u64s) (`N = 8`).
+    /// Byte-identical to `N` single [`block`](Self::block) calls with
+    /// wrapping counter increments.
+    #[inline(always)]
+    fn wide_states<const N: usize>(&self, counter: u32) -> [[u32; 16]; N] {
         let base = self.initial_state(counter);
-        let mut v: [[u32; 4]; 16] = [[0; 4]; 16];
+        let mut v: [[u32; N]; 16] = [[0; N]; 16];
         for (i, lane) in v.iter_mut().enumerate() {
-            *lane = [base[i]; 4];
+            *lane = [base[i]; N];
         }
         for (k, w) in v[12].iter_mut().enumerate() {
             *w = counter.wrapping_add(k as u32);
         }
         let initial = v;
         for _ in 0..10 {
-            // Column rounds, each quarter-round across all four blocks.
-            quarter_round_x4(&mut v, 0, 4, 8, 12);
-            quarter_round_x4(&mut v, 1, 5, 9, 13);
-            quarter_round_x4(&mut v, 2, 6, 10, 14);
-            quarter_round_x4(&mut v, 3, 7, 11, 15);
+            // Column rounds, each quarter-round across all N blocks.
+            quarter_round_xn(&mut v, 0, 4, 8, 12);
+            quarter_round_xn(&mut v, 1, 5, 9, 13);
+            quarter_round_xn(&mut v, 2, 6, 10, 14);
+            quarter_round_xn(&mut v, 3, 7, 11, 15);
             // Diagonal rounds.
-            quarter_round_x4(&mut v, 0, 5, 10, 15);
-            quarter_round_x4(&mut v, 1, 6, 11, 12);
-            quarter_round_x4(&mut v, 2, 7, 8, 13);
-            quarter_round_x4(&mut v, 3, 4, 9, 14);
+            quarter_round_xn(&mut v, 0, 5, 10, 15);
+            quarter_round_xn(&mut v, 1, 6, 11, 12);
+            quarter_round_xn(&mut v, 2, 7, 8, 13);
+            quarter_round_xn(&mut v, 3, 4, 9, 14);
         }
-        let mut states = [[0u32; 16]; 4];
+        let mut states = [[0u32; 16]; N];
         for i in 0..16 {
             for (k, state) in states.iter_mut().enumerate() {
                 state[i] = v[i][k].wrapping_add(initial[i][k]);
             }
         }
         states
+    }
+
+    /// Collapses `N` post-rounds states into little-endian `u64` words,
+    /// eight per block.
+    #[inline(always)]
+    fn states_to_u64s<const N: usize>(states: &[[u32; 16]; N], out: &mut [u64]) {
+        for (k, state) in states.iter().enumerate() {
+            for j in 0..8 {
+                out[8 * k + j] = u64::from(state[2 * j]) | (u64::from(state[2 * j + 1]) << 32);
+            }
+        }
     }
 
     /// Four consecutive keystream blocks (`counter .. counter + 4`) as 256
@@ -156,16 +187,41 @@ impl ChaCha20 {
     }
 
     /// Four consecutive keystream blocks as 32 little-endian `u64` words —
-    /// the bulk path of [`RandomSource::fill_u64s`], byte-identical to
+    /// a bulk path of [`RandomSource::fill_u64s`], byte-identical to
     /// four [`block_u64s`](Self::block_u64s) calls.
     pub fn four_blocks_u64s(&self, counter: u32) -> [u64; 32] {
         let states = self.four_states(counter);
         let mut out = [0u64; 32];
-        for (k, state) in states.iter().enumerate() {
-            for j in 0..8 {
-                out[8 * k + j] = u64::from(state[2 * j]) | (u64::from(state[2 * j + 1]) << 32);
-            }
+        Self::states_to_u64s(&states, &mut out);
+        out
+    }
+
+    /// Eight consecutive keystream blocks as 64 little-endian `u64`
+    /// words — the widest bulk path of [`RandomSource::fill_u64s`],
+    /// byte-identical to eight [`block_u64s`](Self::block_u64s) calls.
+    ///
+    /// On x86_64 machines with AVX2 the eight-lane round loop is compiled
+    /// under a `#[target_feature(enable = "avx2")]` shim (selected once
+    /// per call by cached runtime detection), so the structure-of-arrays
+    /// quarter-rounds lower to 256-bit register ops; everywhere else the
+    /// same portable code runs under the baseline instruction set. Both
+    /// paths produce the identical byte stream — vectorization changes
+    /// how blocks are computed, never what they contain.
+    pub fn eight_blocks_u64s(&self, counter: u32) -> [u64; 64] {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(out) = vectored::eight_blocks_u64s(self, counter) {
+            return out;
         }
+        self.eight_blocks_u64s_portable(counter)
+    }
+
+    /// The portable eight-block body; also the code the AVX2 shim
+    /// compiles under its wider instruction set.
+    #[inline(always)]
+    fn eight_blocks_u64s_portable(&self, counter: u32) -> [u64; 64] {
+        let states = self.wide_states::<8>(counter);
+        let mut out = [0u64; 64];
+        Self::states_to_u64s(&states, &mut out);
         out
     }
 
@@ -192,6 +248,38 @@ impl ChaCha20 {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
         }
         out
+    }
+}
+
+/// The AVX2 execution shim for the eight-block refill. Isolated in its
+/// own module so the `unsafe` surface of this crate stays at exactly one
+/// function: the `#[target_feature]` wrapper whose body is the portable
+/// code, recompiled with 256-bit registers enabled.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod vectored {
+    use super::ChaCha20;
+
+    /// The runtime-dispatched entry: `Some` with the eight blocks when
+    /// the CPU has AVX2 (computed under the shim), `None` otherwise.
+    #[inline]
+    pub(super) fn eight_blocks_u64s(cipher: &ChaCha20, counter: u32) -> Option<[u64; 64]> {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just verified at runtime
+            // (the detection result is cached by std after first use).
+            Some(unsafe { eight_blocks_u64s_avx2(cipher, counter) })
+        } else {
+            None
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must verify AVX2 availability at runtime
+    /// (`is_x86_feature_detected!("avx2")`) before calling.
+    #[target_feature(enable = "avx2")]
+    fn eight_blocks_u64s_avx2(cipher: &ChaCha20, counter: u32) -> [u64; 64] {
+        cipher.eight_blocks_u64s_portable(counter)
     }
 }
 
@@ -290,8 +378,16 @@ impl RandomSource for ChaChaRng {
             }
             i += 1;
         }
-        // Four whole blocks at a time straight into the destination: one
-        // state load and four interleaved block computations per call.
+        // Eight whole blocks at a time straight into the destination —
+        // the vectorized refill (AVX2 where the CPU has it, portable
+        // structure-of-arrays otherwise; identical bytes either way).
+        while dst.len() - i >= 64 {
+            dst[i..i + 64].copy_from_slice(&self.cipher.eight_blocks_u64s(self.counter));
+            self.counter = self.counter.wrapping_add(8);
+            i += 64;
+        }
+        // Four whole blocks at a time: one state load and four
+        // interleaved block computations per call.
         while dst.len() - i >= 32 {
             dst[i..i + 32].copy_from_slice(&self.cipher.four_blocks_u64s(self.counter));
             self.counter = self.counter.wrapping_add(4);
@@ -455,6 +551,80 @@ mod tests {
                     "counter {counter}+{k}"
                 );
             }
+        }
+    }
+
+    /// The vectorized eight-block batch is byte-identical to eight
+    /// independent block calls with wrapping counter increments —
+    /// whichever engine (AVX2 shim or portable) the host dispatches to.
+    #[test]
+    fn eight_blocks_match_single_blocks() {
+        let cipher = ChaCha20::new(&[0xa7u8; 32], &[11u8; 12]);
+        for counter in [0u32, 1, 77, u32::MAX - 3] {
+            let words = cipher.eight_blocks_u64s(counter);
+            let portable = cipher.eight_blocks_u64s_portable(counter);
+            assert_eq!(words, portable, "dispatched vs portable, counter {counter}");
+            for k in 0..8u32 {
+                let single = cipher.block_u64s(counter.wrapping_add(k));
+                assert_eq!(
+                    &words[8 * k as usize..8 * k as usize + 8],
+                    &single[..],
+                    "counter {counter}+{k}"
+                );
+            }
+        }
+    }
+
+    /// The vectorized-refill generator must be byte-stream-identical to
+    /// the scalar (one `next_u8` at a time) generator at request lengths
+    /// bracketing every block, four-block and eight-block boundary.
+    #[test]
+    fn vectorized_byte_stream_matches_scalar_at_boundary_lengths() {
+        for len in [1usize, 63, 64, 65, 255, 256, 257, 511, 512, 513, 1000] {
+            let mut fast = ChaChaRng::from_seed([0x2cu8; 32]);
+            let mut buf = vec![0u8; len];
+            fast.fill_bytes(&mut buf);
+            let mut slow = ChaChaRng::from_seed([0x2cu8; 32]);
+            for (i, &expected) in buf.iter().enumerate() {
+                assert_eq!(slow.next_u8(), expected, "len {len}, byte {i}");
+            }
+            // Both generators must resume the same stream afterwards.
+            assert_eq!(fast.next_u64(), slow.next_u64(), "len {len}, resume");
+        }
+    }
+
+    /// `fill_u64s` boundary matrix around the eight-block (64-word) bulk
+    /// path: word counts bracketing 64 and 128, from byte offsets
+    /// bracketing the 256-byte buffered refill — every edge where the
+    /// vectorized path hands over to the narrower loops.
+    #[test]
+    fn fill_u64s_eight_block_refill_edges_match_byte_stream() {
+        for (pre_bytes, words) in [
+            (0usize, 63usize),
+            (0, 64),
+            (0, 65),
+            (0, 96),
+            (0, 127),
+            (0, 128),
+            (0, 129),
+            (0, 1000),
+            (8, 64),
+            (61, 65),
+            (255, 64),
+            (256, 128),
+            (257, 65),
+            (511, 129),
+        ] {
+            let mut fast = ChaChaRng::from_seed([0x71u8; 32]);
+            let mut slow = ChaChaRng::from_seed([0x71u8; 32]);
+            let mut skip = vec![0u8; pre_bytes];
+            fast.fill_bytes(&mut skip);
+            slow.fill_bytes(&mut skip);
+            let mut via_fill = vec![0u64; words];
+            fast.fill_u64s(&mut via_fill);
+            let via_next: Vec<u64> = (0..words).map(|_| slow.next_u64()).collect();
+            assert_eq!(via_fill, via_next, "pre_bytes={pre_bytes}, words={words}");
+            assert_eq!(fast.next_u64(), slow.next_u64(), "pre_bytes={pre_bytes}");
         }
     }
 

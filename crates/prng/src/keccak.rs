@@ -271,7 +271,7 @@ impl Shake {
                 self.state.permute();
                 self.squeeze_pos = 0;
             }
-            if self.squeeze_pos % 8 == 0 && rate - self.squeeze_pos >= 8 {
+            if self.squeeze_pos.is_multiple_of(8) && rate - self.squeeze_pos >= 8 {
                 // Lane-aligned: the next 8 stream bytes are exactly one
                 // little-endian state lane.
                 *w = self.state.lanes[self.squeeze_pos / 8];

@@ -2,7 +2,7 @@
 //! dudect harness on the real sampler (the Section 5.2 experiment as a
 //! test, with thresholds slack enough for noisy CI machines).
 
-use ctgauss_core::SamplerBuilder;
+use ctgauss_core::{Backend, SamplerBuilder};
 use ctgauss_dudect::{run_test, Class, DudectConfig};
 use ctgauss_prng::{RandomSource, SplitMix64};
 
@@ -60,6 +60,73 @@ fn dudect_finds_no_leak_in_bitsliced_sampler() {
         "unexpected timing leak: max |t| = {:.1}",
         report.max_t
     );
+}
+
+#[test]
+fn dudect_finds_no_leak_in_simd_executor_paths() {
+    // Same experiment as above, but through the backend-dispatched lane
+    // executor on the widest backend the host offers (AVX-512 / AVX2 /
+    // NEON / portable, in preference order) *and* on the always-available
+    // portable word of the same width — the two paths the production
+    // `sample_into` schedule actually takes. A vectorized kernel could in
+    // principle reintroduce a leak the scalar one lacks (e.g. via
+    // data-dependent micro-op replay or port-contention stalls), so each
+    // dispatched path is audited on its own.
+    let sampler = SamplerBuilder::new("2", 64).build().unwrap();
+    let widest = Backend::detect_widest();
+    let width = widest.width();
+    let mut backends = vec![widest];
+    let portable = match width {
+        2 => Some(Backend::Portable128),
+        4 => Some(Backend::Portable256),
+        8 => Some(Backend::Portable512),
+        _ => None,
+    };
+    if let Some(portable) = portable.filter(|&p| p != widest) {
+        backends.push(portable);
+    }
+    let ni = sampler.program().num_inputs() as usize;
+    let nw = sampler.tiled_kernel().num_outputs();
+    for backend in backends {
+        let w = backend.width();
+        // Both classes rotate through equal-size buffer pools so the two
+        // distributions see the identical memory footprint (at width 8 the
+        // random pool alone is ~1 MiB; letting the fixed class reuse one
+        // hot 4 KiB buffer measures the cache, not the kernel).
+        let mut rng = SplitMix64::new(7);
+        let zeros: Vec<Vec<u64>> = (0..256).map(|_| vec![0u64; ni * w]).collect();
+        let pool: Vec<Vec<u64>> = (0..256)
+            .map(|_| {
+                let mut words = vec![0u64; ni * w];
+                rng.fill_u64s(&mut words);
+                words
+            })
+            .collect();
+        let signs = vec![0u64; w];
+        let mut words = vec![0u64; nw * w];
+        let mut out = vec![0i32; 64 * w];
+        let mut idx = 0usize;
+        let report = run_test(
+            &DudectConfig {
+                measurements: 30_000,
+                warmup: 1_000,
+            },
+            |class| {
+                idx = (idx + 1) % pool.len();
+                let inputs: &[u64] = match class {
+                    Class::Fixed => &zeros[idx],
+                    Class::Random => &pool[idx],
+                };
+                sampler.run_batch_lanes(backend, inputs, &mut words, &signs, &mut out);
+                std::hint::black_box(&mut out);
+            },
+        );
+        assert!(
+            report.max_t.abs() < 30.0,
+            "unexpected timing leak on {backend}: max |t| = {:.1}",
+            report.max_t
+        );
+    }
 }
 
 #[test]
