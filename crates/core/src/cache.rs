@@ -56,6 +56,48 @@ use crate::stages::{BuildTrace, CacheDisposition, SynthStage};
 /// File extension of cache entries.
 const ENTRY_EXT: &str = "ctk";
 
+thread_local! {
+    /// Armed cache-load failures still pending on this thread (see
+    /// [`inject_load_failures`]).
+    static LOAD_FAULTS_ARMED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// How many injected cache-load failures have fired on this thread.
+    static LOAD_FAULTS_HIT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Arms `n` injected cache-load failures: the next `n` calls to
+/// [`KernelCache::load_bytes`] **on the calling thread** that would
+/// otherwise read an entry return `None` instead, exactly as a
+/// disk-level read failure would. Callers fall back to in-process
+/// synthesis — the degradation path this hook exists to make reachable
+/// in tests and chaos runs (the pool's `FaultPlan` arms it via its
+/// `cacheload:<n>` clause).
+///
+/// Thread-local and additive — arm on the thread that will build the
+/// profiles (kernel builds run on the calling thread). Fired failures
+/// are counted by [`injected_load_failure_hits`].
+pub fn inject_load_failures(n: u64) {
+    LOAD_FAULTS_ARMED.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// How many injected cache-load failures (armed via
+/// [`inject_load_failures`]) have fired so far on the calling thread.
+pub fn injected_load_failure_hits() -> u64 {
+    LOAD_FAULTS_HIT.with(std::cell::Cell::get)
+}
+
+/// Consumes one armed load failure on this thread, if any is pending.
+fn take_injected_load_failure() -> bool {
+    LOAD_FAULTS_ARMED.with(|c| {
+        if let Some(rest) = c.get().checked_sub(1) {
+            c.set(rest);
+            LOAD_FAULTS_HIT.with(|h| h.set(h.get() + 1));
+            true
+        } else {
+            false
+        }
+    })
+}
+
 /// A content-addressed, filesystem-backed store of serialized kernels.
 ///
 /// Cheap to construct (no I/O until a load or store) and safe to share:
@@ -126,10 +168,15 @@ impl KernelCache {
     }
 
     /// Reads the raw bytes stored under a fingerprint. `None` on a
-    /// disabled cache, a missing entry, or any I/O error — the caller
-    /// falls back to synthesis either way.
+    /// disabled cache, a missing entry, any I/O error, or an injected
+    /// load failure ([`inject_load_failures`]) — the caller falls back to
+    /// synthesis either way.
     pub fn load_bytes(&self, fingerprint: u64) -> Option<Vec<u8>> {
-        fs::read(self.entry_path(fingerprint)?).ok()
+        let path = self.entry_path(fingerprint)?;
+        if take_injected_load_failure() {
+            return None;
+        }
+        fs::read(path).ok()
     }
 
     /// Stores bytes under a fingerprint: unique temp file in the cache
@@ -454,6 +501,29 @@ mod tests {
             CacheDisposition::Miss { stored: true },
             "embedded fingerprint must gate foreign entries"
         );
+        let _ = fs::remove_dir_all(cache.dir().unwrap());
+    }
+
+    #[test]
+    fn injected_load_failure_degrades_to_synthesis_without_unarming_disabled_loads() {
+        let cache = scratch_cache("fault-injected");
+        let spec = SamplerSpec::new("2", 12);
+        let (cold, _) = spec.build_shared_with(&cache).unwrap();
+
+        // Armed failure: the warm load must miss (as a disk fault would),
+        // fire the hit counter, and fall back to a full — bit-identical —
+        // synthesis that re-stores the entry.
+        let hits_before = injected_load_failure_hits();
+        inject_load_failures(1);
+        let (rebuilt, trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Miss { stored: true });
+        assert_eq!(injected_load_failure_hits(), hits_before + 1);
+        assert_eq!(stream(&rebuilt, 5), stream(&cold, 5));
+
+        // The fault is consumed: the next load is warm again.
+        let (_, trace) = spec.build_shared_with(&cache).unwrap();
+        assert_eq!(trace.cache, CacheDisposition::Hit);
+        assert_eq!(injected_load_failure_hits(), hits_before + 1);
         let _ = fs::remove_dir_all(cache.dir().unwrap());
     }
 

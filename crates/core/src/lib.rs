@@ -68,7 +68,7 @@ mod stages;
 mod sublists;
 
 pub use builder::{BuildError, BuildReport, SamplerBuilder, Strategy, SublistInfo};
-pub use cache::KernelCache;
+pub use cache::{inject_load_failures, injected_load_failure_hits, KernelCache};
 // Re-exported so service layers can pick lane backends without a direct
 // bitslice dependency.
 pub use ctgauss_bitslice::{Backend, FORCE_BACKEND_ENV};

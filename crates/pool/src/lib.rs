@@ -51,12 +51,22 @@
 #![warn(missing_docs)]
 
 mod falcon_base;
+mod fault;
+mod health;
 mod pool;
+mod replay;
+mod retry;
 mod ring;
+mod supervisor;
 mod worker;
 
 pub use falcon_base::{falcon_profile_spec, PooledBase};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpecError, WorkerFault, FAULTS_ENV};
+pub use health::{FailureEvent, FailureOutcome, PoolHealth, ShardHealth, ShardState};
 pub use pool::{
     LaneWidth, Pool, PoolBuilder, PoolError, PoolStats, ProfileId, SampleRequest, SampleResponse,
-    Ticket,
+    Ticket, WaitError,
 };
+pub use replay::{replay_trace, TraceEntry};
+pub use retry::{submit_with_retry, RetryPolicy};
+pub use supervisor::RestartPolicy;

@@ -8,7 +8,12 @@ use std::time::{Duration, Instant};
 use ctgauss_core::{BuildError, CtSampler, SamplerSpec};
 use ctgauss_prng::SeedTree;
 
-use crate::ring::{Ring, TryPushError};
+use crate::fault::FaultPlan;
+use crate::health::{AbandonLog, FailureEvent, FailureLog, HealthBoard, PoolHealth};
+use crate::ring::{
+    lock_recover, wait_recover, wait_timeout_recover, PushTimeoutError, Ring, TryPushError,
+};
+use crate::supervisor::{DeathNotice, Event, RestartPolicy, Supervisor, SupervisorShared};
 use crate::worker::{spawn_worker, Job, WorkerStats};
 
 /// Lane-block width each worker executes the compiled kernel at:
@@ -60,6 +65,16 @@ pub struct ProfileId {
     pub(crate) index: usize,
 }
 
+impl ProfileId {
+    /// The profile's index in registration order — the pool-independent
+    /// half of the id, which is what a recorded request trace stores so
+    /// that [`replay_trace`](crate::replay_trace) (and a rebuilt pool)
+    /// can resolve the same profile later.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
 /// One unit of work for the pool: `count` samples from `profile`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleRequest {
@@ -79,14 +94,19 @@ pub enum PoolError {
     Backpressure,
     /// The pool is shutting down and no longer accepts requests.
     ShuttingDown,
-    /// The target worker is gone: either it exited without delivering
-    /// this response, or a submission was routed to a shard whose worker
-    /// has died (a worker panic; never part of normal shutdown, which
-    /// drains). Because the request→shard map is fixed by the
-    /// determinism contract, a dead shard is not skipped — after a
-    /// worker death the pool degrades to returning this error rather
-    /// than silently re-routing streams.
+    /// The target worker is gone: either it died without delivering this
+    /// response (and the supervisor's restart budget could not bring the
+    /// shard back in time), or a submission was routed to a shard that
+    /// has been retired (budget exhausted; never part of normal
+    /// shutdown, which drains). Because the request→shard map is fixed
+    /// by the determinism contract, a dead shard is not skipped — the
+    /// pool degrades to returning this error for its share of requests
+    /// rather than silently re-routing streams.
     WorkerGone,
+    /// A deadline elapsed: [`Pool::submit_timeout`] could not hand the
+    /// request to its shard in time. Retryable — nothing was enqueued
+    /// and no sequence number was consumed.
+    TimedOut,
 }
 
 impl std::fmt::Display for PoolError {
@@ -96,6 +116,9 @@ impl std::fmt::Display for PoolError {
             PoolError::Backpressure => write!(f, "shard queue full"),
             PoolError::ShuttingDown => write!(f, "pool is shutting down"),
             PoolError::WorkerGone => write!(f, "worker exited before responding"),
+            PoolError::TimedOut => {
+                write!(f, "deadline elapsed before the pool accepted the request")
+            }
         }
     }
 }
@@ -129,7 +152,10 @@ impl Completion {
     }
 
     fn deliver(&self, result: Result<(u64, Vec<i32>), PoolError>) {
-        let mut state = self.state.lock().expect("completion lock");
+        // Poison-recovering on purpose: delivery runs on worker threads
+        // (including panicking ones, via Job::drop) — a poisoned slot
+        // must still release its waiter.
+        let mut state = lock_recover(&self.state);
         if state.result.is_none() {
             state.result = Some(result);
             state.finished_at = Some(Instant::now());
@@ -172,22 +198,106 @@ impl Ticket {
 
     /// Blocks until the owning worker delivers the response.
     ///
+    /// Unbounded: if the worker is wedged (not dead — a dead worker's
+    /// jobs resolve to [`PoolError::WorkerGone`]), this waits forever.
+    /// Callers that need a deadline use
+    /// [`wait_timeout`](Ticket::wait_timeout).
+    ///
     /// # Errors
     ///
     /// [`PoolError::WorkerGone`] if the worker exited without responding.
     pub fn wait(self) -> Result<SampleResponse, PoolError> {
-        let mut state = self.completion.state.lock().expect("completion lock");
+        let completion = Arc::clone(&self.completion);
+        let mut state = lock_recover(&completion.state);
         while state.result.is_none() {
-            state = self.completion.cv.wait(state).expect("completion lock");
+            state = wait_recover(&completion.cv, state);
         }
-        let (served_seq, samples) = state.result.take().expect("checked above")?;
-        let finished = state.finished_at.expect("set with result");
-        Ok(SampleResponse {
-            samples,
-            latency: finished.saturating_duration_since(self.submitted_at),
-            request: self.request,
-            seq: served_seq,
-        })
+        take_response(&mut state, self.submitted_at, self.request)
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses.
+    ///
+    /// On timeout the ticket is handed back inside
+    /// [`WaitError::TimedOut`] — the request is still in flight and the
+    /// caller can keep waiting (this is a deadline on the *wait*, not a
+    /// cancellation of the work).
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Pool`] wrapping whatever [`wait`](Ticket::wait) can
+    /// return, or [`WaitError::TimedOut`] carrying the ticket back.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<SampleResponse, WaitError> {
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            // Deadline beyond Instant range: indistinguishable from "no
+            // deadline".
+            return self.wait().map_err(WaitError::Pool);
+        };
+        let completion = Arc::clone(&self.completion);
+        let mut state = lock_recover(&completion.state);
+        while state.result.is_none() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                drop(state);
+                return Err(WaitError::TimedOut(self));
+            }
+            state = wait_timeout_recover(&completion.cv, state, remaining);
+        }
+        take_response(&mut state, self.submitted_at, self.request).map_err(WaitError::Pool)
+    }
+}
+
+fn take_response(
+    state: &mut CompletionState,
+    submitted_at: Instant,
+    request: SampleRequest,
+) -> Result<SampleResponse, PoolError> {
+    let (served_seq, samples) = state.result.take().expect("checked above")?;
+    let finished = state.finished_at.expect("set with result");
+    Ok(SampleResponse {
+        samples,
+        latency: finished.saturating_duration_since(submitted_at),
+        request,
+        seq: served_seq,
+    })
+}
+
+/// Why [`Ticket::wait_timeout`] returned without a response.
+#[derive(Debug)]
+pub enum WaitError {
+    /// The pool failed the request (see [`PoolError`]).
+    Pool(PoolError),
+    /// The deadline elapsed first. The request is still in flight; the
+    /// ticket is handed back so the caller can keep waiting.
+    TimedOut(Ticket),
+}
+
+impl WaitError {
+    /// Collapses to a plain [`PoolError`], dropping a timed-out ticket
+    /// (mapped to [`PoolError::TimedOut`]) — for callers that treat a
+    /// deadline as fatal.
+    pub fn into_pool_error(self) -> PoolError {
+        match self {
+            WaitError::Pool(error) => error,
+            WaitError::TimedOut(_) => PoolError::TimedOut,
+        }
+    }
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Pool(error) => error.fmt(f),
+            WaitError::TimedOut(_) => write!(f, "deadline elapsed before the response arrived"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaitError::Pool(error) => Some(error),
+            WaitError::TimedOut(_) => None,
+        }
     }
 }
 
@@ -235,6 +345,8 @@ pub struct PoolBuilder {
     profiles: Vec<Arc<CtSampler>>,
     /// Process-unique token binding minted [`ProfileId`]s to this pool.
     token: u64,
+    faults: FaultPlan,
+    restart_policy: RestartPolicy,
 }
 
 /// Source of process-unique pool tokens (see [`ProfileId`]).
@@ -282,6 +394,25 @@ impl PoolBuilder {
         self.seeds(SeedTree::from_u64_seed(seed))
     }
 
+    /// Arms a [`FaultPlan`] (default: none). Worker faults arm when
+    /// [`spawn`](Self::spawn) runs; cache-load failures arm **now, on
+    /// the calling thread**, so that subsequent
+    /// [`profile`](Self::profile) builds on this builder hit them.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        plan.arm_cache_load_failures();
+        self.faults = plan;
+        self
+    }
+
+    /// Restart budget and backoff for the supervisor (default:
+    /// [`RestartPolicy::default`] — 3 resurrections per shard).
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
     /// Builds and registers a sampler profile (the expensive Figure-4
     /// pipeline runs here, once, on the calling thread).
     ///
@@ -302,7 +433,8 @@ impl PoolBuilder {
         }
     }
 
-    /// Spawns the workers and returns the running pool.
+    /// Spawns the workers (epoch-0 streams), the supervisor, and returns
+    /// the running pool.
     ///
     /// # Panics
     ///
@@ -317,34 +449,63 @@ impl PoolBuilder {
             .seeds
             .expect("seed the pool (PoolBuilder::seeds / seed_u64) before spawning");
         let profiles: Arc<[Arc<CtSampler>]> = self.profiles.into();
+        let armed = self.faults.arm_workers(self.threads);
+        let shared = Arc::new(SupervisorShared::new());
+        let health = Arc::new(HealthBoard::new(self.threads));
+        let failures = Arc::new(FailureLog::default());
+        let closing = Arc::new(AtomicBool::new(false));
         let mut shards = Vec::with_capacity(self.threads);
         let mut stats = Vec::with_capacity(self.threads);
-        let mut workers = Vec::with_capacity(self.threads);
-        for w in 0..self.threads {
+        let mut abandons = Vec::with_capacity(self.threads);
+        let mut handles = Vec::with_capacity(self.threads);
+        for (w, worker_faults) in armed.iter().enumerate() {
             let shard = Arc::new(Ring::new(self.queue_capacity));
             let worker_stats = Arc::new(WorkerStats::default());
-            let rng = seeds.fork_chacha(w as u64);
-            workers.push(spawn_worker(
+            let abandon_log = Arc::new(AbandonLog::default());
+            handles.push(Some(spawn_worker(
                 w,
                 self.width,
                 Arc::clone(&shard),
                 Arc::clone(&profiles),
-                rng,
+                seeds.fork_chacha(w as u64),
                 Arc::clone(&worker_stats),
-            ));
+                Arc::clone(worker_faults),
+                DeathNotice::new(&shared, w),
+            )));
             shards.push(shard);
             stats.push(worker_stats);
+            abandons.push(abandon_log);
         }
+        let supervisor = Supervisor {
+            shared: Arc::clone(&shared),
+            shards: shards.clone(),
+            profiles: Arc::clone(&profiles),
+            seeds,
+            width: self.width,
+            stats: stats.clone(),
+            faults: armed,
+            abandons: abandons.clone(),
+            health: Arc::clone(&health),
+            log: Arc::clone(&failures),
+            policy: self.restart_policy,
+            closing: Arc::clone(&closing),
+            handles,
+        }
+        .spawn();
         Pool {
             shards,
             stats,
-            workers: Mutex::new(workers),
-            submit_seq: Mutex::new(0),
+            abandons,
+            supervisor: Mutex::new(Some(supervisor)),
+            supervisor_mail: shared,
+            lane: SubmitLane::default(),
             submitted: AtomicU64::new(0),
             profiles,
             width: self.width,
             token: self.token,
-            closing: AtomicBool::new(false),
+            closing,
+            health,
+            failures,
         }
     }
 }
@@ -394,14 +555,22 @@ impl PoolBuilder {
 pub struct Pool {
     shards: Vec<Arc<Ring<Job>>>,
     stats: Vec<Arc<WorkerStats>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    abandons: Vec<Arc<AbandonLog>>,
+    /// The supervisor owns the worker handles; the pool only joins the
+    /// supervisor (taken once, by whichever [`shutdown`](Pool::shutdown)
+    /// call gets there first).
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    supervisor_mail: Arc<SupervisorShared>,
     /// Serializes sequence assignment *and* shard push, so request `i`
     /// always lands in slot `i mod threads` in arrival order — the
     /// invariant replayability rests on. Held across a full shard's
     /// blocking push: backpressure on one shard intentionally stalls all
     /// submitters (head-of-line; see DESIGN.md for the policy rationale).
-    submit_seq: Mutex<u64>,
-    /// Requests accepted so far (mirror of `submit_seq` readable without
+    /// A hand-rolled lock (not a bare `Mutex` guard held across the
+    /// push) so that [`submit_timeout`](Pool::submit_timeout) can bound
+    /// the wait for the lane itself, not just for the ring slot.
+    lane: SubmitLane,
+    /// Requests accepted so far (mirror of the lane seq readable without
     /// the lock, for stats).
     submitted: AtomicU64,
     profiles: Arc<[Arc<CtSampler>]>,
@@ -409,8 +578,78 @@ pub struct Pool {
     /// Matches the `pool` field of every [`ProfileId`] this pool minted.
     token: u64,
     /// Set by [`shutdown`](Pool::shutdown) before the rings close, so a
-    /// closed ring can be attributed to shutdown vs. a dead worker.
-    closing: AtomicBool,
+    /// closed ring can be attributed to shutdown vs. a retired shard.
+    /// Shared with the supervisor, which must not resurrect into a
+    /// closing pool.
+    closing: Arc<AtomicBool>,
+    health: Arc<HealthBoard>,
+    failures: Arc<FailureLog>,
+}
+
+/// The submission lane: a condvar-based lock over the next sequence
+/// number, held (logically, not as a `MutexGuard`) across the shard
+/// push. See the field docs on [`Pool::lane`].
+#[derive(Debug, Default)]
+struct SubmitLane {
+    state: Mutex<LaneState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LaneState {
+    held: bool,
+    seq: u64,
+}
+
+impl SubmitLane {
+    /// Takes the lane and returns the sequence number to submit under.
+    /// `block = false` refuses a held lane with `Backpressure`;
+    /// a `deadline` bounds the wait with `TimedOut`.
+    fn acquire(&self, block: bool, deadline: Option<Instant>) -> Result<u64, PoolError> {
+        let mut state = lock_recover(&self.state);
+        while state.held {
+            if !block {
+                return Err(PoolError::Backpressure);
+            }
+            match deadline {
+                None => state = wait_recover(&self.cv, state),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(PoolError::TimedOut);
+                    }
+                    state = wait_timeout_recover(&self.cv, state, remaining);
+                }
+            }
+        }
+        state.held = true;
+        Ok(state.seq)
+    }
+
+    /// Releases the lane. `consume` advances the sequence number — true
+    /// whenever the submission's shard slot is settled (enqueued, or
+    /// refused by a closed ring, which is an answer too); false when the
+    /// attempt may be retried under the same seq (full ring, timeout).
+    /// Returns the next sequence number.
+    fn release(&self, consume: bool) -> u64 {
+        let mut state = lock_recover(&self.state);
+        if consume {
+            state.seq += 1;
+        }
+        state.held = false;
+        self.cv.notify_one();
+        let next = state.seq;
+        drop(state);
+        next
+    }
+}
+
+/// How [`Pool::submit_inner`] should wait for queue space.
+#[derive(Clone, Copy)]
+enum SubmitMode {
+    Block,
+    NonBlock,
+    Deadline(Instant),
 }
 
 impl Pool {
@@ -423,6 +662,8 @@ impl Pool {
             seeds: None,
             profiles: Vec::new(),
             token: POOL_TOKENS.fetch_add(1, Ordering::Relaxed),
+            faults: FaultPlan::default(),
+            restart_policy: RestartPolicy::default(),
         }
     }
 
@@ -456,7 +697,7 @@ impl Pool {
     ///
     /// [`PoolError::UnknownProfile`] or [`PoolError::ShuttingDown`].
     pub fn submit(&self, request: SampleRequest) -> Result<Ticket, PoolError> {
-        self.submit_inner(request, true)
+        self.submit_inner(request, SubmitMode::Block)
     }
 
     /// Submits a request without blocking on backpressure: a full target
@@ -472,58 +713,119 @@ impl Pool {
     /// [`PoolError::Backpressure`] as above, plus everything
     /// [`submit`](Self::submit) can return.
     pub fn try_submit(&self, request: SampleRequest) -> Result<Ticket, PoolError> {
-        self.submit_inner(request, false)
+        self.submit_inner(request, SubmitMode::NonBlock)
     }
 
-    fn submit_inner(&self, request: SampleRequest, block: bool) -> Result<Ticket, PoolError> {
+    /// Submits with a deadline on the total wait — the submission lane
+    /// *and* the ring slot together. The bounded-latency variant of
+    /// [`submit`](Self::submit) for callers that must not wedge behind a
+    /// stalled shard.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::TimedOut`] when the deadline elapses first — nothing
+    /// was enqueued, no sequence number was consumed, and retrying is
+    /// sound (see [`submit_with_retry`](crate::submit_with_retry)).
+    /// Plus everything [`submit`](Self::submit) can return.
+    pub fn submit_timeout(
+        &self,
+        request: SampleRequest,
+        timeout: Duration,
+    ) -> Result<Ticket, PoolError> {
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => self.submit_inner(request, SubmitMode::Deadline(deadline)),
+            // Beyond Instant range: indistinguishable from unbounded.
+            None => self.submit_inner(request, SubmitMode::Block),
+        }
+    }
+
+    fn submit_inner(&self, request: SampleRequest, mode: SubmitMode) -> Result<Ticket, PoolError> {
         self.profile_sampler(request.profile)?;
         let completion = Arc::new(Completion::default());
         let submitted_at = Instant::now();
-        let mut seq_guard = if block {
-            self.submit_seq.lock().expect("submit lock")
-        } else {
-            match self.submit_seq.try_lock() {
-                Ok(guard) => guard,
-                // The lock may be held across a blocking push by another
-                // submitter parked on a full shard — or only for another
-                // submitter's microsecond-scale critical section. Either
-                // way the non-blocking contract says return now; callers
-                // must treat Backpressure as retryable, not as proof the
-                // queues are deeply backed up.
-                Err(std::sync::TryLockError::WouldBlock) => return Err(PoolError::Backpressure),
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("submit lock"),
-            }
+        let (block, deadline) = match mode {
+            SubmitMode::Block => (true, None),
+            SubmitMode::NonBlock => (false, None),
+            SubmitMode::Deadline(deadline) => (true, Some(deadline)),
         };
-        let seq = *seq_guard;
-        let shard = &self.shards[(seq % self.shards.len() as u64) as usize];
-        let job = Job::new(request, seq, Arc::clone(&completion));
-        // A closed ring during normal operation means that shard's worker
-        // died (its ShardCloser ran); only report ShuttingDown when the
-        // pool is actually shutting down.
-        let closed_error = || {
-            if self.closing.load(Ordering::Relaxed) {
-                PoolError::ShuttingDown
-            } else {
-                PoolError::WorkerGone
-            }
-        };
-        if block {
-            shard.push(job).map_err(|_| closed_error())?;
-        } else {
-            shard.try_push(job).map_err(|e| match e {
-                TryPushError::Full(_) => PoolError::Backpressure,
-                TryPushError::Closed(_) => closed_error(),
-            })?;
-        }
-        *seq_guard += 1;
-        self.submitted.store(*seq_guard, Ordering::Relaxed);
-        drop(seq_guard);
-        Ok(Ticket {
-            completion,
-            submitted_at,
+        let seq = self.lane.acquire(block, deadline)?;
+        let shard_index = (seq % self.shards.len() as u64) as usize;
+        let shard = &self.shards[shard_index];
+        let job = Job::new(
             request,
             seq,
-        })
+            Arc::clone(&completion),
+            Arc::clone(&self.abandons[shard_index]),
+        );
+        // A refused push comes back in three flavors with different seq
+        // accounting:
+        //  * accepted — the seq is consumed;
+        //  * closed ring — the shard is retired (or the pool is shutting
+        //    down). The seq is consumed *anyway*: the request→shard map
+        //    stays total, the dead shard eats its 1/threads share of the
+        //    sequence space as immediate `WorkerGone` errors, and traffic
+        //    keeps flowing to the live shards;
+        //  * full ring / deadline — retryable, the seq is NOT consumed,
+        //    so a retry lands on the same shard and determinism is
+        //    independent of backpressure timing.
+        let refused: Option<PoolError> = match mode {
+            SubmitMode::Block => match shard.push(job) {
+                Ok(()) => None,
+                Err(job) => {
+                    job.defuse();
+                    Some(self.closed_error())
+                }
+            },
+            SubmitMode::NonBlock => match shard.try_push(job) {
+                Ok(()) => None,
+                Err(TryPushError::Full(job)) => {
+                    job.defuse();
+                    self.lane.release(false);
+                    return Err(PoolError::Backpressure);
+                }
+                Err(TryPushError::Closed(job)) => {
+                    job.defuse();
+                    Some(self.closed_error())
+                }
+            },
+            SubmitMode::Deadline(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match shard.push_timeout(job, remaining) {
+                    Ok(()) => None,
+                    Err(PushTimeoutError::TimedOut(job)) => {
+                        job.defuse();
+                        self.lane.release(false);
+                        return Err(PoolError::TimedOut);
+                    }
+                    Err(PushTimeoutError::Closed(job)) => {
+                        job.defuse();
+                        Some(self.closed_error())
+                    }
+                }
+            }
+        };
+        let next = self.lane.release(true);
+        self.submitted.store(next, Ordering::Relaxed);
+        match refused {
+            Some(error) => Err(error),
+            None => Ok(Ticket {
+                completion,
+                submitted_at,
+                request,
+                seq,
+            }),
+        }
+    }
+
+    /// A closed ring during normal operation means that shard was
+    /// retired by the supervisor; only report ShuttingDown when the pool
+    /// is actually shutting down.
+    fn closed_error(&self) -> PoolError {
+        if self.closing.load(Ordering::Relaxed) {
+            PoolError::ShuttingDown
+        } else {
+            PoolError::WorkerGone
+        }
     }
 
     /// Blocking convenience: draws `out.len()` samples from `profile`
@@ -577,21 +879,38 @@ impl Pool {
         self.submitted.load(Ordering::Relaxed)
     }
 
+    /// Live per-shard health: state (alive / restarting / dead), restart
+    /// counts, and abandoned-request totals.
+    pub fn health(&self) -> PoolHealth {
+        self.health.snapshot()
+    }
+
+    /// The failure log so far: one [`FailureEvent`] per worker death, in
+    /// the order the supervisor processed them. Together with the seed
+    /// and the request trace this fully determines every response — see
+    /// [`replay_trace`](crate::replay_trace). The log is complete (every
+    /// death processed, every abandoned seq attributed) once
+    /// [`shutdown`](Pool::shutdown) has returned.
+    pub fn failure_log(&self) -> Vec<FailureEvent> {
+        self.failures.snapshot()
+    }
+
     /// Stops accepting requests, drains every shard, and joins the
-    /// workers. Called automatically on drop; call it explicitly to
-    /// observe completion.
+    /// supervisor (which joins the workers). Called automatically on
+    /// drop; call it explicitly to observe completion.
     pub fn shutdown(&self) {
-        self.closing.store(true, Ordering::Relaxed);
+        self.closing.store(true, Ordering::Release);
         for shard in &self.shards {
             shard.close();
         }
-        let mut workers = self.workers.lock().expect("worker handles lock");
-        for handle in workers.drain(..) {
-            // A worker that panicked has already abandoned its jobs;
-            // surface the panic here instead of hanging callers — unless
-            // this thread is itself unwinding (e.g. the pool is dropped
-            // while a caller panics on `WorkerGone`), where re-raising
-            // would double-panic and abort, masking the original error.
+        let supervisor = lock_recover(&self.supervisor).take();
+        if let Some(handle) = supervisor {
+            self.supervisor_mail.send(Event::Shutdown);
+            // The supervisor absorbs worker panics by design (that is
+            // its job); a panic *of the supervisor itself* is a bug and
+            // is surfaced — unless this thread is already unwinding,
+            // where re-raising would double-panic and abort, masking the
+            // original error.
             if let Err(payload) = handle.join() {
                 if !std::thread::panicking() {
                     std::panic::resume_unwind(payload);

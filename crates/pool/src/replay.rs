@@ -1,0 +1,117 @@
+//! Offline, bit-exact replay of a pool run from its replay triple:
+//! **(seed, request trace, failure log)**.
+//!
+//! Without failures, (seed, trace) alone determines every response —
+//! that is the pool's determinism contract. Worker deaths add exactly
+//! three facts per event, all recorded in the [`FailureEvent`]: where
+//! the dying epoch's stream ended (the lifetime `fulfilled` count),
+//! which requests were abandoned, and which epoch stream the shard
+//! served from next. [`replay_trace`] folds those facts back in and
+//! reproduces, single-threaded and without any pool, precisely what the
+//! live run answered: `Some(samples)` bit-for-bit for every fulfilled
+//! request, `None` for every request the failures swallowed.
+//!
+//! The replay runs the same [`ShardEngine`](crate::worker::ShardEngine)
+//! the workers run, at the live pool's [`LaneWidth`](crate::LaneWidth).
+//! The width matters once a shard serves more than one profile: each
+//! profile keeps its own sample carry, but all of a shard's profiles
+//! draw from one generator, so the *order* bits are consumed across
+//! profiles follows the batch size (64·W samples per kernel pass). A
+//! single-profile trace replays width-independently (the draw-order
+//! contract: every width yields the same per-stream sample order), but
+//! only the run's own width reproduces a multi-profile interleaving.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ctgauss_core::{Backend, CtSampler};
+use ctgauss_prng::SeedTree;
+
+use crate::fault::ArmedFaults;
+use crate::health::{FailureEvent, FailureOutcome};
+use crate::pool::LaneWidth;
+use crate::worker::{ShardEngine, WorkerStats};
+
+/// One entry of a recorded request trace, in submission order: entry
+/// `i` was accepted under sequence number `i` (and therefore served by
+/// shard `i % threads` — including entries the pool answered with
+/// `WorkerGone` because that shard was already retired; they consumed
+/// their sequence number too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The profile, by registration order ([`ProfileId::index`](crate::ProfileId::index)).
+    pub profile_index: usize,
+    /// Requested sample count.
+    pub count: usize,
+}
+
+/// Replays a recorded run. Returns, for each trace entry in order,
+/// `Some(samples)` exactly as the live pool delivered them, or `None`
+/// where the failure log says the request was abandoned (its ticket
+/// resolved to `WorkerGone`) or routed to an already-retired shard.
+///
+/// `seeds`, `profiles` (in registration order), `threads` and `width`
+/// must match the live pool's configuration; `failures` is
+/// [`Pool::failure_log`](crate::Pool::failure_log) taken after
+/// [`Pool::shutdown`](crate::Pool::shutdown). An empty failure log makes
+/// this the plain (seed, trace) replay.
+pub fn replay_trace(
+    seeds: &SeedTree,
+    profiles: &[Arc<CtSampler>],
+    threads: usize,
+    width: LaneWidth,
+    trace: &[TraceEntry],
+    failures: &[FailureEvent],
+) -> Vec<Option<Vec<i32>>> {
+    assert!(threads > 0, "a pool has at least one shard");
+    let abandoned: HashSet<u64> = failures
+        .iter()
+        .flat_map(|event| event.abandoned.iter().copied())
+        .collect();
+    let backend = Backend::select_for_width(width.lanes());
+    let stats = WorkerStats::default();
+    let no_faults = ArmedFaults::none();
+    let mut out: Vec<Option<Vec<i32>>> = vec![None; trace.len()];
+    for worker in 0..threads {
+        // This shard's failure events, in the order the supervisor
+        // recorded them. Each is a gate: once `served` reaches the
+        // event's lifetime fulfilled count, the dying epoch's stream is
+        // exhausted and the next serveable request draws from the
+        // replacement's epoch stream (or nothing, if the shard retired).
+        let mut events = failures
+            .iter()
+            .filter(|event| event.worker == worker)
+            .peekable();
+        let mut engine =
+            ShardEngine::new(backend, profiles, seeds.fork_chacha_epoch(worker as u64, 0));
+        let mut served = 0u64;
+        let mut dead = false;
+        for (seq, entry) in trace.iter().enumerate().skip(worker).step_by(threads) {
+            if abandoned.contains(&(seq as u64)) {
+                continue; // stays None
+            }
+            while let Some(event) = events.peek() {
+                if served < event.fulfilled {
+                    break;
+                }
+                match event.outcome {
+                    FailureOutcome::Restarted { new_epoch } => {
+                        engine = ShardEngine::new(
+                            backend,
+                            profiles,
+                            seeds.fork_chacha_epoch(worker as u64, new_epoch),
+                        );
+                    }
+                    FailureOutcome::Exhausted | FailureOutcome::ShuttingDown => dead = true,
+                }
+                events.next();
+            }
+            if dead {
+                continue; // retired shard: the live pool answered WorkerGone
+            }
+            out[seq] = Some(engine.serve(entry.profile_index, entry.count, &stats, &no_faults));
+            served += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,82 @@
+//! Client-side retry with backoff over the timed submission path.
+//!
+//! [`Pool::submit_timeout`](crate::Pool::submit_timeout) guarantees that
+//! a refused submission consumed nothing — no ring slot, no sequence
+//! number — so retrying it is always sound. This module is the loop a
+//! bounded-latency client wants around it: retry the *transient*
+//! refusals ([`PoolError::TimedOut`], [`PoolError::Backpressure`]) with
+//! exponential backoff, pass the final ones (`WorkerGone`,
+//! `ShuttingDown`, `UnknownProfile`) straight through. The
+//! `pool_server` front end drives all its chaos-mode traffic through
+//! this helper.
+
+use std::time::Duration;
+
+use crate::pool::{Pool, PoolError, SampleRequest, Ticket};
+
+/// Attempt budget and backoff schedule for [`submit_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (including the first); must be ≥ 1.
+    pub attempts: u32,
+    /// Deadline handed to each `submit_timeout` attempt.
+    pub submit_timeout: Duration,
+    /// Pause after the first refused attempt; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the pause.
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            submit_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Submits `request`, retrying transient refusals (deadline elapsed,
+/// backpressure) under `policy`. A retry reuses the same would-be
+/// sequence number — `submit_timeout` consumes nothing on refusal — so
+/// the request→shard map, and with it replayability, is unaffected by
+/// how many attempts it took.
+///
+/// # Errors
+///
+/// The last transient error once the attempt budget is spent, or the
+/// first final error ([`PoolError::WorkerGone`],
+/// [`PoolError::ShuttingDown`], [`PoolError::UnknownProfile`])
+/// immediately — those will not get better by waiting.
+///
+/// # Panics
+///
+/// Panics if `policy.attempts` is zero.
+pub fn submit_with_retry(
+    pool: &Pool,
+    request: SampleRequest,
+    policy: &RetryPolicy,
+) -> Result<Ticket, PoolError> {
+    assert!(
+        policy.attempts > 0,
+        "retry policy needs at least one attempt"
+    );
+    let mut delay = policy.backoff_base;
+    let mut attempt = 0;
+    loop {
+        match pool.submit_timeout(request, policy.submit_timeout) {
+            Ok(ticket) => return Ok(ticket),
+            Err(error @ (PoolError::TimedOut | PoolError::Backpressure)) => {
+                attempt += 1;
+                if attempt >= policy.attempts {
+                    return Err(error);
+                }
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2).min(policy.backoff_max);
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}

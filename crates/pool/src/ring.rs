@@ -1,7 +1,39 @@
 //! A bounded MPMC ring: the per-shard request queue.
 
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every mutex in this crate guards plain data whose invariants hold
+/// between operations (a queue, a one-shot result slot) — a panic in
+/// *one* accessor never leaves the data half-updated in a way the next
+/// accessor cannot tolerate. Propagating poison instead would turn one
+/// panicking waiter into a cascade: its poisoned mutex panics every
+/// unrelated waiter and worker that touches the lock next. Containment
+/// is the whole point of the supervised pool, so poison is explicitly
+/// swallowed here.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
+}
 
 /// A bounded multi-producer multi-consumer FIFO with blocking push/pop
 /// and a close signal.
@@ -34,6 +66,15 @@ pub(crate) enum TryPushError<T> {
     Closed(T),
 }
 
+/// Why a timed push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushTimeoutError<T> {
+    /// The ring stayed full past the deadline; the item is handed back.
+    TimedOut(T),
+    /// The ring is closed; the item can never be accepted.
+    Closed(T),
+}
+
 impl<T> Ring<T> {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
@@ -51,9 +92,9 @@ impl<T> Ring<T> {
     /// Blocks until there is room, then enqueues. Returns the item back
     /// if the ring closed while (or before) waiting.
     pub(crate) fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = lock_recover(&self.state);
         while state.queue.len() == self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("ring lock");
+            state = wait_recover(&self.not_full, state);
         }
         if state.closed {
             return Err(item);
@@ -65,12 +106,37 @@ impl<T> Ring<T> {
 
     /// Enqueues without blocking.
     pub(crate) fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
         if state.queue.len() == self.capacity {
             return Err(TryPushError::Full(item));
+        }
+        state.queue.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until there is room or `timeout` elapses, then enqueues.
+    /// The deadline bounds only the full-ring wait — a closed ring
+    /// returns immediately whatever the deadline.
+    pub(crate) fn push_timeout(
+        &self,
+        item: T,
+        timeout: Duration,
+    ) -> Result<(), PushTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_recover(&self.state);
+        while state.queue.len() == self.capacity && !state.closed {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(PushTimeoutError::TimedOut(item));
+            }
+            state = wait_timeout_recover(&self.not_full, state, remaining);
+        }
+        if state.closed {
+            return Err(PushTimeoutError::Closed(item));
         }
         state.queue.push_back(item);
         self.not_empty.notify_one();
@@ -83,12 +149,12 @@ impl<T> Ring<T> {
     /// drained, with `out` left empty.
     pub(crate) fn pop_many(&self, max: usize, out: &mut Vec<T>) -> bool {
         debug_assert!(out.is_empty() && max > 0);
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = lock_recover(&self.state);
         while state.queue.is_empty() {
             if state.closed {
                 return false;
             }
-            state = self.not_empty.wait(state).expect("ring lock");
+            state = wait_recover(&self.not_empty, state);
         }
         let take = state.queue.len().min(max);
         out.extend(state.queue.drain(..take));
@@ -99,7 +165,7 @@ impl<T> Ring<T> {
     /// Closes the ring: producers fail fast, consumers drain what is
     /// left and then see end-of-stream.
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = lock_recover(&self.state);
         state.closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
@@ -110,22 +176,31 @@ impl<T> Ring<T> {
     /// waiter) instead of sitting in front of a consumer that will never
     /// return, and blocked producers wake into the closed-ring error.
     pub(crate) fn close_and_purge(&self) {
-        let mut state = self.state.lock().expect("ring lock");
+        let mut state = lock_recover(&self.state);
         state.closed = true;
         state.queue.clear();
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
 
+    /// Whether the ring has been closed (by shutdown or a dead worker's
+    /// budget exhaustion).
+    #[cfg(test)]
+    pub(crate) fn is_closed(&self) -> bool {
+        lock_recover(&self.state).closed
+    }
+
     /// Current queue depth (for stats; racy by nature).
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("ring lock").queue.len()
+        lock_recover(&self.state).queue.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -167,18 +242,18 @@ mod tests {
     #[test]
     fn close_and_purge_drops_queued_items_and_rejects_producers() {
         #[derive(Debug)]
-        struct NoteDrop(Arc<std::sync::atomic::AtomicUsize>);
+        struct NoteDrop(Arc<AtomicUsize>);
         impl Drop for NoteDrop {
             fn drop(&mut self) {
-                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                self.0.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
         let ring = Ring::new(4);
         ring.push(NoteDrop(Arc::clone(&drops))).unwrap();
         ring.push(NoteDrop(Arc::clone(&drops))).unwrap();
         ring.close_and_purge();
-        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
         assert!(ring.push(NoteDrop(Arc::clone(&drops))).is_err());
         let mut out = Vec::new();
         assert!(!ring.pop_many(4, &mut out));
@@ -193,7 +268,7 @@ mod tests {
             std::thread::spawn(move || ring.push(1).is_ok())
         };
         // Give the producer a moment to block on the full ring.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(20));
         let mut out = Vec::new();
         assert!(ring.pop_many(1, &mut out));
         assert_eq!(out, [0]);
@@ -201,5 +276,137 @@ mod tests {
         out.clear();
         assert!(ring.pop_many(1, &mut out));
         assert_eq!(out, [1]);
+    }
+
+    #[test]
+    fn push_timeout_expires_on_a_full_ring_and_hands_the_item_back() {
+        let ring = Ring::new(1);
+        ring.push(1u32).unwrap();
+        let start = Instant::now();
+        assert_eq!(
+            ring.push_timeout(2, Duration::from_millis(30)),
+            Err(PushTimeoutError::TimedOut(2)),
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "timed push returned before the deadline"
+        );
+        // After the consumer makes room, the same item goes through.
+        let mut out = Vec::new();
+        assert!(ring.pop_many(1, &mut out));
+        assert_eq!(ring.push_timeout(2, Duration::from_millis(30)), Ok(()));
+    }
+
+    #[test]
+    fn push_timeout_succeeds_when_room_appears_within_the_deadline() {
+        let ring = Arc::new(Ring::new(1));
+        ring.push(0u32).unwrap();
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let mut out = Vec::new();
+                ring.pop_many(1, &mut out);
+                out
+            })
+        };
+        assert_eq!(ring.push_timeout(1, Duration::from_secs(5)), Ok(()));
+        assert_eq!(consumer.join().unwrap(), [0]);
+    }
+
+    #[test]
+    fn push_timeout_reports_closed_immediately() {
+        let ring = Ring::new(1);
+        ring.push(1u32).unwrap(); // full, so the wait path is armed...
+        ring.close();
+        let start = Instant::now();
+        assert_eq!(
+            ring.push_timeout(2, Duration::from_secs(60)),
+            Err(PushTimeoutError::Closed(2)),
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "closed ring must not consume the deadline"
+        );
+    }
+
+    /// A consumer parked in `pop_many` while the producer side
+    /// `close_and_purge`s: the consumer must wake into end-of-stream,
+    /// never hang, and never observe purged items.
+    #[test]
+    fn pop_many_racing_close_and_purge_sees_end_of_stream() {
+        for _ in 0..50 {
+            let ring = Arc::new(Ring::new(8));
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    let mut seen = Vec::new();
+                    while ring.pop_many(4, &mut out) {
+                        seen.append(&mut out);
+                    }
+                    seen
+                })
+            };
+            // Race the purge against the consumer's first pops.
+            ring.push(1u32).unwrap();
+            ring.push(2).unwrap();
+            ring.close_and_purge();
+            let seen = consumer.join().unwrap();
+            // The consumer saw a (possibly empty) prefix, in order, and
+            // then end-of-stream — purged items are dropped, not popped.
+            assert!(
+                seen == [] as [u32; 0] || seen == [1] || seen == [1, 2],
+                "unexpected consumer view: {seen:?}"
+            );
+            assert!(ring.is_closed());
+        }
+    }
+
+    /// Several producers parked on a full ring all wake into the closed
+    /// error on `close` — none may stay parked forever (the wakeup must
+    /// be a broadcast, not a single notify).
+    #[test]
+    fn every_blocked_producer_wakes_on_close() {
+        let ring = Arc::new(Ring::new(1));
+        ring.push(0u32).unwrap();
+        let producers: Vec<_> = (1..=4u32)
+            .map(|i| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || ring.push(i))
+            })
+            .collect();
+        // Let all four park on the full ring, then close.
+        std::thread::sleep(Duration::from_millis(30));
+        ring.close();
+        for p in producers {
+            let result = p.join().expect("producer must wake, not hang");
+            assert!(result.is_err(), "closed ring must refuse the item");
+        }
+    }
+
+    /// A panic while holding the ring lock poisons the mutex; every ring
+    /// operation must keep working afterwards (poison containment, the
+    /// anti-cascade property).
+    #[test]
+    fn poisoned_ring_keeps_serving() {
+        let ring = Arc::new(Ring::new(4));
+        ring.push(1u32).unwrap();
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = ring.state.lock().unwrap();
+            panic!("poison the ring lock");
+        }));
+        assert!(poison.is_err());
+        assert!(ring.state.is_poisoned(), "test must actually poison");
+        // All paths recover: push, try_push, timed push, pop, close.
+        ring.push(2).unwrap();
+        ring.try_push(3).unwrap();
+        ring.push_timeout(4, Duration::from_millis(5)).unwrap();
+        assert_eq!(ring.len(), 4);
+        let mut out = Vec::new();
+        assert!(ring.pop_many(8, &mut out));
+        assert_eq!(out, [1, 2, 3, 4]);
+        ring.close();
+        assert!(ring.push(5).is_err());
     }
 }

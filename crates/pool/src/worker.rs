@@ -8,8 +8,11 @@ use std::thread::JoinHandle;
 use ctgauss_core::{Backend, CtSampler, LaneScratch};
 use ctgauss_prng::ChaChaRng;
 
+use crate::fault::{ArmedFaults, FaultSite};
+use crate::health::AbandonLog;
 use crate::pool::{Completion, LaneWidth, SampleRequest};
 use crate::ring::Ring;
+use crate::supervisor::DeathNotice;
 
 /// How many queued requests a worker claims per ring pass. Requests are
 /// served strictly in FIFO order either way; claiming a run of them just
@@ -17,9 +20,11 @@ use crate::ring::Ring;
 const CLAIM: usize = 64;
 
 /// One queued request plus its response slot. If the job is dropped
-/// unfulfilled (worker panic unwinding), the waiting ticket is released
-/// with [`PoolError::WorkerGone`](crate::PoolError::WorkerGone) instead
-/// of hanging.
+/// unfulfilled (worker panic unwinding, or a ring purge after budget
+/// exhaustion), the waiting ticket is released with
+/// [`PoolError::WorkerGone`](crate::PoolError::WorkerGone) instead of
+/// hanging, and the seq is recorded in the shard's [`AbandonLog`] so the
+/// failure log fully accounts for it.
 #[derive(Debug)]
 pub(crate) struct Job {
     request: SampleRequest,
@@ -28,15 +33,22 @@ pub(crate) struct Job {
     /// wrong job carries the wrong seq and is caught by the front end).
     seq: u64,
     completion: Arc<Completion>,
+    abandons: Arc<AbandonLog>,
     fulfilled: bool,
 }
 
 impl Job {
-    pub(crate) fn new(request: SampleRequest, seq: u64, completion: Arc<Completion>) -> Self {
+    pub(crate) fn new(
+        request: SampleRequest,
+        seq: u64,
+        completion: Arc<Completion>,
+        abandons: Arc<AbandonLog>,
+    ) -> Self {
         Job {
             request,
             seq,
             completion,
+            abandons,
             fulfilled: false,
         }
     }
@@ -45,17 +57,30 @@ impl Job {
         self.completion.fulfill(self.seq, samples);
         self.fulfilled = true;
     }
+
+    /// Discards a job that was never accepted by a ring (a refused
+    /// push): the submission failed synchronously, so neither the
+    /// abandon log nor the ticket should hear about it.
+    pub(crate) fn defuse(mut self) {
+        self.fulfilled = true;
+    }
 }
 
 impl Drop for Job {
     fn drop(&mut self) {
         if !self.fulfilled {
             self.completion.abandon();
+            self.abandons.record(self.seq);
         }
     }
 }
 
 /// Lock-free per-worker counters, shared with [`Pool::stats`](crate::Pool::stats).
+///
+/// The same instance is handed to every restart epoch of a worker, so
+/// the counters are *lifetime* counters of the shard — which is what
+/// makes fault triggers (`panic@w0.batch3`) and the failure log's
+/// `fulfilled` field well-defined across resurrections.
 #[derive(Debug, Default)]
 pub(crate) struct WorkerStats {
     requests: AtomicU64,
@@ -77,47 +102,6 @@ impl WorkerStats {
     }
 }
 
-/// Closes (and purges) the shard ring when its worker exits for *any*
-/// reason. On graceful shutdown the ring is already closed and drained,
-/// so this is a no-op; if the worker panics it unblocks producers
-/// (submission fails with `WorkerGone` instead of parking forever on a
-/// ring nobody consumes — which would deadlock the pool-wide submission
-/// lock) and abandons queued jobs so their tickets also resolve to
-/// `WorkerGone`.
-struct ShardCloser(Arc<Ring<Job>>);
-
-impl Drop for ShardCloser {
-    fn drop(&mut self) {
-        self.0.close_and_purge();
-    }
-}
-
-/// Spawns worker `index` at the configured lane width. The width is
-/// mapped onto the preferred available SIMD [`Backend`] of that exact
-/// width (`CTGAUSS_FORCE_BACKEND` wins when it matches), so `LaneWidth`
-/// keeps its meaning — batch units of `64 * W` samples — while the
-/// kernel runs on real vector registers where the CPU has them. The
-/// draw-order contract keeps the response streams identical across
-/// backends of the same width (and, via the carry coalescer, across
-/// widths too).
-pub(crate) fn spawn_worker(
-    index: usize,
-    width: LaneWidth,
-    shard: Arc<Ring<Job>>,
-    profiles: Arc<[Arc<CtSampler>]>,
-    rng: ChaChaRng,
-    stats: Arc<WorkerStats>,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("ctgauss-pool-{index}"))
-        .spawn(move || {
-            let _closer = ShardCloser(Arc::clone(&shard));
-            let backend = Backend::select_for_width(width.lanes());
-            worker_loop(backend, &shard, &profiles, rng, &stats)
-        })
-        .expect("spawn pool worker")
-}
-
 /// Per-profile execution state: reusable kernel scratch plus the carry
 /// of samples left over from the last partially-consumed batch. The
 /// carry is what coalesces small requests — the kernel only ever runs
@@ -132,29 +116,136 @@ struct ProfileState {
     tail: Vec<i32>,
 }
 
-fn worker_loop(
-    backend: Backend,
-    shard: &Ring<Job>,
-    profiles: &[Arc<CtSampler>],
-    mut rng: ChaChaRng,
-    stats: &WorkerStats,
-) {
-    let mut states: Vec<ProfileState> = profiles
-        .iter()
-        .map(|sampler| ProfileState {
-            sampler: Arc::clone(sampler),
-            scratch: sampler.lane_scratch_for(backend),
-            carry: VecDeque::new(),
-            tail: vec![0i32; 64 * backend.width()],
+/// One shard's deterministic serving engine: the per-profile carry
+/// coalescers plus the epoch's PRNG stream.
+///
+/// Extracted from the worker loop so that
+/// [`replay_trace`](crate::replay_trace) can drive the *identical*
+/// code path without threads or rings — the engine, fed the same
+/// (profile, count) sequence over the same stream, is the definition of
+/// what a shard's responses are.
+pub(crate) struct ShardEngine {
+    states: Vec<ProfileState>,
+    rng: ChaChaRng,
+}
+
+impl ShardEngine {
+    pub(crate) fn new(backend: Backend, profiles: &[Arc<CtSampler>], rng: ChaChaRng) -> Self {
+        ShardEngine {
+            states: profiles
+                .iter()
+                .map(|sampler| ProfileState {
+                    sampler: Arc::clone(sampler),
+                    scratch: sampler.lane_scratch_for(backend),
+                    carry: VecDeque::new(),
+                    tail: vec![0i32; 64 * backend.width()],
+                })
+                .collect(),
+            rng,
+        }
+    }
+
+    /// Fills one response: carry first, then whole kernel batches
+    /// directly into the response buffer, then (if needed) one final
+    /// batch staged through `tail` with the unused suffix pushed onto the
+    /// carry. `faults` is consulted after every kernel batch against the
+    /// lifetime batch counter in `stats`.
+    pub(crate) fn serve(
+        &mut self,
+        profile_index: usize,
+        count: usize,
+        stats: &WorkerStats,
+        faults: &ArmedFaults,
+    ) -> Vec<i32> {
+        let state = &mut self.states[profile_index];
+        let mut out = vec![0i32; count];
+        // Drain the carry (leftovers of the previous request's last batch).
+        let take = count.min(state.carry.len());
+        for (slot, v) in out[..take].iter_mut().zip(state.carry.drain(..take)) {
+            *slot = v;
+        }
+        let mut filled = take;
+        let batch = 64 * state.scratch.width();
+        while count - filled >= batch {
+            state.sampler.sample_batch_lanes(
+                &mut self.rng,
+                &mut state.scratch,
+                &mut out[filled..filled + batch],
+            );
+            let batches = stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
+            faults.check(FaultSite::Batch, batches);
+            filled += batch;
+        }
+        if filled < count {
+            state
+                .sampler
+                .sample_batch_lanes(&mut self.rng, &mut state.scratch, &mut state.tail);
+            let batches = stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
+            faults.check(FaultSite::Batch, batches);
+            let need = count - filled;
+            out[filled..].copy_from_slice(&state.tail[..need]);
+            debug_assert!(state.carry.is_empty(), "carry drained before refill");
+            state.carry.extend(&state.tail[need..]);
+        }
+        out
+    }
+}
+
+/// Spawns worker `index` at the configured lane width, drawing from
+/// `rng` (the epoch stream picked by the caller — `fork_chacha(w)` for
+/// epoch 0, `fork_chacha_epoch(w, e)` for resurrections). The width is
+/// mapped onto the preferred available SIMD [`Backend`] of that exact
+/// width (`CTGAUSS_FORCE_BACKEND` wins when it matches), so `LaneWidth`
+/// keeps its meaning — batch units of `64 * W` samples — while the
+/// kernel runs on real vector registers where the CPU has them. The
+/// draw-order contract keeps the response streams identical across
+/// backends of the same width (and, via the carry coalescer, across
+/// widths too).
+///
+/// `notice` reports a panicking exit to the supervisor; a graceful exit
+/// (ring closed and drained) reports nothing.
+#[allow(clippy::too_many_arguments)] // one per shard resource, spawn-site only
+pub(crate) fn spawn_worker(
+    index: usize,
+    width: LaneWidth,
+    shard: Arc<Ring<Job>>,
+    profiles: Arc<[Arc<CtSampler>]>,
+    rng: ChaChaRng,
+    stats: Arc<WorkerStats>,
+    faults: Arc<ArmedFaults>,
+    notice: DeathNotice,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ctgauss-pool-{index}"))
+        .spawn(move || {
+            // Declared first, so it drops *last* during a panic unwind:
+            // by the time the supervisor learns of the death, every
+            // claimed-but-unserved Job (local to worker_loop) has already
+            // resolved its ticket and recorded its seq.
+            let _notice = notice;
+            let backend = Backend::select_for_width(width.lanes());
+            let mut engine = ShardEngine::new(backend, &profiles, rng);
+            worker_loop(&mut engine, &shard, &stats, &faults)
         })
-        .collect();
+        .expect("spawn pool worker")
+}
+
+fn worker_loop(
+    engine: &mut ShardEngine,
+    shard: &Ring<Job>,
+    stats: &WorkerStats,
+    faults: &ArmedFaults,
+) {
     let mut jobs: Vec<Job> = Vec::with_capacity(CLAIM);
     // `pop_many` blocks for work and returns false only once the ring is
     // closed *and* drained, so shutdown never drops a queued request.
     while shard.pop_many(CLAIM, &mut jobs) {
         for job in jobs.drain(..) {
-            let state = &mut states[job.request.profile.index];
-            let samples = serve(state, &mut rng, job.request.count, stats);
+            // The request-site fault point: fires while the Nth lifetime
+            // request is claimed but unserved, so a panic here abandons
+            // exactly that request (and the rest of the claimed run).
+            faults.check(FaultSite::Request, stats.requests() + 1);
+            let samples = engine.serve(job.request.profile.index, job.request.count, stats, faults);
             stats.requests.fetch_add(1, Ordering::Relaxed);
             stats
                 .samples
@@ -162,41 +253,4 @@ fn worker_loop(
             job.fulfill(samples);
         }
     }
-}
-
-/// Fills one response: carry first, then whole kernel batches directly
-/// into the response buffer, then (if needed) one final batch staged
-/// through `tail` with the unused suffix pushed onto the carry.
-fn serve(
-    state: &mut ProfileState,
-    rng: &mut ChaChaRng,
-    count: usize,
-    stats: &WorkerStats,
-) -> Vec<i32> {
-    let mut out = vec![0i32; count];
-    // Drain the carry (leftovers of the previous request's last batch).
-    let take = count.min(state.carry.len());
-    for (slot, v) in out[..take].iter_mut().zip(state.carry.drain(..take)) {
-        *slot = v;
-    }
-    let mut filled = take;
-    let batch = 64 * state.scratch.width();
-    while count - filled >= batch {
-        state
-            .sampler
-            .sample_batch_lanes(rng, &mut state.scratch, &mut out[filled..filled + batch]);
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        filled += batch;
-    }
-    if filled < count {
-        state
-            .sampler
-            .sample_batch_lanes(rng, &mut state.scratch, &mut state.tail);
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        let need = count - filled;
-        out[filled..].copy_from_slice(&state.tail[..need]);
-        debug_assert!(state.carry.is_empty(), "carry drained before refill");
-        state.carry.extend(&state.tail[need..]);
-    }
-    out
 }

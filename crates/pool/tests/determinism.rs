@@ -9,7 +9,10 @@
 //!    scalar simulation.
 
 use ctgauss_core::SamplerSpec;
-use ctgauss_pool::{LaneWidth, Pool, ProfileId, SampleRequest};
+use ctgauss_pool::{
+    replay_trace, FaultPlan, LaneWidth, Pool, PoolError, ProfileId, SampleRequest, TraceEntry,
+    WaitError,
+};
 use ctgauss_prng::SeedTree;
 
 /// A cheap-to-build profile for service-level tests.
@@ -174,6 +177,73 @@ fn sharded_responses_match_per_shard_scalar_simulation() {
                 "shard {w}, request seq {seq}"
             );
             offset += count;
+        }
+    }
+}
+
+/// The determinism contract under failure: a worker panic mid-trace must
+/// not cost the run its replayability. The pool records the death in its
+/// failure log; `replay_trace(seed, trace, failure_log)` —
+/// single-threaded, no pool — must then reproduce every fulfilled
+/// response bit for bit and predict exactly which requests were
+/// abandoned. Checked at two lane widths: each width's live run matches
+/// *its own* replay (the abandonment pattern is allowed to differ
+/// between runs; the triple pins it).
+#[test]
+fn crashed_run_replays_bit_exactly_from_its_failure_log() {
+    let seed = 606;
+    let threads = 3;
+    let trace: Vec<usize> = thousand_request_trace(0xBADC_0FFE)
+        .into_iter()
+        .take(300)
+        .collect();
+    for width in [LaneWidth::W1, LaneWidth::W4] {
+        let mut builder = Pool::builder()
+            .threads(threads)
+            .width(width)
+            .seed_u64(seed)
+            .faults(FaultPlan::new().panic_at_batch(1, 6));
+        let profile = builder.profile(&test_spec()).expect("profile builds");
+        let pool = builder.spawn();
+
+        let tickets: Vec<_> = trace
+            .iter()
+            .map(|&count| pool.submit(SampleRequest { profile, count }))
+            .collect();
+        let live: Vec<Option<Vec<i32>>> = tickets
+            .into_iter()
+            .map(|ticket| {
+                let ticket = ticket.expect("no shard is ever retired here");
+                match ticket.wait_timeout(std::time::Duration::from_secs(30)) {
+                    Ok(response) => Some(response.samples),
+                    Err(WaitError::Pool(PoolError::WorkerGone)) => None,
+                    Err(other) => panic!("ticket must resolve, got {other:?}"),
+                }
+            })
+            .collect();
+        pool.shutdown();
+
+        let failures = pool.failure_log();
+        assert_eq!(failures.len(), 1, "exactly one injected death ({width:?})");
+        assert_eq!(failures[0].worker, 1);
+        let entries: Vec<TraceEntry> = trace
+            .iter()
+            .map(|&count| TraceEntry {
+                profile_index: 0,
+                count,
+            })
+            .collect();
+        let profiles = [test_spec().build_shared().expect("profile builds")];
+        let replayed = replay_trace(
+            &SeedTree::from_u64_seed(seed),
+            &profiles,
+            threads,
+            width,
+            &entries,
+            &failures,
+        );
+        for (seq, (got, want)) in live.iter().zip(&replayed).enumerate() {
+            assert_eq!(got, want, "width {width:?} diverged at request seq {seq}");
         }
     }
 }

@@ -21,6 +21,8 @@ const ROOT_TAG: &[u8] = b"ctgauss.seedtree.root.v1";
 const SUBTREE_TAG: &[u8] = b"ctgauss.seedtree.subtree.v1";
 /// Domain tag for leaf stream-seed derivation.
 const STREAM_TAG: &[u8] = b"ctgauss.seedtree.stream.v1";
+/// Domain tag for post-failure epoch-stream derivation.
+const EPOCH_TAG: &[u8] = b"ctgauss.seedtree.epoch.v1";
 
 /// A node in a deterministic seed-derivation tree (SHAKE-256 based).
 ///
@@ -52,6 +54,23 @@ fn derive(parent: &[u8; 32], tag: &[u8], index: u64) -> [u8; 32] {
     xof.absorb(parent);
     xof.absorb(tag);
     xof.absorb(&index.to_le_bytes());
+    let mut out = [0u8; 32];
+    xof.squeeze_into(&mut out);
+    out
+}
+
+/// Expands `parent || tag || le64(a) || le64(b)` through SHAKE-256 into a
+/// fresh 256-bit seed — the two-index variant of [`derive`], for
+/// derivations addressed by a pair (e.g. worker × epoch). All fields have
+/// fixed widths, so the encoding is injective per tag; the single-index
+/// and two-index absorptions never collide because their tags differ and
+/// their total absorbed lengths differ.
+fn derive2(parent: &[u8; 32], tag: &[u8], a: u64, b: u64) -> [u8; 32] {
+    let mut xof = Shake::new(ShakeVariant::Shake256);
+    xof.absorb(parent);
+    xof.absorb(tag);
+    xof.absorb(&a.to_le_bytes());
+    xof.absorb(&b.to_le_bytes());
     let mut out = [0u8; 32];
     xof.squeeze_into(&mut out);
     out
@@ -98,9 +117,36 @@ impl SeedTree {
         derive(&self.seed, STREAM_TAG, index)
     }
 
+    /// Derives the 256-bit seed of leaf stream `index` in restart epoch
+    /// `epoch` — the supervised pool's post-failure streams.
+    ///
+    /// Epoch 0 **is** the canonical stream
+    /// [`fork_stream(index)`](Self::fork_stream): a service that never
+    /// fails draws exactly the
+    /// streams it always did. Every epoch ≥ 1 is derived under its own
+    /// domain tag absorbing both `index` and `epoch`, so a resurrected
+    /// worker's stream is disjoint from every other (worker, epoch) pair
+    /// and from every plain stream or subtree — a replacement worker can
+    /// never replay or overlap the randomness its dead predecessor
+    /// already spent, which is what keeps (seed, trace, failure-log) a
+    /// complete replay triple instead of a security hazard.
+    pub fn fork_stream_epoch(&self, index: u64, epoch: u64) -> [u8; 32] {
+        if epoch == 0 {
+            self.fork_stream(index)
+        } else {
+            derive2(&self.seed, EPOCH_TAG, index, epoch)
+        }
+    }
+
     /// Derives leaf stream `index` as a [`ChaChaRng`] (the paper's PRNG).
     pub fn fork_chacha(&self, index: u64) -> ChaChaRng {
         ChaChaRng::from_seed(self.fork_stream(index))
+    }
+
+    /// Derives epoch `epoch` of leaf stream `index` as a [`ChaChaRng`] —
+    /// see [`fork_stream_epoch`](Self::fork_stream_epoch).
+    pub fn fork_chacha_epoch(&self, index: u64, epoch: u64) -> ChaChaRng {
+        ChaChaRng::from_seed(self.fork_stream_epoch(index, epoch))
     }
 
     /// Derives leaf stream `index` as a [`KeccakRng`] (the prior work's
@@ -170,6 +216,48 @@ mod tests {
                 *zero.fork_subtree(s).seed(),
                 "subtree alias at {s}"
             );
+        }
+    }
+
+    #[test]
+    fn epoch_zero_is_the_canonical_stream() {
+        let tree = SeedTree::from_u64_seed(9);
+        for w in 0..8 {
+            assert_eq!(tree.fork_stream_epoch(w, 0), tree.fork_stream(w));
+        }
+    }
+
+    #[test]
+    fn epoch_streams_are_disjoint_across_epochs_and_workers() {
+        let tree = SeedTree::from_u64_seed(17);
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..8u64 {
+            for e in 0..8u64 {
+                assert!(
+                    seen.insert(tree.fork_stream_epoch(w, e)),
+                    "epoch stream (w={w}, e={e}) collided"
+                );
+            }
+        }
+        // Epoch streams never alias plain streams or subtrees either.
+        for w in 0..8u64 {
+            for e in 1..4u64 {
+                let s = tree.fork_stream_epoch(w, e);
+                for i in 0..8u64 {
+                    assert_ne!(s, tree.fork_stream(i), "aliased stream {i}");
+                    assert_ne!(&s, tree.fork_subtree(i).seed(), "aliased subtree {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_generators_match_their_seeds() {
+        let tree = SeedTree::from_u64_seed(23);
+        let mut direct = ChaChaRng::from_seed(tree.fork_stream_epoch(3, 2));
+        let mut forked = tree.fork_chacha_epoch(3, 2);
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), forked.next_u64());
         }
     }
 

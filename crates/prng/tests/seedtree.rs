@@ -8,6 +8,8 @@ use proptest::prelude::*;
 /// The leaf-stream domain tag (kept in sync with `seedtree.rs`; the
 /// prefix property below fails if they drift).
 const STREAM_TAG: &[u8] = b"ctgauss.seedtree.stream.v1";
+/// The epoch-stream domain tag (kept in sync with `seedtree.rs`).
+const EPOCH_TAG: &[u8] = b"ctgauss.seedtree.epoch.v1";
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -48,6 +50,60 @@ proptest! {
             (0..8).map(|_| r.next_u64()).collect()
         };
         prop_assert_ne!(a, b);
+    }
+
+    /// Epoch 0 is exactly the canonical worker stream, and every epoch
+    /// >= 1 is the 32-byte prefix of the SHAKE-256 expansion of
+    /// `root || epoch-tag || le64(worker) || le64(epoch)` — the documented
+    /// derivation, recomputed against the public XOF API.
+    #[test]
+    fn prop_fork_stream_epoch_is_shake_prefix(
+        root in any::<u64>(),
+        worker in any::<u64>(),
+        epoch in 1u64..1024,
+    ) {
+        let tree = SeedTree::from_u64_seed(root);
+        prop_assert_eq!(tree.fork_stream_epoch(worker, 0), tree.fork_stream(worker));
+        let mut xof = Shake::new(ShakeVariant::Shake256);
+        xof.absorb(tree.seed());
+        xof.absorb(EPOCH_TAG);
+        xof.absorb(&worker.to_le_bytes());
+        xof.absorb(&epoch.to_le_bytes());
+        let expansion = xof.finalize_squeeze(48);
+        prop_assert_eq!(&tree.fork_stream_epoch(worker, epoch)[..], &expansion[..32]);
+    }
+
+    /// Distinct (worker, epoch) pairs yield pairwise-disjoint streams,
+    /// and no epoch >= 1 stream ever collides with a plain worker stream
+    /// — the resurrection contract: a replacement worker can neither
+    /// replay its dead predecessor's randomness nor any sibling's.
+    #[test]
+    fn prop_epoch_streams_are_disjoint(
+        root in any::<u64>(),
+        w1 in 0u64..256,
+        e1 in 0u64..64,
+        w2 in 0u64..256,
+        e2 in 0u64..64,
+        probe in 0u64..256,
+    ) {
+        prop_assume!((w1, e1) != (w2, e2));
+        let tree = SeedTree::from_u64_seed(root);
+        prop_assert_ne!(
+            tree.fork_stream_epoch(w1, e1),
+            tree.fork_stream_epoch(w2, e2)
+        );
+        if e1 > 0 {
+            prop_assert_ne!(tree.fork_stream_epoch(w1, e1), tree.fork_stream(probe));
+            let a: Vec<u64> = {
+                let mut r = tree.fork_chacha_epoch(w1, e1);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut r = tree.fork_chacha(w1);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            prop_assert_ne!(a, b);
+        }
     }
 
     /// Subtree forks are domain-separated from leaf forks and from each

@@ -11,21 +11,40 @@
 //! pool_server run --threads 4 --verify < trace.txt
 //! # Thread-scaling sweep over the same trace:
 //! pool_server run --sweep 1,2,4,8 < trace.txt
+//! # Chaos mode: inject worker deaths and stalls, verify the run
+//! # against the offline (seed, trace, failure-log) replay:
+//! pool_server run --threads 4 --chaos --verify < trace.txt
+//! pool_server run --chaos 'panic@w0.req40;stall@w1.req120:25ms' --verify < trace.txt
 //! ```
 //!
 //! `run` reports p50/p99 request latency and samples/sec per thread
 //! count. `--verify` replays the trace twice and exits non-zero if any
 //! response is dropped, duplicated, mis-sized, or fails to replay
-//! bit-identically.
+//! bit-identically; it also arms a watchdog (`--deadline SECS`,
+//! default 300) that kills the process with a non-zero exit if
+//! verification wedges instead of finishing — a verifier that hangs is
+//! a failed verification, not a pending one.
+//!
+//! `--chaos` arms a fault plan (inline spec, else `CTGAUSS_FAULTS`,
+//! else a built-in default) and switches submission to the bounded
+//! retry path. Under chaos, two live runs legitimately differ (which
+//! requests die with a worker is timing-dependent), so `--verify`
+//! instead checks each live run against `replay_trace` over its own
+//! failure log: every fulfilled response must match bit for bit, every
+//! missing response must be one the log accounts for.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ctgauss_core::{CtSampler, SamplerSpec};
-use ctgauss_pool::{LaneWidth, Pool, SampleRequest};
-use ctgauss_prng::{RandomSource, SplitMix64};
+use ctgauss_pool::{
+    replay_trace, submit_with_retry, FaultKind, FaultPlan, LaneWidth, Pool, PoolError, RetryPolicy,
+    SampleRequest, TraceEntry, WaitError, FAULTS_ENV,
+};
+use ctgauss_prng::{RandomSource, SeedTree, SplitMix64};
 
 /// The registered sigma profiles, indexed by the trace's profile field.
 const PROFILES: [(&str, u32); 3] = [("2", 24), ("6.15543", 24), ("1.5", 24)];
@@ -34,7 +53,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: pool_server gen <n> [--seed S] [--profiles K] [--max-count C]\n\
                 pool_server run [--threads T] [--width 1|2|4|8] [--seed S]\n\
-                             [--sweep T1,T2,..] [--verify] < trace"
+                             [--sweep T1,T2,..] [--verify] [--deadline SECS]\n\
+                             [--chaos [SPEC]] < trace\n\
+       chaos SPEC: `panic@w<W>.{{batch|req}}<N>`, `stall@w<W>.{{batch|req}}<N>:<D>ms`,\n\
+                   `cacheload[:N]`, `;`-separated; defaults to ${FAULTS_ENV} or a built-in plan"
     );
     ExitCode::from(2)
 }
@@ -151,65 +173,163 @@ struct RunReport {
     /// (dropped-or-missized, duplicated) counts from the response audit.
     dropped: usize,
     duplicated: usize,
+    /// Tickets that outlived the per-ticket deadline — hangs; always a
+    /// verification failure.
+    hung: usize,
+    /// Requests the pool answered `WorkerGone` (chaos mode): abandoned
+    /// by a death or routed to a retired shard. Accounted, not dropped.
+    gone: usize,
+    /// Chaos mode only: worker deaths, restarts, and whether the live
+    /// run matched the offline (seed, trace, failure-log) replay.
+    chaos: Option<ChaosReport>,
 }
 
-/// Replays `trace` on a fresh pool and audits every response.
+struct ChaosReport {
+    deaths: usize,
+    restarts: u64,
+    replay_mismatches: usize,
+}
+
+/// Replays `trace` on a fresh pool and audits every response. With a
+/// fault plan armed, submission goes through the bounded retry path,
+/// every ticket wait is deadlined, and the live responses are checked
+/// bit for bit against the offline (seed, trace, failure-log) replay.
 fn replay(
     trace: &[TraceLine],
     shared: &[Arc<CtSampler>],
     threads: usize,
     width: LaneWidth,
     seed: u64,
+    faults: Option<&FaultPlan>,
 ) -> RunReport {
     let mut builder = Pool::builder()
         .threads(threads)
         .width(width)
         .queue_capacity(1024)
         .seed_u64(seed);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan.clone());
+    }
     let profiles: Vec<_> = shared
         .iter()
         .map(|s| builder.shared_profile(Arc::clone(s)))
         .collect();
     let pool = builder.spawn();
+    let retry = RetryPolicy {
+        attempts: 200,
+        submit_timeout: Duration::from_millis(250),
+        ..RetryPolicy::default()
+    };
 
     let start = Instant::now();
     let tickets: Vec<_> = trace
         .iter()
         .map(|line| {
-            pool.submit(SampleRequest {
+            let request = SampleRequest {
                 profile: profiles[line.profile],
                 count: line.count,
-            })
-            .expect("submit")
+            };
+            if faults.is_some() {
+                // Bounded-latency path: a retryable refusal consumes no
+                // sequence number, so the trace→seq alignment survives
+                // however many attempts a request needs. WorkerGone *does*
+                // consume one (the retired shard still owns that slot of
+                // the sequence space) — record it and move on.
+                submit_with_retry(&pool, request, &retry)
+            } else {
+                pool.submit(request)
+            }
         })
         .collect();
     let mut latencies = Vec::with_capacity(trace.len());
+    let mut live: Vec<Option<Vec<i32>>> = Vec::with_capacity(trace.len());
     let mut seen = vec![false; trace.len()];
     let mut checksum = 0xcbf29ce484222325u64;
     let mut dropped = 0;
     let mut duplicated = 0;
+    let mut hung = 0;
+    let mut gone = 0;
     for (i, ticket) in tickets.into_iter().enumerate() {
-        // An erroring ticket never marks its seq in `seen`, so the
-        // unseen-seq sweep below counts it exactly once as dropped.
-        if let Ok(response) = ticket.wait() {
-            let seq = response.seq as usize;
-            if seq >= seen.len() || seen[seq] {
-                duplicated += 1;
-            } else {
-                seen[seq] = true;
+        // An erroring or hung ticket never marks its seq in `seen`; the
+        // unseen-seq sweep below counts it once as dropped unless it is
+        // `WorkerGone`, which the failure log accounts for.
+        let outcome = match ticket {
+            Ok(ticket) => match ticket.wait_timeout(TICKET_DEADLINE) {
+                Ok(response) => Some(response),
+                Err(WaitError::TimedOut(_)) => {
+                    hung += 1;
+                    None
+                }
+                Err(WaitError::Pool(PoolError::WorkerGone)) => {
+                    gone += 1;
+                    None
+                }
+                Err(WaitError::Pool(error)) => panic!("request {i}: unexpected {error}"),
+            },
+            Err(PoolError::WorkerGone) => {
+                gone += 1;
+                None
             }
-            if response.samples.len() != trace[i].count {
-                dropped += 1;
+            Err(error) => panic!("request {i}: submission failed: {error}"),
+        };
+        match outcome {
+            Some(response) => {
+                let seq = response.seq as usize;
+                if seq >= seen.len() || seen[seq] {
+                    duplicated += 1;
+                } else {
+                    seen[seq] = true;
+                }
+                if response.samples.len() != trace[i].count {
+                    dropped += 1;
+                }
+                for &s in &response.samples {
+                    checksum = (checksum ^ s as u32 as u64).wrapping_mul(0x100000001b3);
+                }
+                latencies.push(response.latency);
+                live.push(Some(response.samples));
             }
-            for &s in &response.samples {
-                checksum = (checksum ^ s as u32 as u64).wrapping_mul(0x100000001b3);
-            }
-            latencies.push(response.latency);
+            None => live.push(None),
         }
     }
     let elapsed = start.elapsed();
-    dropped += seen.iter().filter(|&&s| !s).count();
+    // `WorkerGone` responses are accounted by the failure log, not lost:
+    // only unseen seqs beyond those count as dropped.
+    dropped += seen
+        .iter()
+        .filter(|&&s| !s)
+        .count()
+        .saturating_sub(gone + hung);
     let stats = pool.stats();
+    let chaos = faults.map(|_| {
+        pool.shutdown(); // the failure log is complete only after shutdown
+        let failures = pool.failure_log();
+        let entries: Vec<TraceEntry> = trace
+            .iter()
+            .map(|line| TraceEntry {
+                profile_index: line.profile,
+                count: line.count,
+            })
+            .collect();
+        let offline = replay_trace(
+            &SeedTree::from_u64_seed(seed),
+            shared,
+            threads,
+            width,
+            &entries,
+            &failures,
+        );
+        let replay_mismatches = live
+            .iter()
+            .zip(&offline)
+            .filter(|(got, want)| got != want)
+            .count();
+        ChaosReport {
+            deaths: failures.len(),
+            restarts: pool.health().restarts(),
+            replay_mismatches,
+        }
+    });
     RunReport {
         elapsed,
         latencies,
@@ -218,8 +338,45 @@ fn replay(
         per_worker: stats.samples_per_worker.clone(),
         dropped,
         duplicated,
+        hung,
+        gone,
+        chaos,
     }
 }
+
+/// Per-ticket wait deadline: far beyond any honest service time, so a
+/// trip is a hang, not load.
+const TICKET_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Arms a watchdog that kills the process (exit 3) if `done` is not set
+/// within `deadline` — the non-hanging guarantee for `--verify`.
+fn arm_watchdog(deadline: Duration) -> Arc<AtomicBool> {
+    let done = Arc::new(AtomicBool::new(false));
+    let observed = Arc::clone(&done);
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+            if observed.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!(
+            "pool_server: watchdog deadline ({}s) exceeded — verification wedged, aborting",
+            deadline.as_secs()
+        );
+        std::process::exit(3);
+    });
+    done
+}
+
+/// The fault plan `--chaos` falls back to when neither an inline spec
+/// nor `CTGAUSS_FAULTS` provides one: two worker deaths (one early, one
+/// deep enough to land in a resurrected epoch on busy traces), a stall
+/// long enough to trip deadlines, and one cache-load failure.
+/// Out-of-range workers are dropped on arming, so this is safe at any
+/// `--threads`.
+const DEFAULT_CHAOS_SPEC: &str = "panic@w0.req40;stall@w1.req120:25ms;panic@w1.req260;cacheload:1";
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
@@ -235,7 +392,10 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed = 7u64;
     let mut sweep: Option<Vec<usize>> = None;
     let mut verify = false;
-    let mut it = args.iter();
+    let mut chaos = false;
+    let mut chaos_spec: Option<String> = None;
+    let mut deadline = Duration::from_secs(300);
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()).expect("--threads"),
@@ -259,9 +419,50 @@ fn run(args: &[String]) -> ExitCode {
                 );
             }
             "--verify" => verify = true,
+            "--chaos" => {
+                chaos = true;
+                // Optional inline spec: the next arg unless it is a flag.
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        chaos_spec = it.next().cloned();
+                    }
+                }
+            }
+            "--deadline" => {
+                deadline = Duration::from_secs(
+                    it.next().and_then(|v| v.parse().ok()).expect("--deadline"),
+                );
+            }
             _ => return usage(),
         }
     }
+
+    // Resolve the fault plan: inline spec, else `CTGAUSS_FAULTS`, else the
+    // built-in default.
+    let faults: Option<FaultPlan> = if chaos {
+        let plan = match &chaos_spec {
+            Some(spec) => match FaultPlan::parse(spec) {
+                Ok(plan) => plan,
+                Err(error) => {
+                    eprintln!("pool_server: --chaos spec: {error}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => match FaultPlan::from_env() {
+                Ok(Some(plan)) => plan,
+                Ok(None) => {
+                    FaultPlan::parse(DEFAULT_CHAOS_SPEC).expect("built-in chaos spec parses")
+                }
+                Err(error) => {
+                    eprintln!("pool_server: {FAULTS_ENV}: {error}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        Some(plan)
+    } else {
+        None
+    };
 
     let stdin = std::io::stdin();
     let trace = parse_trace(stdin.lock());
@@ -277,6 +478,17 @@ fn run(args: &[String]) -> ExitCode {
         total_requested,
         needed_profiles
     );
+    // Cache-load faults must be armed on this thread *before* the kernels
+    // are built: a tripped load falls back to direct synthesis, which is
+    // exactly the recovery path chaos mode exists to exercise.
+    if let Some(plan) = &faults {
+        plan.arm_cache_load_failures();
+        eprintln!(
+            "pool_server: chaos armed ({} worker fault(s), {} cache-load failure(s))",
+            plan.worker_faults().len(),
+            plan.cache_load_failures()
+        );
+    }
     let shared: Vec<Arc<CtSampler>> = PROFILES[..needed_profiles]
         .iter()
         .map(|&(sigma, n)| {
@@ -286,10 +498,11 @@ fn run(args: &[String]) -> ExitCode {
         })
         .collect();
 
+    let watchdog = verify.then(|| arm_watchdog(deadline));
     let thread_counts = sweep.unwrap_or_else(|| vec![threads]);
     let mut failed = false;
     for &t in &thread_counts {
-        let report = replay(&trace, &shared, t, width, seed);
+        let report = replay(&trace, &shared, t, width, seed, faults.as_ref());
         let mut sorted = report.latencies.clone();
         sorted.sort();
         println!(
@@ -303,8 +516,50 @@ fn run(args: &[String]) -> ExitCode {
             percentile(&sorted, 0.99),
         );
         println!("  per-worker samples: {:?}", report.per_worker);
-        if verify {
-            let replayed = replay(&trace, &shared, t, width, seed);
+        if let Some(chaos) = &report.chaos {
+            println!(
+                "  chaos: deaths={} restarts={} gone={} hung={}",
+                chaos.deaths, chaos.restarts, report.gone, report.hung
+            );
+            if verify {
+                // Under chaos two live runs legitimately differ, so the
+                // check is live-vs-own-replay, never cross-run checksums.
+                // A plan whose panics all target out-of-range workers
+                // cannot kill anyone, so only demand a death when one is
+                // actually reachable.
+                let expect_death = faults.as_ref().is_some_and(|plan| {
+                    plan.worker_faults()
+                        .iter()
+                        .any(|f| f.worker < t && matches!(f.kind, FaultKind::Panic))
+                });
+                let ok = report.hung == 0
+                    && report.duplicated == 0
+                    && report.dropped == 0
+                    && chaos.replay_mismatches == 0
+                    && (!expect_death || chaos.deaths >= 1);
+                if ok {
+                    println!(
+                        "  verify: ok ({} responses, {} gone — all accounted by the \
+                         failure log; live run replays bit-exactly)",
+                        trace.len(),
+                        report.gone
+                    );
+                } else {
+                    failed = true;
+                    eprintln!(
+                        "  verify: FAILED (hung={} dropped={} duplicated={} \
+                         replay_mismatches={} deaths={} expect_death={})",
+                        report.hung,
+                        report.dropped,
+                        report.duplicated,
+                        chaos.replay_mismatches,
+                        chaos.deaths,
+                        expect_death,
+                    );
+                }
+            }
+        } else if verify {
+            let replayed = replay(&trace, &shared, t, width, seed, None);
             let audit_ok = report.dropped == 0
                 && report.duplicated == 0
                 && replayed.dropped == 0
@@ -333,6 +588,9 @@ fn run(args: &[String]) -> ExitCode {
                 );
             }
         }
+    }
+    if let Some(done) = watchdog {
+        done.store(true, Ordering::Relaxed);
     }
     if failed {
         ExitCode::FAILURE
