@@ -1,0 +1,174 @@
+//! The CI perf-regression gate: diffs freshly produced `BENCH_*.json`
+//! artifacts against the committed baselines.
+//!
+//! ```text
+//! bench_regression --baseline DIR --current DIR [--threshold PCT]
+//! ```
+//!
+//! Every `BENCH_<name>.json` in the baseline directory must exist in the
+//! current directory and parse against the artifact schema. Metrics are
+//! then compared under the suffix contract of `report::gate_for`:
+//!
+//! * `_per_sec`, `_ns`, `_cycles` (the per-sample metrics): a regression
+//!   beyond the threshold (default 25%) **fails** the run;
+//! * `_ms` (machine-variable wall times): beyond-threshold regressions
+//!   only warn;
+//! * anything else is informational.
+//!
+//! Metrics present on one side only warn (backends differ across hosts),
+//! as do mode (smoke/full) and SIMD-backend mismatches — those mean the
+//! comparison itself is shaky, not that the code got slower.
+//!
+//! Exit status: 0 clean or warnings only, 1 on any hard failure or
+//! unreadable artifact.
+
+use std::path::{Path, PathBuf};
+
+use ctgauss_bench::report::{gate_for, load_report, regression_pct, Gate, LoadedReport};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 25.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value())),
+            "--current" => current = Some(PathBuf::from(value())),
+            "--threshold" => threshold = value().parse().expect("--threshold"),
+            other => panic!("unknown flag {other} (usage: bench_regression --baseline DIR --current DIR [--threshold PCT])"),
+        }
+    }
+    Args {
+        baseline: baseline.expect("--baseline DIR is required"),
+        current: current.expect("--current DIR is required"),
+        threshold,
+    }
+}
+
+/// The `BENCH_*.json` files directly inside `dir`, sorted by name.
+fn artifacts_in(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|f| f.to_str())
+                        .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    found.sort();
+    found
+}
+
+struct Tally {
+    failures: usize,
+    warnings: usize,
+}
+
+fn compare(base: &LoadedReport, cur: &LoadedReport, threshold: f64, tally: &mut Tally) {
+    let name = &base.name;
+    if base.mode != cur.mode {
+        println!(
+            "WARN  [{name}] comparing {} baseline against {} run",
+            base.mode, cur.mode
+        );
+        tally.warnings += 1;
+    }
+    if base.backend != cur.backend {
+        println!(
+            "WARN  [{name}] SIMD backend changed: {} -> {} (timings not host-comparable)",
+            base.backend, cur.backend
+        );
+        tally.warnings += 1;
+    }
+    for (metric, &b) in &base.metrics {
+        let Some(&c) = cur.metrics.get(metric) else {
+            println!("WARN  [{name}] {metric}: in baseline but not in current run");
+            tally.warnings += 1;
+            continue;
+        };
+        let reg = regression_pct(metric, b, c);
+        let line = |verdict: &str| {
+            println!("{verdict} [{name}] {metric}: {b:.4} -> {c:.4} ({reg:+.1}% regression)");
+        };
+        match gate_for(metric) {
+            Gate::HardHigherBetter | Gate::HardLowerBetter if reg > threshold => {
+                line("FAIL ");
+                tally.failures += 1;
+            }
+            Gate::WarnLowerBetter if reg > threshold => {
+                line("WARN ");
+                tally.warnings += 1;
+            }
+            _ if reg < -threshold => line("ok   "), // beyond-threshold improvement: worth a line
+            _ => {}
+        }
+    }
+    for metric in cur.metrics.keys() {
+        if !base.metrics.contains_key(metric) {
+            println!("note  [{name}] {metric}: new metric with no baseline");
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut tally = Tally {
+        failures: 0,
+        warnings: 0,
+    };
+    let baselines = artifacts_in(&args.baseline);
+    assert!(
+        !baselines.is_empty(),
+        "no BENCH_*.json baselines in {}",
+        args.baseline.display()
+    );
+    let mut compared = 0usize;
+    for path in &baselines {
+        let file = path.file_name().expect("artifact filename");
+        let base = match load_report(path) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("FAIL  baseline {e}");
+                tally.failures += 1;
+                continue;
+            }
+        };
+        let cur_path = args.current.join(file);
+        let cur = match load_report(&cur_path) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("FAIL  current {e}");
+                tally.failures += 1;
+                continue;
+            }
+        };
+        compare(&base, &cur, args.threshold, &mut tally);
+        compared += 1;
+    }
+    println!(
+        "bench_regression: {compared}/{} artifact(s) compared, {} failure(s), {} warning(s), threshold {}%",
+        baselines.len(),
+        tally.failures,
+        tally.warnings,
+        args.threshold
+    );
+    if tally.failures > 0 {
+        std::process::exit(1);
+    }
+}

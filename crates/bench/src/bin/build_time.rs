@@ -12,10 +12,16 @@
 //!    warm path's stage counters show minimization, compilation and both
 //!    lowerings as *skipped* — the acceptance gate for the cache.
 //!
-//! `--quick` restricts to the sigma = 2, n = 24 profile.
+//! `--quick` (alias `--smoke`, the CI configuration) restricts to the
+//! sigma = 2, n = 24 profile.
+//!
+//! The run also writes `BENCH_build_time.json` (per-stage and
+//! cold/warm-start wall milliseconds — `_ms` metrics, so the regression
+//! gate warns rather than hard-fails on them) into `$CTGAUSS_BENCH_DIR`.
 
 use std::time::Instant;
 
+use ctgauss_bench::report::{smoke_requested, BenchReport};
 use ctgauss_core::{CacheDisposition, KernelCache, SamplerSpec, SynthStage};
 
 /// The three standard profiles of the kernel benches: the paper's small
@@ -30,9 +36,15 @@ const SYNTH_STAGES: [SynthStage; 4] = [
     SynthStage::TiledKernel,
 ];
 
+/// Metric-name tag of a profile: `sigma2_n24`, `sigma6_15543_n128`.
+fn tag(sigma: &str, n: u32) -> String {
+    format!("sigma{}_n{n}", sigma.replace('.', "_"))
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = smoke_requested() || std::env::args().any(|a| a == "--quick");
     let profiles = if quick { &PROFILES[..1] } else { PROFILES };
+    let mut report = BenchReport::new("build_time", quick);
 
     let cache_dir = std::env::temp_dir().join(format!("ctgauss-build-time-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
@@ -55,6 +67,10 @@ fn main() {
                 r.stage.name(),
                 r.duration.as_secs_f64() * 1e3,
                 r.fingerprint
+            );
+            report.metric(
+                format!("{}_{}_ms", tag(sigma, n), r.stage.name().replace('-', "_")),
+                r.duration.as_secs_f64() * 1e3,
             );
         }
     }
@@ -116,9 +132,22 @@ fn main() {
             cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
             skipped.join(", "),
         );
+        report.metric(
+            format!("{}_cold_ms", tag(sigma, n)),
+            cold.as_secs_f64() * 1e3,
+        );
+        report.metric(
+            format!("{}_warm_ms", tag(sigma, n)),
+            warm.as_secs_f64() * 1e3,
+        );
+        report.metric(
+            format!("{}_warm_speedup", tag(sigma, n)),
+            cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        );
     }
 
     let _ = std::fs::remove_dir_all(&cache_dir);
+    report.write().expect("write BENCH_build_time.json");
     if failures > 0 {
         eprintln!("[build_time] {failures} failure(s)");
         std::process::exit(1);

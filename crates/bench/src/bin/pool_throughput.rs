@@ -8,13 +8,21 @@
 //!
 //! ```text
 //! pool_throughput [--total SAMPLES] [--request SAMPLES] [--threads 1,2,4,8]
-//!                 [--precision N] [--width 1|2|4|8]
+//!                 [--precision N] [--width 1|2|4|8] [--smoke]
 //! ```
+//!
+//! Besides the table, the run writes `BENCH_pool_throughput.json` (per
+//! thread count: `t{N}_samples_per_sec` and speedup; plus the pool's own
+//! latency/fill telemetry from the widest run) into `$CTGAUSS_BENCH_DIR`.
+//! Each thread count reports its best of 3 repetitions (interference
+//! only slows a run, and the rate is regression-gated in CI).
+//! `--smoke` is the abbreviated CI configuration.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use ctgauss_bench::print_table;
+use ctgauss_bench::report::{smoke_requested, BenchReport};
 use ctgauss_core::SamplerSpec;
 use ctgauss_pool::{LaneWidth, Pool, SampleRequest};
 
@@ -24,15 +32,22 @@ struct Args {
     threads: Vec<usize>,
     precision: u32,
     width: LaneWidth,
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
+    let smoke = smoke_requested();
     let mut args = Args {
-        total: 16 << 20,
+        // The smoke run is still regression-gated, so its per-repetition
+        // window must be long enough (~100 ms) to average over scheduler
+        // churn — 2^19 samples (~13 ms) swung tens of percent run to run
+        // on a single-CPU container.
+        total: if smoke { 1 << 22 } else { 16 << 20 },
         request: 4096,
-        threads: vec![1, 2, 4, 8],
+        threads: if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] },
         precision: 64,
         width: LaneWidth::W4,
+        smoke,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,6 +56,7 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| panic!("missing value for {flag}"))
         };
         match flag.as_str() {
+            "--smoke" => {} // consumed by smoke_requested
             "--total" => args.total = value().parse().expect("--total"),
             "--request" => args.request = value().parse().expect("--request"),
             "--threads" => {
@@ -83,37 +99,68 @@ fn main() {
     let requests = args.total.div_ceil(args.request);
     let mut rows = Vec::new();
     let mut measured: Vec<(usize, f64, u64, f64)> = Vec::new();
+    let mut report = BenchReport::new("pool_throughput", args.smoke);
+    // Best-of-3 per thread count: the samples/sec metric is hard-gated
+    // by the CI regression comparator, and on a shared machine a single
+    // run can lose tens of percent to a competing thread. Interference
+    // only ever slows a run, so the fastest repetition is the closest
+    // to the true rate (same reasoning as `measure_ns_floor`). Seeds are
+    // fixed, so every repetition produces the identical sample stream.
+    const REPS: usize = 3;
     for &threads in &args.threads {
-        let mut builder = Pool::builder()
-            .threads(threads)
-            .width(args.width)
-            .queue_capacity(1024)
-            .seed_u64(7);
-        let profile = builder.shared_profile(Arc::clone(&shared));
-        let pool = builder.spawn();
+        let mut best: Option<(f64, u64, f64, _)> = None;
+        for _ in 0..REPS {
+            let mut builder = Pool::builder()
+                .threads(threads)
+                .width(args.width)
+                .queue_capacity(1024)
+                .seed_u64(7);
+            let profile = builder.shared_profile(Arc::clone(&shared));
+            let pool = builder.spawn();
 
-        let start = Instant::now();
-        let tickets: Vec<_> = (0..requests)
-            .map(|_| {
-                pool.submit(SampleRequest {
-                    profile,
-                    count: args.request,
+            let start = Instant::now();
+            let tickets: Vec<_> = (0..requests)
+                .map(|_| {
+                    pool.submit(SampleRequest {
+                        profile,
+                        count: args.request,
+                    })
+                    .expect("submit")
                 })
-                .expect("submit")
-            })
-            .collect();
-        let mut checksum = 0u64;
-        for t in tickets {
-            let response = t.wait().expect("response");
-            // Touch every sample so the compiler cannot elide the work.
-            for &s in &response.samples {
-                checksum = checksum.wrapping_mul(0x100000001b3).wrapping_add(s as u64);
+                .collect();
+            let mut checksum = 0u64;
+            for t in tickets {
+                let response = t.wait().expect("response");
+                // Touch every sample so the compiler cannot elide the work.
+                for &s in &response.samples {
+                    checksum = checksum.wrapping_mul(0x100000001b3).wrapping_add(s as u64);
+                }
+            }
+            let elapsed = start.elapsed();
+            let samples = (requests * args.request) as f64;
+            let rate = samples / elapsed.as_secs_f64();
+            if best.as_ref().is_none_or(|&(r, ..)| rate > r) {
+                best = Some((rate, checksum, elapsed.as_secs_f64(), pool.metrics()));
             }
         }
-        let elapsed = start.elapsed();
-        let samples = (requests * args.request) as f64;
-        let rate = samples / elapsed.as_secs_f64();
-        measured.push((threads, rate, checksum, elapsed.as_secs_f64()));
+        let (rate, checksum, secs, metrics) = best.expect("REPS > 0");
+        measured.push((threads, rate, checksum, secs));
+
+        // Fold the pool's own telemetry into the artifact: fill ratio
+        // always; submit-to-completion latency when the record path is
+        // compiled in (absent under --no-default-features, whose whole
+        // point is measuring the samples/sec delta of that path).
+        if let Some(fill) = metrics.gauge("pool", "batch_fill_ratio") {
+            report.metric(format!("t{threads}_batch_fill_ratio"), fill);
+        }
+        if let Some(latency) = metrics.histogram("pool", "latency_ns") {
+            for (tag, p) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                report.metric(
+                    format!("t{threads}_latency_{tag}_ms"),
+                    latency.percentile(p) as f64 / 1e6,
+                );
+            }
+        }
     }
     // Speedup is relative to the threads == 1 run regardless of the
     // order --threads listed it; without a 1-thread run, fall back to
@@ -124,6 +171,9 @@ fn main() {
         .unwrap_or(&measured[0])
         .1;
     for &(threads, rate, checksum, secs) in &measured {
+        report.metric(format!("t{threads}_samples_per_sec"), rate);
+        report.metric(format!("t{threads}_speedup"), rate / baseline);
+        report.metric(format!("t{threads}_wall_seconds"), secs);
         rows.push(vec![
             threads.to_string(),
             format!("{secs:.3}"),
@@ -137,4 +187,5 @@ fn main() {
         &rows,
     );
     println!("\n(checksums differ across thread counts: shards draw disjoint SeedTree streams)");
+    report.write().expect("write BENCH_pool_throughput.json");
 }

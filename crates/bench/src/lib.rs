@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::time::Instant;
 
 /// Reads the time-stamp counter (x86-64), for Table 2's cycle counts.
@@ -43,6 +45,30 @@ pub fn measure_cycles<F: FnMut()>(runs: usize, mut f: F) -> u64 {
     }
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// Best-of-runs (minimum) cycle measurement of `f` — the noise-robust
+/// estimator the regression-gate artifacts use (see
+/// `report::measure_ns_floor` for why the median shifts under sustained
+/// interference while the minimum does not). Falls back to nanoseconds
+/// when no TSC is available; the unit is reported by [`cycle_unit`].
+pub fn measure_cycles_floor<F: FnMut()>(runs: usize, mut f: F) -> u64 {
+    assert!(runs > 0, "need at least one run");
+    let mut best = u64::MAX;
+    for _ in 0..runs {
+        let sample = if read_tsc().is_some() {
+            let start = read_tsc().expect("checked");
+            f();
+            let end = read_tsc().expect("checked");
+            end.saturating_sub(start)
+        } else {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        };
+        best = best.min(sample);
+    }
+    best
 }
 
 /// The unit reported by [`measure_cycles`] on this build.

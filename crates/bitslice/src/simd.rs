@@ -401,6 +401,13 @@ impl Backend {
             .collect()
     }
 
+    /// The names of every backend available on the running machine, in
+    /// detection-preference order — the `backends` field of a telemetry
+    /// machine fingerprint.
+    pub fn available_names() -> Vec<&'static str> {
+        Self::available().into_iter().map(Backend::name).collect()
+    }
+
     /// The widest available backend on the running machine, intrinsic
     /// words preferred over portable ones.
     pub fn detect_widest() -> Backend {

@@ -304,6 +304,9 @@ impl SamplerBuilder {
             ops: program.ops().len(),
         };
         let sampler = CtSampler::from_parts(program, kernel, tiled, matrix, report);
+        for rec in &trace.stages {
+            crate::metrics::record_stage(rec.stage, rec.duration);
+        }
         Ok((sampler, trace))
     }
 }

@@ -309,7 +309,27 @@ pub(crate) fn load_sampler(
     strategy: Strategy,
 ) -> Option<(CtSampler, BuildTrace)> {
     let bytes = cache.load_bytes(spec_fp)?;
-    let artifact = KernelArtifact::from_bytes(&bytes).ok()?;
+    // Bytes came off disk: from here on, any rejection is a
+    // *revalidation* failure (corruption, staleness, a foreign entry) —
+    // counted separately from plain misses.
+    let loaded = validate_and_probe(&bytes, spec_fp, sigma, precision, tail_cut, strategy);
+    if loaded.is_none() {
+        crate::metrics::CACHE_REVALIDATION_FAILURES.inc();
+    }
+    loaded
+}
+
+/// The trusting-nothing half of [`load_sampler`]: structural validation,
+/// probe-batch re-checks, and trace reconstruction.
+fn validate_and_probe(
+    bytes: &[u8],
+    spec_fp: u64,
+    sigma: &str,
+    precision: u32,
+    tail_cut: u32,
+    strategy: Strategy,
+) -> Option<(CtSampler, BuildTrace)> {
+    let artifact = KernelArtifact::from_bytes(bytes).ok()?;
     if artifact.fingerprint() != spec_fp {
         return None;
     }
@@ -324,6 +344,7 @@ pub(crate) fn load_sampler(
     let params = GaussianParams::new(sigma, precision, tail_cut).ok()?;
     let matrix = ProbabilityMatrix::build(&params).ok()?;
     let tables_time = tables_start.elapsed();
+    crate::metrics::record_stage(SynthStage::ProbTables, tables_time);
 
     let (_, program, kernel, tiled, _) = artifact.into_parts();
 

@@ -62,6 +62,7 @@
 
 mod builder;
 mod cache;
+mod metrics;
 mod sampler;
 mod spec;
 mod stages;
@@ -72,6 +73,7 @@ pub use cache::{inject_load_failures, injected_load_failure_hits, KernelCache};
 // Re-exported so service layers can pick lane backends without a direct
 // bitslice dependency.
 pub use ctgauss_bitslice::{Backend, FORCE_BACKEND_ENV};
+pub use metrics::attach_metrics;
 pub use sampler::{BatchScratch, CtSampler, LaneScratch, SampleStream};
 pub use spec::SamplerSpec;
 pub use stages::{

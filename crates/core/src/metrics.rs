@@ -1,0 +1,125 @@
+//! Process-wide synthesis and cache metrics.
+//!
+//! Synthesis runs seconds-long and off the sampling hot path, so its
+//! instruments are unconditional global counters (the telemetry crate's
+//! runtime switch still applies). Two sections are exposed through
+//! [`attach_metrics`]:
+//!
+//! * `kernel_cache` — warm-start dispositions: hits, misses, bypasses,
+//!   write-backs and their failures, plus *revalidation failures* (an
+//!   entry was read off disk but rejected by structural validation or
+//!   the probe-batch oracle — the corruption path that degrades to a
+//!   miss).
+//! * `synthesis` — per-[`SynthStage`] run counts and cumulative wall
+//!   time, fed by every traced build (fresh pipelines and the rebuilt
+//!   `ProbTables` stage of warm starts alike).
+
+use ctgauss_telemetry::{Counter, MetricsSnapshot, NanosCounter};
+
+use crate::stages::SynthStage;
+
+/// Warm starts served from a validated cache entry.
+pub(crate) static CACHE_HITS: Counter = Counter::new();
+/// Enabled-cache builds that synthesized (no entry, or one rejected).
+pub(crate) static CACHE_MISSES: Counter = Counter::new();
+/// Builds against a disabled cache.
+pub(crate) static CACHE_BYPASSES: Counter = Counter::new();
+/// Artifacts written back after a miss.
+pub(crate) static CACHE_STORES: Counter = Counter::new();
+/// Write-backs that failed (build still succeeds; cache stays cold).
+pub(crate) static CACHE_STORE_FAILURES: Counter = Counter::new();
+/// Entries read off disk but rejected by validation or probe checks.
+pub(crate) static CACHE_REVALIDATION_FAILURES: Counter = Counter::new();
+
+/// One stage's run count and cumulative wall time.
+struct StageMetrics {
+    runs: Counter,
+    time: NanosCounter,
+}
+
+impl StageMetrics {
+    const fn new() -> Self {
+        StageMetrics {
+            runs: Counter::new(),
+            time: NanosCounter::new(),
+        }
+    }
+}
+
+/// Indexed by [`SynthStage`] declaration order (`SynthStage::ALL`).
+static STAGES: [StageMetrics; SynthStage::ALL.len()] = [
+    StageMetrics::new(),
+    StageMetrics::new(),
+    StageMetrics::new(),
+    StageMetrics::new(),
+    StageMetrics::new(),
+    StageMetrics::new(),
+];
+
+/// Records one executed pipeline stage.
+pub(crate) fn record_stage(stage: SynthStage, duration: std::time::Duration) {
+    let m = &STAGES[stage as usize];
+    m.runs.inc();
+    m.time.record(duration);
+}
+
+/// Contributes the `kernel_cache` and `synthesis` sections to a
+/// [`MetricsSnapshot`] — service layers call this next to the pool's own
+/// contributor so one JSON document carries the whole stack.
+pub fn attach_metrics(snapshot: &mut MetricsSnapshot) {
+    snapshot
+        .section("kernel_cache")
+        .counter("hits", CACHE_HITS.get())
+        .counter("misses", CACHE_MISSES.get())
+        .counter("bypasses", CACHE_BYPASSES.get())
+        .counter("stores", CACHE_STORES.get())
+        .counter("store_failures", CACHE_STORE_FAILURES.get())
+        .counter("revalidation_failures", CACHE_REVALIDATION_FAILURES.get());
+
+    let synthesis = snapshot.section("synthesis");
+    for stage in SynthStage::ALL {
+        let m = &STAGES[stage as usize];
+        synthesis
+            .counter(format!("{}_runs", stage.name()), m.runs.get())
+            .gauge(format!("{}_ms", stage.name()), m.time.millis());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelCache, SamplerSpec};
+
+    // These counters are process-global and other tests build samplers
+    // concurrently, so assertions are monotonic (before/after deltas on
+    // instruments this test alone cannot drive are avoided).
+    #[test]
+    fn dispositions_and_stage_times_accumulate() {
+        let dir = std::env::temp_dir().join(format!("ctgauss-metrics-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = KernelCache::at(&dir);
+        let spec = SamplerSpec::new("2", 12).tail_cut(9);
+
+        let (hits0, misses0) = (CACHE_HITS.get(), CACHE_MISSES.get());
+        let bypass0 = CACHE_BYPASSES.get();
+        let tables0 = STAGES[SynthStage::ProbTables as usize].runs.get();
+
+        let _ = spec.build_shared_with(&cache).unwrap(); // cold: miss
+        let _ = spec.build_shared_with(&cache).unwrap(); // warm: hit
+        let _ = spec.build_shared_with(&KernelCache::disabled()).unwrap(); // bypass
+
+        assert!(CACHE_MISSES.get() > misses0);
+        assert!(CACHE_HITS.get() > hits0);
+        assert!(CACHE_BYPASSES.get() > bypass0);
+        // ProbTables runs on all three paths (warm starts rebuild it).
+        assert!(STAGES[SynthStage::ProbTables as usize].runs.get() >= tables0 + 3);
+
+        let mut snap = MetricsSnapshot::new();
+        attach_metrics(&mut snap);
+        assert_eq!(snap.counter("kernel_cache", "hits"), Some(CACHE_HITS.get()));
+        assert!(snap.counter("synthesis", "prob-tables_runs").unwrap() >= 3);
+        assert!(snap.gauge("synthesis", "prob-tables_ms").unwrap() > 0.0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

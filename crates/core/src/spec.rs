@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::builder::{BuildError, SamplerBuilder, Strategy};
 use crate::cache::{self, KernelCache};
+use crate::metrics;
 use crate::sampler::CtSampler;
 use crate::stages::{spec_fingerprint, BuildTrace, CacheDisposition};
 
@@ -145,12 +146,21 @@ impl SamplerSpec {
             self.tail_cut,
             self.strategy,
         ) {
+            metrics::CACHE_HITS.inc();
             return Ok((Arc::new(sampler), trace));
         }
         let (sampler, mut trace) = self.builder().build_traced()?;
         if cache.is_enabled() {
+            metrics::CACHE_MISSES.inc();
             let stored = cache::store_sampler(cache, key, &sampler, &trace);
+            if stored {
+                metrics::CACHE_STORES.inc();
+            } else {
+                metrics::CACHE_STORE_FAILURES.inc();
+            }
             trace.cache = CacheDisposition::Miss { stored };
+        } else {
+            metrics::CACHE_BYPASSES.inc();
         }
         Ok((Arc::new(sampler), trace))
     }

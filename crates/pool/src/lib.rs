@@ -64,9 +64,12 @@ pub use falcon_base::{falcon_profile_spec, PooledBase};
 pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpecError, WorkerFault, FAULTS_ENV};
 pub use health::{FailureEvent, FailureOutcome, PoolHealth, ShardHealth, ShardState};
 pub use pool::{
-    LaneWidth, Pool, PoolBuilder, PoolError, PoolStats, ProfileId, SampleRequest, SampleResponse,
-    Ticket, WaitError,
+    LaneWidth, Pool, PoolBuilder, PoolError, ProfileId, SampleRequest, SampleResponse, Ticket,
+    WaitError,
 };
+// Re-exported so pool consumers read `Pool::metrics()` without naming
+// the telemetry crate themselves.
+pub use ctgauss_telemetry::{HistogramSnapshot, MetricsSnapshot};
 pub use replay::{replay_trace, TraceEntry};
 pub use retry::{submit_with_retry, RetryPolicy};
 pub use supervisor::RestartPolicy;

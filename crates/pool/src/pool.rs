@@ -8,8 +8,10 @@ use std::time::{Duration, Instant};
 use ctgauss_core::{BuildError, CtSampler, SamplerSpec};
 use ctgauss_prng::SeedTree;
 
+use ctgauss_telemetry::MetricsSnapshot;
+
 use crate::fault::FaultPlan;
-use crate::health::{AbandonLog, FailureEvent, FailureLog, HealthBoard, PoolHealth};
+use crate::health::{AbandonLog, FailureEvent, FailureLog, HealthBoard, PoolHealth, ShardState};
 use crate::ring::{
     lock_recover, wait_recover, wait_timeout_recover, PushTimeoutError, Ring, TryPushError,
 };
@@ -301,36 +303,6 @@ impl std::error::Error for WaitError {
     }
 }
 
-/// Per-pool aggregate counters (see [`Pool::stats`]).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct PoolStats {
-    /// Requests fulfilled, per worker.
-    pub requests_per_worker: Vec<u64>,
-    /// Samples delivered, per worker.
-    pub samples_per_worker: Vec<u64>,
-    /// Full `64 * W`-sample kernel batches executed, per worker.
-    pub batches_per_worker: Vec<u64>,
-    /// Current queue depth, per shard (racy snapshot).
-    pub queue_depths: Vec<usize>,
-}
-
-impl PoolStats {
-    /// Total samples delivered across workers.
-    pub fn samples(&self) -> u64 {
-        self.samples_per_worker.iter().sum()
-    }
-
-    /// Total requests fulfilled across workers.
-    pub fn requests(&self) -> u64 {
-        self.requests_per_worker.iter().sum()
-    }
-
-    /// Total kernel batches executed across workers.
-    pub fn batches(&self) -> u64 {
-        self.batches_per_worker.iter().sum()
-    }
-}
-
 /// Configures and spawns a [`Pool`].
 #[derive(Debug)]
 pub struct PoolBuilder {
@@ -506,6 +478,7 @@ impl PoolBuilder {
             closing,
             health,
             failures,
+            started_at: Instant::now(),
         }
     }
 }
@@ -584,6 +557,9 @@ pub struct Pool {
     closing: Arc<AtomicBool>,
     health: Arc<HealthBoard>,
     failures: Arc<FailureLog>,
+    /// When the pool spawned — the denominator of the `samples_per_sec`
+    /// gauge in [`metrics`](Pool::metrics).
+    started_at: Instant,
 }
 
 /// The submission lane: a condvar-based lock over the next sequence
@@ -754,6 +730,7 @@ impl Pool {
         let job = Job::new(
             request,
             seq,
+            submitted_at,
             Arc::clone(&completion),
             Arc::clone(&self.abandons[shard_index]),
         );
@@ -864,14 +841,96 @@ impl Pool {
             .samples)
     }
 
-    /// Aggregate service counters.
-    pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            requests_per_worker: self.stats.iter().map(|s| s.requests()).collect(),
-            samples_per_worker: self.stats.iter().map(|s| s.samples()).collect(),
-            batches_per_worker: self.stats.iter().map(|s| s.batches()).collect(),
-            queue_depths: self.shards.iter().map(|s| s.len()).collect(),
+    /// The pool's observable state as a [`MetricsSnapshot`] — the one
+    /// stats API (no parallel counter structs).
+    ///
+    /// Two sections:
+    ///
+    /// * `pool` — lifetime totals (`requests_total`, `samples_total`,
+    ///   `batches_total`, `submitted`, `restarts`, `abandoned`), derived
+    ///   gauges (`samples_per_sec` over the pool's uptime,
+    ///   `batch_fill_ratio` = samples delivered / samples generated by
+    ///   full `64 * W` kernel batches, `queue_depth` summed over shards),
+    ///   and — with the `metrics` feature (default) — the
+    ///   submit-to-completion `latency_ns` histogram merged across
+    ///   shards.
+    /// * `pool_shards` — the same counters per shard (`shard3_requests`,
+    ///   …), each shard's live queue depth, restart/abandon counts, and
+    ///   its health state as a label.
+    ///
+    /// Values are racy snapshots of relaxed atomics: totals are
+    /// monotonic, cross-counter consistency is approximate. Reading
+    /// metrics never perturbs the draw-order/replay contract — the
+    /// instruments only observe.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let requests: u64 = self.stats.iter().map(|s| s.requests()).sum();
+        let samples: u64 = self.stats.iter().map(|s| s.samples()).sum();
+        let batches: u64 = self.stats.iter().map(|s| s.batches()).sum();
+        let queue_depth: usize = self.shards.iter().map(|s| s.len()).sum();
+        let health = self.health.snapshot();
+        let uptime = self.started_at.elapsed().as_secs_f64();
+        let batch_samples = batches * 64 * self.width.lanes() as u64;
+
+        let mut snap = MetricsSnapshot::new();
+        let pool = snap.section("pool");
+        pool.label("width", format!("W{}", self.width.lanes()))
+            .counter("threads", self.shards.len() as u64)
+            .counter("submitted", self.submitted())
+            .counter("requests_total", requests)
+            .counter("samples_total", samples)
+            .counter("batches_total", batches)
+            .counter("restarts", health.restarts())
+            .counter("abandoned", health.abandoned())
+            .gauge("uptime_secs", uptime)
+            .gauge(
+                "samples_per_sec",
+                if uptime > 0.0 {
+                    samples as f64 / uptime
+                } else {
+                    0.0
+                },
+            )
+            .gauge(
+                "batch_fill_ratio",
+                if batch_samples > 0 {
+                    samples as f64 / batch_samples as f64
+                } else {
+                    0.0
+                },
+            )
+            .gauge("queue_depth", queue_depth as f64);
+        #[cfg(feature = "metrics")]
+        {
+            let mut latency = ctgauss_telemetry::HistogramSnapshot::empty();
+            for stats in &self.stats {
+                latency.merge(&stats.latency.snapshot());
+            }
+            pool.histogram("latency_ns", latency);
         }
+
+        let shards = snap.section("pool_shards");
+        for (i, ((stats, shard), health)) in self
+            .stats
+            .iter()
+            .zip(&self.shards)
+            .zip(&health.shards)
+            .enumerate()
+        {
+            let state = match health.state {
+                ShardState::Alive { epoch } => format!("alive:e{epoch}"),
+                ShardState::Restarting { epoch } => format!("restarting:e{epoch}"),
+                ShardState::Dead => "dead".to_owned(),
+            };
+            shards
+                .label(format!("shard{i}_state"), state)
+                .counter(format!("shard{i}_requests"), stats.requests())
+                .counter(format!("shard{i}_samples"), stats.samples())
+                .counter(format!("shard{i}_batches"), stats.batches())
+                .counter(format!("shard{i}_restarts"), u64::from(health.restarts))
+                .counter(format!("shard{i}_abandoned"), health.abandoned)
+                .gauge(format!("shard{i}_queue_depth"), shard.len() as f64);
+        }
+        snap
     }
 
     /// Requests accepted so far (== the next sequence number).

@@ -32,6 +32,10 @@ pub(crate) struct Job {
     /// so response auditing is end to end (a completion delivered by the
     /// wrong job carries the wrong seq and is caught by the front end).
     seq: u64,
+    /// When the submitter created the job — the start of the
+    /// submit-to-completion latency the serving worker records.
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    submitted_at: std::time::Instant,
     completion: Arc<Completion>,
     abandons: Arc<AbandonLog>,
     fulfilled: bool,
@@ -41,12 +45,14 @@ impl Job {
     pub(crate) fn new(
         request: SampleRequest,
         seq: u64,
+        submitted_at: std::time::Instant,
         completion: Arc<Completion>,
         abandons: Arc<AbandonLog>,
     ) -> Self {
         Job {
             request,
             seq,
+            submitted_at,
             completion,
             abandons,
             fulfilled: false,
@@ -75,7 +81,8 @@ impl Drop for Job {
     }
 }
 
-/// Lock-free per-worker counters, shared with [`Pool::stats`](crate::Pool::stats).
+/// Lock-free per-worker counters, surfaced through
+/// [`Pool::metrics`](crate::Pool::metrics).
 ///
 /// The same instance is handed to every restart epoch of a worker, so
 /// the counters are *lifetime* counters of the shard — which is what
@@ -86,6 +93,12 @@ pub(crate) struct WorkerStats {
     requests: AtomicU64,
     samples: AtomicU64,
     batches: AtomicU64,
+    /// Submit-to-completion latency in nanoseconds, recorded at
+    /// fulfillment. Lock-free and off the sample path (after the kernel
+    /// ran, before the completion wakes the waiter); compiled out
+    /// entirely without the `metrics` feature.
+    #[cfg(feature = "metrics")]
+    pub(crate) latency: ctgauss_telemetry::Histogram,
 }
 
 impl WorkerStats {
@@ -250,6 +263,8 @@ fn worker_loop(
             stats
                 .samples
                 .fetch_add(samples.len() as u64, Ordering::Relaxed);
+            #[cfg(feature = "metrics")]
+            stats.latency.record_duration(job.submitted_at.elapsed());
             job.fulfill(samples);
         }
     }

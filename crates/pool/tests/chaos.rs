@@ -252,7 +252,12 @@ fn stalled_worker_trips_deadlines_and_retry_recovers() {
 
     // A is claimed, then the worker stalls before serving it.
     let ticket_a = pool.submit(request).expect("submit A");
-    while pool.stats().queue_depths[0] > 0 {
+    while pool
+        .metrics()
+        .gauge("pool_shards", "shard0_queue_depth")
+        .unwrap()
+        > 0.0
+    {
         std::thread::yield_now();
     }
     // B fills the only ring slot while the worker sleeps...

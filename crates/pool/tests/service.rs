@@ -29,14 +29,27 @@ fn small_requests_are_coalesced_into_full_batches() {
     for t in tickets {
         assert_eq!(t.wait().unwrap().samples.len(), 10);
     }
-    let stats = pool.stats();
-    assert_eq!(stats.samples(), 100);
-    assert_eq!(stats.requests(), 10);
+    let metrics = pool.metrics();
+    assert_eq!(metrics.counter("pool", "samples_total"), Some(100));
+    assert_eq!(metrics.counter("pool", "requests_total"), Some(10));
     assert_eq!(
-        stats.batches(),
-        2,
+        metrics.counter("pool", "batches_total"),
+        Some(2),
         "coalescer must pack 10 requests into 2 batches"
     );
+    // 100 of the 128 generated samples were delivered; the rest carry.
+    let fill = metrics.gauge("pool", "batch_fill_ratio").unwrap();
+    assert!((fill - 100.0 / 128.0).abs() < 1e-9, "fill ratio {fill}");
+    // Every fulfilled request recorded one latency observation (the
+    // histogram only exists when the record path is compiled in).
+    #[cfg(feature = "metrics")]
+    {
+        let latency = metrics.histogram("pool", "latency_ns").unwrap();
+        assert_eq!(latency.count, 10);
+        assert!(latency.percentile(0.5) > 0);
+    }
+    #[cfg(not(feature = "metrics"))]
+    assert!(metrics.histogram("pool", "latency_ns").is_none());
 }
 
 #[test]
@@ -187,7 +200,7 @@ fn falcon_signs_through_the_pool() {
     let sig = sk.sign(msg, &mut base, &mut rng).expect("signs");
     assert!(sk.public_key().verify(msg, &sig));
     assert!(
-        pool.stats().samples() > 0,
+        pool.metrics().counter("pool", "samples_total").unwrap() > 0,
         "signing must have drawn from the pool"
     );
 }

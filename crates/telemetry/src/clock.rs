@@ -1,0 +1,64 @@
+//! UTC timestamps without a chrono dependency.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The current UTC time as `YYYY-MM-DDTHH:MM:SSZ` — the `date` field of
+/// every `BENCH_*.json` artifact.
+pub fn utc_now_iso8601() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso8601_from_unix(secs)
+}
+
+/// Formats a unix timestamp (seconds) as ISO 8601 UTC.
+pub(crate) fn iso8601_from_unix(secs: u64) -> String {
+    let days = secs / 86_400;
+    let rem = secs % 86_400;
+    let (y, m, d) = civil_from_days(days as i64);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_format_correctly() {
+        assert_eq!(iso8601_from_unix(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(iso8601_from_unix(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(iso8601_from_unix(1_786_147_200), "2026-08-08T00:00:00Z");
+    }
+
+    #[test]
+    fn now_has_the_right_shape() {
+        let now = utc_now_iso8601();
+        assert_eq!(now.len(), 20);
+        assert!(now.ends_with('Z'));
+        assert_eq!(&now[4..5], "-");
+        assert_eq!(&now[10..11], "T");
+    }
+}

@@ -1,0 +1,159 @@
+//! Machine fingerprinting: *where* a measurement was taken.
+//!
+//! Every machine-readable bench artifact embeds one of these so that a
+//! perf trend line can never silently mix hosts, toolchains or SIMD
+//! backends — the per-backend measurement discipline "Closer in the Gap"
+//! argues portable vector claims require.
+
+use crate::json::Json;
+
+/// Identity of the measuring machine and build.
+///
+/// The SIMD backend fields are passed in by the caller (typically from
+/// `Backend::detect_widest()` / `Backend::available()` in
+/// `ctgauss-bitslice`) so this crate stays dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFingerprint {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Logical CPUs visible to the process.
+    pub cpus: usize,
+    /// Detected CPU feature flags relevant to the kernels (x86:
+    /// sse2/avx2/avx512f/…; aarch64: neon).
+    pub cpu_features: Vec<String>,
+    /// The SIMD backend the dispatcher would select (widest available).
+    pub backend: String,
+    /// Every backend available on this host.
+    pub backends: Vec<String>,
+    /// `rustc --version` of the toolchain on `PATH` ("unknown" if rustc
+    /// is not invocable at measurement time).
+    pub rustc: String,
+    /// Git commit hash (`git rev-parse HEAD`, else `$GITHUB_SHA`, else
+    /// "unknown").
+    pub commit: String,
+}
+
+impl MachineFingerprint {
+    /// Detects the fingerprint, given the backend tags from the SIMD
+    /// dispatch layer.
+    pub fn detect(backend: impl Into<String>, backends: Vec<String>) -> Self {
+        MachineFingerprint {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism().map_or(1, usize::from),
+            cpu_features: detect_cpu_features(),
+            backend: backend.into(),
+            backends,
+            rustc: command_line("rustc", &["--version"]),
+            commit: detect_commit(),
+        }
+    }
+
+    /// The JSON object embedded in artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("os", Json::str(&self.os)),
+            ("arch", Json::str(&self.arch)),
+            ("cpus", Json::Num(self.cpus as f64)),
+            (
+                "cpu_features",
+                Json::Arr(self.cpu_features.iter().map(Json::str).collect()),
+            ),
+            ("backend", Json::str(&self.backend)),
+            (
+                "backends",
+                Json::Arr(self.backends.iter().map(Json::str).collect()),
+            ),
+            ("rustc", Json::str(&self.rustc)),
+            ("commit", Json::str(&self.commit)),
+        ])
+    }
+}
+
+/// CPU feature flags the sampler kernels care about, detected at
+/// runtime.
+pub(crate) fn detect_cpu_features() -> Vec<String> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, present) in [
+            ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+            ("ssse3", std::arch::is_x86_feature_detected!("ssse3")),
+            ("sse4.1", std::arch::is_x86_feature_detected!("sse4.1")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("aes", std::arch::is_x86_feature_detected!("aes")),
+        ] {
+            if present {
+                features.push(name.to_owned());
+            }
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        for (name, present) in [
+            ("neon", std::arch::is_aarch64_feature_detected!("neon")),
+            ("aes", std::arch::is_aarch64_feature_detected!("aes")),
+            ("sha2", std::arch::is_aarch64_feature_detected!("sha2")),
+        ] {
+            if present {
+                features.push(name.to_owned());
+            }
+        }
+    }
+    features
+}
+
+/// First line of `cmd args...`, or "unknown".
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(|l| l.trim().to_owned()))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn detect_commit() -> String {
+    let from_git = command_line("git", &["rev-parse", "HEAD"]);
+    if from_git != "unknown" {
+        return from_git;
+    }
+    std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_populated_and_serializes() {
+        let fp = MachineFingerprint::detect("avx2", vec!["avx2".into(), "scalar".into()]);
+        assert!(!fp.os.is_empty());
+        assert!(!fp.arch.is_empty());
+        assert!(fp.cpus >= 1);
+        assert_eq!(fp.backend, "avx2");
+        let json = fp.to_json();
+        assert_eq!(json.get("backend").unwrap().as_str(), Some("avx2"));
+        assert_eq!(json.get("backends").unwrap().as_arr().unwrap().len(), 2);
+        // Round-trips through the parser.
+        let text = json.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn x86_features_include_sse2() {
+        // Every x86-64 CPU has SSE2; its absence means detection broke.
+        assert!(detect_cpu_features().iter().any(|f| f == "sse2"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Log-scale latency histograms: fixed memory, lock-free recording,
+//! lossless cross-shard merging, bounded-error percentiles.
+//!
+//! # Bucket layout
+//!
+//! Values are `u64` (nanoseconds by convention, but unit-agnostic).
+//! Buckets follow the HDR scheme: each power-of-two octave is divided
+//! into `2^SUB_BITS = 16` linear sub-buckets, so the relative width of
+//! any bucket is at most `1/16 = 6.25%` — percentile answers are exact
+//! to within one bucket, i.e. never more than 6.25% below the true
+//! value. Values below 16 get exact unit buckets. The whole range of
+//! `u64` fits in [`BUCKETS`] slots (~7.7 KiB of atomics per histogram,
+//! allocated inline — no heap).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave (16).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`: the 16 exact low-value
+/// buckets (block 0) plus one block of 16 sub-buckets for each msb
+/// position `SUB_BITS..=63` (blocks 1..=60).
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB as usize;
+
+/// The bucket index holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let block = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - SUB) as usize;
+        block * SUB as usize + sub
+    }
+}
+
+/// The smallest value mapping to bucket `i` (the value percentile
+/// queries report — a lower bound on the true percentile).
+fn bucket_floor(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let block = i / SUB;
+        let sub = i % SUB;
+        (SUB + sub) << (block - 1)
+    }
+}
+
+/// A lock-free log-scale histogram (see the module docs for the bucket
+/// scheme). Shards record into their own instance; merge the
+/// [`snapshot`](Histogram::snapshot)s for pool-wide percentiles.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of recorded values (for the mean); wrapping, see `record`.
+    sum: AtomicU64,
+    /// Largest recorded value (percentiles are bucket floors; the max is
+    /// exact).
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50", &s.percentile(0.5))
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free and allocation-free: two relaxed
+    /// `fetch_add`s and a `fetch_max`. No-op while telemetry is
+    /// [disabled](crate::set_enabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // Plain wrapping add: u64 nanoseconds wrap after ~584 years of
+        // cumulative recorded time, so a CAS loop would buy nothing but
+        // contention on the hot path.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(crate::duration_to_nanos(d));
+    }
+
+    /// A point-in-time copy of the bucket counts (racy across concurrent
+    /// recorders, but every recorded value is in exactly one bucket, so
+    /// the snapshot is a valid histogram of a slightly stale stream).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            let n = bucket.load(Ordering::Relaxed);
+            *slot = n;
+            count += n;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: mergeable across shards,
+/// queryable for percentiles, serializable into a
+/// [`Section`](crate::Section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket counts, indexed by the scheme in the module docs.
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Wrapping sum of recorded values (wraps after ~584 years of
+    /// cumulative nanoseconds).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Folds `other` in: bucket-wise addition, so merging is lossless,
+    /// associative and commutative (proptest-pinned) — shard order never
+    /// changes a pool-wide percentile.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // Wrapping, to match `record`'s wrapping accumulation — merging
+        // shard snapshots must equal recording the union stream.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `p` (clamped to `[0, 1]`): the floor of the
+    /// bucket where the cumulative count reaches `ceil(p * count)`.
+    ///
+    /// Guarantee: the returned value lands in the same bucket as the
+    /// true empirical percentile, so it is at most one bucket width
+    /// (6.25%) below it and never above it. Zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // ceil without fp edge cases: the rank of the percentile sample,
+        // 1-based, clamped into [1, count].
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        // Unreachable while count == sum(buckets); be safe under racy
+        // snapshots where count was read before a late increment.
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_floor_are_inverse_on_floors() {
+        for i in 0..BUCKETS {
+            let floor = bucket_floor(i);
+            assert_eq!(bucket_index(floor), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_tight() {
+        // Exhaustive over the first octaves, spot checks beyond.
+        let mut prev = 0;
+        for v in 0..4096u64 {
+            let b = bucket_index(v);
+            assert!(b >= prev, "monotone at {v}");
+            prev = b;
+            assert!(bucket_floor(b) <= v, "floor bound at {v}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // Bucket width / floor <= 1/16 for all buckets beyond the exact
+        // low range.
+        for i in SUB as usize..BUCKETS - 1 {
+            let lo = bucket_floor(i);
+            let hi = bucket_floor(i + 1);
+            assert!(hi > lo);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 1.0 / SUB as f64 + 1e-12,
+                "bucket {i}: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.percentile(0.50);
+        let p99 = s.percentile(0.99);
+        // Within one bucket (6.25%) below the true order statistic.
+        assert!(p50 <= 500 && p50 as f64 >= 500.0 * (1.0 - 1.0 / 16.0));
+        assert!(p99 <= 990 && p99 as f64 >= 990.0 * (1.0 - 1.0 / 16.0));
+        assert_eq!(s.percentile(0.0), bucket_floor(bucket_index(1)));
+        assert_eq!(s.percentile(1.0), bucket_floor(bucket_index(1000)));
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = HistogramSnapshot::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in [3u64, 17, 17, 900, 1 << 40] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [5u64, 17, 1 << 20] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests pinning the histogram contract: percentile answers are
+//! bucket-accurate lower bounds on the true order statistic, and merging
+//! is lossless, associative and commutative.
+
+use ctgauss_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Values spanning many octaves, so properties exercise both the exact
+/// low-value buckets and the log-scale blocks.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64).prop_map(|(v, shift)| v >> shift)
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true (1-based, `rank = ceil(p * n)` clamped to `[1, n]`) order
+/// statistic the histogram approximates.
+fn true_percentile(values: &[u64], p: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `percentile(p)` is the floor of the bucket holding the true order
+    /// statistic: never above it, and below it by at most one bucket
+    /// width (exact under 16, `result/16` beyond).
+    #[test]
+    fn percentile_is_a_bucket_accurate_lower_bound(
+        values in proptest::collection::vec(value_strategy(), 1..200),
+        p_hundredths in 0u64..101,
+    ) {
+        let snap = record_all(&values);
+        let p = p_hundredths as f64 / 100.0;
+        let got = snap.percentile(p);
+        let truth = true_percentile(&values, p);
+        prop_assert!(got <= truth, "percentile over-reports: {got} > {truth}");
+        if truth < 16 {
+            prop_assert_eq!(got, truth);
+        } else {
+            prop_assert!(
+                truth - got <= got / 16,
+                "more than one bucket below: got {got}, truth {truth}"
+            );
+        }
+    }
+
+    /// Merging shard snapshots equals recording the concatenated stream.
+    #[test]
+    fn merge_is_lossless(
+        a in proptest::collection::vec(value_strategy(), 0..100),
+        b in proptest::collection::vec(value_strategy(), 0..100),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let union: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, record_all(&union));
+    }
+
+    /// Merge order never matters: commutative and associative, so shard
+    /// iteration order cannot change a pool-wide percentile.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(value_strategy(), 0..60),
+        b in proptest::collection::vec(value_strategy(), 0..60),
+        c in proptest::collection::vec(value_strategy(), 0..60),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // (a + b) + c == a + (b + c)
+        let mut left = ab;
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Count, max and mean are exact (not bucketed).
+    #[test]
+    fn count_max_mean_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((snap.mean() - mean).abs() < 1e-6);
+    }
+}

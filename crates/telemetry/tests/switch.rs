@@ -1,0 +1,38 @@
+//! The global off switch, tested in its own process: integration tests
+//! get one process each, so flipping `set_enabled` here cannot race the
+//! crate's multi-threaded unit tests.
+
+use ctgauss_telemetry::{enabled, set_enabled, Counter, Histogram, NanosCounter};
+
+#[test]
+fn disabled_recording_is_a_no_op_and_reversible() {
+    let c = Counter::new();
+    let n = NanosCounter::new();
+    let h = Histogram::new();
+
+    assert!(enabled(), "telemetry must default to on");
+    c.inc();
+    h.record(42);
+    n.record(std::time::Duration::from_nanos(10));
+
+    set_enabled(false);
+    assert!(!enabled());
+    c.add(100);
+    h.record(42);
+    h.record_duration(std::time::Duration::from_secs(1));
+    n.record(std::time::Duration::from_secs(1));
+
+    // Nothing recorded while off; prior state intact and readable.
+    assert_eq!(c.get(), 1);
+    assert_eq!(n.nanos(), 10);
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.max, 42);
+
+    // Re-enabling resumes recording into the same instruments.
+    set_enabled(true);
+    c.inc();
+    h.record(100);
+    assert_eq!(c.get(), 2);
+    assert_eq!(h.snapshot().count, 2);
+}

@@ -2,8 +2,12 @@
 //!
 //! Line protocol: one request per line, `<profile> <count>` (or just
 //! `<count>` for profile 0); blank lines and `#` comments are skipped.
-//! Profiles index a fixed table: 0 = sigma 2, 1 = sigma 6.15543,
-//! 2 = sigma 1.5 (all n = 24, the Figure 5 configurations).
+//! A line reading `stats` emits the live [`MetricsSnapshot`] (pool
+//! telemetry plus the process-global kernel-cache and synthesis
+//! sections) as one compact JSON line on stdout at that point of the
+//! submission stream. Profiles index a fixed table: 0 = sigma 2,
+//! 1 = sigma 6.15543, 2 = sigma 1.5 (all n = 24, the Figure 5
+//! configurations).
 //!
 //! ```text
 //! # Generate a 10k-request trace, then replay it on 4 workers:
@@ -18,12 +22,15 @@
 //! ```
 //!
 //! `run` reports p50/p99 request latency and samples/sec per thread
-//! count. `--verify` replays the trace twice and exits non-zero if any
-//! response is dropped, duplicated, mis-sized, or fails to replay
-//! bit-identically; it also arms a watchdog (`--deadline SECS`,
-//! default 300) that kills the process with a non-zero exit if
-//! verification wedges instead of finishing — a verifier that hangs is
-//! a failed verification, not a pending one.
+//! count; `--metrics-out FILE` additionally writes the final run's full
+//! metrics snapshot as pretty JSON. `--verify` replays the trace twice
+//! — the second time with telemetry globally disabled, so the checksum
+//! match also proves recording never perturbs the draw-order contract —
+//! and exits non-zero if any response is dropped, duplicated,
+//! mis-sized, or fails to replay bit-identically; it also arms a
+//! watchdog (`--deadline SECS`, default 300) that kills the process
+//! with a non-zero exit if verification wedges instead of finishing — a
+//! verifier that hangs is a failed verification, not a pending one.
 //!
 //! `--chaos` arms a fault plan (inline spec, else `CTGAUSS_FAULTS`,
 //! else a built-in default) and switches submission to the bounded
@@ -41,8 +48,8 @@ use std::time::{Duration, Instant};
 
 use ctgauss_core::{CtSampler, SamplerSpec};
 use ctgauss_pool::{
-    replay_trace, submit_with_retry, FaultKind, FaultPlan, LaneWidth, Pool, PoolError, RetryPolicy,
-    SampleRequest, TraceEntry, WaitError, FAULTS_ENV,
+    replay_trace, submit_with_retry, FaultKind, FaultPlan, LaneWidth, MetricsSnapshot, Pool,
+    PoolError, RetryPolicy, SampleRequest, TraceEntry, WaitError, FAULTS_ENV,
 };
 use ctgauss_prng::{RandomSource, SeedTree, SplitMix64};
 
@@ -54,7 +61,7 @@ fn usage() -> ExitCode {
         "usage: pool_server gen <n> [--seed S] [--profiles K] [--max-count C]\n\
                 pool_server run [--threads T] [--width 1|2|4|8] [--seed S]\n\
                              [--sweep T1,T2,..] [--verify] [--deadline SECS]\n\
-                             [--chaos [SPEC]] < trace\n\
+                             [--chaos [SPEC]] [--metrics-out FILE] < trace\n\
        chaos SPEC: `panic@w<W>.{{batch|req}}<N>`, `stall@w<W>.{{batch|req}}<N>:<D>ms`,\n\
                    `cacheload[:N]`, `;`-separated; defaults to ${FAULTS_ENV} or a built-in plan"
     );
@@ -127,12 +134,25 @@ struct TraceLine {
     count: usize,
 }
 
-fn parse_trace(reader: impl BufRead) -> Vec<TraceLine> {
+/// A parsed trace: the sample requests, plus the positions of `stats`
+/// line commands (each value is the number of requests submitted before
+/// that snapshot is emitted; may repeat, may equal `requests.len()`).
+struct ParsedTrace {
+    requests: Vec<TraceLine>,
+    stats_at: Vec<usize>,
+}
+
+fn parse_trace(reader: impl BufRead) -> ParsedTrace {
     let mut trace = Vec::new();
+    let mut stats_at = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.expect("read trace line");
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "stats" {
+            stats_at.push(trace.len());
             continue;
         }
         let mut fields = line.split_whitespace();
@@ -161,7 +181,19 @@ fn parse_trace(reader: impl BufRead) -> Vec<TraceLine> {
         );
         trace.push(entry);
     }
-    trace
+    ParsedTrace {
+        requests: trace,
+        stats_at,
+    }
+}
+
+/// The `stats` line command (and `--metrics-out` body): the pool's live
+/// telemetry plus the process-global kernel-cache and synthesis
+/// sections, as one snapshot.
+fn full_snapshot(pool: &Pool) -> MetricsSnapshot {
+    let mut snapshot = pool.metrics();
+    ctgauss_core::attach_metrics(&mut snapshot);
+    snapshot
 }
 
 struct RunReport {
@@ -182,6 +214,9 @@ struct RunReport {
     /// Chaos mode only: worker deaths, restarts, and whether the live
     /// run matched the offline (seed, trace, failure-log) replay.
     chaos: Option<ChaosReport>,
+    /// The run's final metrics snapshot (pool + core sections), for
+    /// `--metrics-out`.
+    metrics: MetricsSnapshot,
 }
 
 struct ChaosReport {
@@ -196,6 +231,7 @@ struct ChaosReport {
 /// bit for bit against the offline (seed, trace, failure-log) replay.
 fn replay(
     trace: &[TraceLine],
+    stats_at: &[usize],
     shared: &[Arc<CtSampler>],
     threads: usize,
     width: LaneWidth,
@@ -222,25 +258,33 @@ fn replay(
     };
 
     let start = Instant::now();
-    let tickets: Vec<_> = trace
-        .iter()
-        .map(|line| {
-            let request = SampleRequest {
-                profile: profiles[line.profile],
-                count: line.count,
-            };
-            if faults.is_some() {
-                // Bounded-latency path: a retryable refusal consumes no
-                // sequence number, so the trace→seq alignment survives
-                // however many attempts a request needs. WorkerGone *does*
-                // consume one (the retired shard still owns that slot of
-                // the sequence space) — record it and move on.
-                submit_with_retry(&pool, request, &retry)
-            } else {
-                pool.submit(request)
-            }
-        })
-        .collect();
+    let mut stats_points = stats_at.iter().peekable();
+    let mut tickets = Vec::with_capacity(trace.len());
+    for (i, line) in trace.iter().enumerate() {
+        // `stats` line commands fire at their position in the submission
+        // stream, so queue depth and in-flight latency are live values.
+        while stats_points.next_if(|&&at| at <= i).is_some() {
+            println!("{}", full_snapshot(&pool).to_json_line());
+        }
+        let request = SampleRequest {
+            profile: profiles[line.profile],
+            count: line.count,
+        };
+        tickets.push(if faults.is_some() {
+            // Bounded-latency path: a retryable refusal consumes no
+            // sequence number, so the trace→seq alignment survives
+            // however many attempts a request needs. WorkerGone *does*
+            // consume one (the retired shard still owns that slot of
+            // the sequence space) — record it and move on.
+            submit_with_retry(&pool, request, &retry)
+        } else {
+            pool.submit(request)
+        });
+    }
+    // `stats` lines after the last request snapshot post-submission.
+    while stats_points.next().is_some() {
+        println!("{}", full_snapshot(&pool).to_json_line());
+    }
     let mut latencies = Vec::with_capacity(trace.len());
     let mut live: Vec<Option<Vec<i32>>> = Vec::with_capacity(trace.len());
     let mut seen = vec![false; trace.len()];
@@ -300,7 +344,7 @@ fn replay(
         .filter(|&&s| !s)
         .count()
         .saturating_sub(gone + hung);
-    let stats = pool.stats();
+    let metrics = full_snapshot(&pool);
     let chaos = faults.map(|_| {
         pool.shutdown(); // the failure log is complete only after shutdown
         let failures = pool.failure_log();
@@ -330,17 +374,26 @@ fn replay(
             replay_mismatches,
         }
     });
+    let samples = metrics.counter("pool", "samples_total").unwrap_or(0);
+    let per_worker = (0..threads)
+        .map(|w| {
+            metrics
+                .counter("pool_shards", &format!("shard{w}_samples"))
+                .unwrap_or(0)
+        })
+        .collect();
     RunReport {
         elapsed,
         latencies,
         checksum,
-        samples: stats.samples(),
-        per_worker: stats.samples_per_worker.clone(),
+        samples,
+        per_worker,
         dropped,
         duplicated,
         hung,
         gone,
         chaos,
+        metrics,
     }
 }
 
@@ -395,6 +448,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut chaos = false;
     let mut chaos_spec: Option<String> = None;
     let mut deadline = Duration::from_secs(300);
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -433,6 +487,7 @@ fn run(args: &[String]) -> ExitCode {
                     it.next().and_then(|v| v.parse().ok()).expect("--deadline"),
                 );
             }
+            "--metrics-out" => metrics_out = Some(it.next().expect("--metrics-out").clone()),
             _ => return usage(),
         }
     }
@@ -465,7 +520,8 @@ fn run(args: &[String]) -> ExitCode {
     };
 
     let stdin = std::io::stdin();
-    let trace = parse_trace(stdin.lock());
+    let parsed = parse_trace(stdin.lock());
+    let trace = parsed.requests;
     if trace.is_empty() {
         eprintln!("pool_server: empty trace on stdin");
         return ExitCode::from(2);
@@ -501,8 +557,17 @@ fn run(args: &[String]) -> ExitCode {
     let watchdog = verify.then(|| arm_watchdog(deadline));
     let thread_counts = sweep.unwrap_or_else(|| vec![threads]);
     let mut failed = false;
+    let mut last_metrics: Option<MetricsSnapshot> = None;
     for &t in &thread_counts {
-        let report = replay(&trace, &shared, t, width, seed, faults.as_ref());
+        let report = replay(
+            &trace,
+            &parsed.stats_at,
+            &shared,
+            t,
+            width,
+            seed,
+            faults.as_ref(),
+        );
         let mut sorted = report.latencies.clone();
         sorted.sort();
         println!(
@@ -559,7 +624,12 @@ fn run(args: &[String]) -> ExitCode {
                 }
             }
         } else if verify {
-            let replayed = replay(&trace, &shared, t, width, seed, None);
+            // The replay leg runs with telemetry globally disabled: a
+            // matching checksum therefore also proves the record path
+            // never perturbs the draw-order contract.
+            ctgauss_telemetry::set_enabled(false);
+            let replayed = replay(&trace, &[], &shared, t, width, seed, None);
+            ctgauss_telemetry::set_enabled(true);
             let audit_ok = report.dropped == 0
                 && report.duplicated == 0
                 && replayed.dropped == 0
@@ -570,7 +640,7 @@ fn run(args: &[String]) -> ExitCode {
             if audit_ok && deterministic {
                 println!(
                     "  verify: ok ({} responses, none dropped/duplicated; \
-                     replay checksum {:016x} matches)",
+                     metrics-disabled replay checksum {:016x} matches)",
                     trace.len(),
                     report.checksum
                 );
@@ -588,6 +658,12 @@ fn run(args: &[String]) -> ExitCode {
                 );
             }
         }
+        last_metrics = Some(report.metrics);
+    }
+    if let Some(path) = &metrics_out {
+        let snapshot = last_metrics.expect("at least one run");
+        std::fs::write(path, snapshot.to_json().to_string_pretty()).expect("--metrics-out write");
+        eprintln!("pool_server: metrics written to {path}");
     }
     if let Some(done) = watchdog {
         done.store(true, Ordering::Relaxed);
