@@ -71,5 +71,5 @@ pub use pool::{
 // the telemetry crate themselves.
 pub use ctgauss_telemetry::{HistogramSnapshot, MetricsSnapshot};
 pub use replay::{replay_trace, TraceEntry};
-pub use retry::{submit_with_retry, RetryPolicy};
+pub use retry::{submit_with_retry, Backoff, RetryPolicy};
 pub use supervisor::RestartPolicy;

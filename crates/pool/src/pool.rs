@@ -871,9 +871,33 @@ impl Pool {
         let uptime = self.started_at.elapsed().as_secs_f64();
         let batch_samples = batches * 64 * self.width.lanes() as u64;
 
+        let (mut alive, mut restarting, mut dead) = (0u64, 0u64, 0u64);
+        for shard in &health.shards {
+            match shard.state {
+                ShardState::Alive { .. } => alive += 1,
+                ShardState::Restarting { .. } => restarting += 1,
+                ShardState::Dead => dead += 1,
+            }
+        }
+        // The one-word health verdict remote stats consumers key on:
+        // every shard alive = ok; any shard dead = failed (capacity is
+        // permanently reduced); otherwise degraded (a resurrection is in
+        // flight).
+        let verdict = if dead > 0 {
+            "failed"
+        } else if restarting > 0 {
+            "degraded"
+        } else {
+            "ok"
+        };
+
         let mut snap = MetricsSnapshot::new();
         let pool = snap.section("pool");
-        pool.label("width", format!("W{}", self.width.lanes()))
+        pool.label("health", verdict)
+            .counter("shards_alive", alive)
+            .counter("shards_restarting", restarting)
+            .counter("shards_dead", dead)
+            .label("width", format!("W{}", self.width.lanes()))
             .counter("threads", self.shards.len() as u64)
             .counter("submitted", self.submitted())
             .counter("requests_total", requests)

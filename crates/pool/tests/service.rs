@@ -53,6 +53,28 @@ fn small_requests_are_coalesced_into_full_batches() {
 }
 
 #[test]
+fn metrics_surface_pool_health() {
+    // The health board is part of the telemetry surface: a stats
+    // consumer (the `--metrics-out` artifact, the RPC `stats` endpoint)
+    // must see the aggregate verdict and shard-state counts without
+    // calling `Pool::health()` itself.
+    let mut builder = Pool::builder().threads(2).width(LaneWidth::W1).seed_u64(9);
+    let profile = builder.profile(&test_spec()).expect("profile");
+    let pool = builder.spawn();
+    pool.submit(SampleRequest { profile, count: 4 })
+        .unwrap()
+        .wait()
+        .unwrap();
+    let metrics = pool.metrics();
+    assert_eq!(metrics.label("pool", "health"), Some("ok"));
+    assert_eq!(metrics.counter("pool", "shards_alive"), Some(2));
+    assert_eq!(metrics.counter("pool", "shards_restarting"), Some(0));
+    assert_eq!(metrics.counter("pool", "shards_dead"), Some(0));
+    // The aggregate agrees with the health board it summarizes.
+    assert!(pool.health().all_alive());
+}
+
+#[test]
 fn foreign_profile_ids_are_rejected() {
     // Profile ids are bound to the pool that minted them. An id from
     // another pool must be rejected even when its index is in range —

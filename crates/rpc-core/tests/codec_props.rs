@@ -1,0 +1,300 @@
+//! Property tests for the RPC wire codecs: encoding is a lossless
+//! identity on arbitrary valid messages under *both* codecs, the two
+//! codecs agree on every value, and the checksummed binary form rejects
+//! every single-byte corruption, every truncation, and any trailing
+//! garbage — the same integrity standard the kernel-artifact format is
+//! pinned to.
+
+use ctgauss_rpc_core::{
+    decode_request, decode_response, encode_request, encode_response, CodecKind, ErrorKind,
+    ReplayAudit, Request, RequestBody, Response, ResponseBody, WireError, WireFailure, WireHealth,
+    WireOutcome, WireShard, WireShardState, WireTraceEntry,
+};
+use proptest::prelude::*;
+
+/// Sample counts stay in the codec's legal range without ever asking a
+/// generator to materialize 2^22-element vectors.
+const MAX_COUNT: u32 = 1 << 22;
+
+/// The JSON codec bounds every integer by 2^53 (IEEE double exactness),
+/// so cross-codec equivalence only holds for values both can carry.
+const MAX_SAFE: u64 = (1 << 53) - 1;
+
+/// Printable ASCII including quote and backslash, so string escaping is
+/// exercised without betting the test on exotic-unicode handling.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 0..40)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
+}
+
+fn arb_request_body() -> impl Strategy<Value = RequestBody> {
+    prop_oneof![
+        (any::<u32>(), 1u32..=MAX_COUNT, any::<u32>()).prop_map(|(profile, count, deadline_ms)| {
+            RequestBody::Sample {
+                profile,
+                count,
+                deadline_ms,
+            }
+        }),
+        Just(RequestBody::Health),
+        Just(RequestBody::Stats),
+        Just(RequestBody::ReplayAudit),
+        Just(RequestBody::Ping),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0..=MAX_SAFE, arb_request_body()).prop_map(|(id, body)| Request { id, body })
+}
+
+fn arb_error() -> impl Strategy<Value = WireError> {
+    (0..ErrorKind::ALL.len(), any::<bool>(), arb_text()).prop_map(|(kind, retryable, message)| {
+        WireError {
+            kind: ErrorKind::ALL[kind],
+            retryable,
+            message,
+        }
+    })
+}
+
+/// Shard states with the canonical-zero rule the codecs enforce: a dead
+/// shard's epoch is 0 by construction.
+fn arb_shard() -> impl Strategy<Value = WireShard> {
+    (0u8..3, 1..=MAX_SAFE, any::<u32>(), 0..=MAX_SAFE).prop_map(
+        |(state, epoch, restarts, abandoned)| {
+            let (state, epoch) = match state {
+                0 => (WireShardState::Alive, epoch),
+                1 => (WireShardState::Restarting, epoch),
+                _ => (WireShardState::Dead, 0),
+            };
+            WireShard {
+                state,
+                epoch,
+                restarts,
+                abandoned,
+            }
+        },
+    )
+}
+
+/// Failures with the strict invariants a decoder demands: abandoned
+/// seqs strictly sorted, `new_epoch` zero unless the outcome restarted.
+fn arb_failure() -> impl Strategy<Value = WireFailure> {
+    (
+        any::<u32>(),
+        0..=MAX_SAFE,
+        0..=MAX_SAFE,
+        proptest::collection::vec(0..=MAX_SAFE, 0..6),
+        0u8..3,
+        1..=MAX_SAFE,
+        arb_text(),
+    )
+        .prop_map(
+            |(worker, epoch, fulfilled, mut abandoned, outcome, new_epoch, cause)| {
+                let (outcome, new_epoch) = match outcome {
+                    0 => (WireOutcome::Restarted, new_epoch),
+                    1 => (WireOutcome::Exhausted, 0),
+                    _ => (WireOutcome::ShuttingDown, 0),
+                };
+                // The codecs demand strictly sorted abandoned seqs.
+                abandoned.sort_unstable();
+                abandoned.dedup();
+                WireFailure {
+                    worker,
+                    epoch,
+                    fulfilled,
+                    abandoned,
+                    outcome,
+                    new_epoch,
+                    cause,
+                }
+            },
+        )
+}
+
+fn arb_audit() -> impl Strategy<Value = ReplayAudit> {
+    (
+        1u32..64,
+        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        proptest::collection::vec((any::<u32>(), 1u32..=MAX_COUNT), 0..12),
+        proptest::collection::vec(arb_failure(), 0..4),
+    )
+        .prop_map(|(threads, width_lanes, trace, failures)| {
+            let trace: Vec<WireTraceEntry> = trace
+                .into_iter()
+                .map(|(profile, count)| WireTraceEntry { profile, count })
+                .collect();
+            ReplayAudit {
+                threads,
+                width_lanes,
+                submitted: trace.len() as u64,
+                trace,
+                failures,
+            }
+        })
+}
+
+fn arb_response_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        (
+            0..=MAX_SAFE,
+            0..=MAX_SAFE,
+            proptest::collection::vec(any::<i32>(), 1..200),
+        )
+            .prop_map(|(seq, latency_ns, samples)| ResponseBody::Samples {
+                seq,
+                latency_ns,
+                samples,
+            }),
+        proptest::collection::vec(arb_shard(), 0..8)
+            .prop_map(|shards| ResponseBody::Health(WireHealth { shards })),
+        arb_text().prop_map(|json| ResponseBody::Stats { json }),
+        arb_audit().prop_map(ResponseBody::ReplayAudit),
+        any::<bool>().prop_map(|draining| ResponseBody::Pong { draining }),
+        arb_error().prop_map(ResponseBody::Error),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (0..=MAX_SAFE, arb_response_body()).prop_map(|(id, body)| Response { id, body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// encode → decode is the identity for requests, under both codecs,
+    /// and re-encoding is byte-identical (canonical form).
+    #[test]
+    fn prop_request_round_trip_is_identity(request in arb_request()) {
+        for codec in [CodecKind::Binary, CodecKind::Json] {
+            let bytes = encode_request(codec, &request);
+            let back = decode_request(codec, &bytes).expect("own bytes decode");
+            prop_assert_eq!(&back, &request, "codec {:?}", codec);
+            prop_assert_eq!(encode_request(codec, &back), bytes, "codec {:?}", codec);
+        }
+    }
+
+    /// encode → decode is the identity for responses, under both codecs.
+    #[test]
+    fn prop_response_round_trip_is_identity(response in arb_response()) {
+        for codec in [CodecKind::Binary, CodecKind::Json] {
+            let bytes = encode_response(codec, &response);
+            let back = decode_response(codec, &bytes).expect("own bytes decode");
+            prop_assert_eq!(&back, &response, "codec {:?}", codec);
+            prop_assert_eq!(encode_response(codec, &back), bytes, "codec {:?}", codec);
+        }
+    }
+
+    /// The two codecs carry exactly the same value: what one encodes the
+    /// other reproduces, in both directions. (Round-tripping through
+    /// each and comparing the decoded values IS the cross-codec check —
+    /// there is one model type, so equality is transitive.)
+    #[test]
+    fn prop_codecs_agree_on_every_message(request in arb_request(), response in arb_response()) {
+        let via_binary = decode_request(
+            CodecKind::Binary,
+            &encode_request(CodecKind::Binary, &request),
+        )
+        .expect("binary");
+        let via_json =
+            decode_request(CodecKind::Json, &encode_request(CodecKind::Json, &request))
+                .expect("json");
+        prop_assert_eq!(via_binary, via_json);
+
+        let via_binary = decode_response(
+            CodecKind::Binary,
+            &encode_response(CodecKind::Binary, &response),
+        )
+        .expect("binary");
+        let via_json = decode_response(
+            CodecKind::Json,
+            &encode_response(CodecKind::Json, &response),
+        )
+        .expect("json");
+        prop_assert_eq!(via_binary, via_json);
+    }
+
+    /// Every single-byte corruption of a binary request is rejected —
+    /// exhaustive over byte positions, corruption value drawn per case.
+    /// (FNV-1a absorbs each byte through a bijective step, so one
+    /// substituted byte always lands in a different final state.)
+    #[test]
+    fn prop_binary_request_corruption_is_rejected(
+        request in arb_request(),
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode_request(CodecKind::Binary, &request);
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            prop_assert!(
+                decode_request(CodecKind::Binary, &corrupt).is_err(),
+                "corruption at byte {}/{} (xor {:#04x}) was accepted",
+                pos,
+                bytes.len(),
+                flip
+            );
+        }
+    }
+
+    /// Same exhaustive standard for binary responses. Sample vectors are
+    /// kept small here so positions × cases stays fast; the checksum
+    /// argument is position-independent.
+    #[test]
+    fn prop_binary_response_corruption_is_rejected(
+        response in arb_response(),
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode_response(CodecKind::Binary, &response);
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            prop_assert!(
+                decode_response(CodecKind::Binary, &corrupt).is_err(),
+                "corruption at byte {}/{} (xor {:#04x}) was accepted",
+                pos,
+                bytes.len(),
+                flip
+            );
+        }
+    }
+
+    /// No truncation of a binary payload is accepted, and appended
+    /// garbage is rejected; both hold for requests and responses.
+    #[test]
+    fn prop_binary_truncation_and_extension_are_rejected(
+        request in arb_request(),
+        response in arb_response(),
+        cut in any::<u64>(),
+        tail in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let req = encode_request(CodecKind::Binary, &request);
+        let resp = encode_response(CodecKind::Binary, &response);
+        let keep_req = (cut % req.len() as u64) as usize;
+        let keep_resp = (cut % resp.len() as u64) as usize;
+        prop_assert!(decode_request(CodecKind::Binary, &req[..keep_req]).is_err());
+        prop_assert!(decode_response(CodecKind::Binary, &resp[..keep_resp]).is_err());
+        let mut req_ext = req.clone();
+        req_ext.extend_from_slice(&tail);
+        let mut resp_ext = resp.clone();
+        resp_ext.extend_from_slice(&tail);
+        prop_assert!(decode_request(CodecKind::Binary, &req_ext).is_err());
+        prop_assert!(decode_response(CodecKind::Binary, &resp_ext).is_err());
+    }
+
+    /// The JSON codec has no checksum, but structural damage must still
+    /// be rejected: every truncation of the document is unbalanced or
+    /// incomplete, and trailing garbage is not silently ignored.
+    #[test]
+    fn prop_json_truncation_and_extension_are_rejected(
+        request in arb_request(),
+        cut in any::<u64>(),
+    ) {
+        let bytes = encode_request(CodecKind::Json, &request);
+        let keep = (cut % bytes.len() as u64) as usize;
+        prop_assert!(decode_request(CodecKind::Json, &bytes[..keep]).is_err());
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(b"garbage");
+        prop_assert!(decode_request(CodecKind::Json, &extended).is_err());
+    }
+}

@@ -40,21 +40,26 @@
 //! failure log: every fulfilled response must match bit for bit, every
 //! missing response must be one the log accounts for.
 
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ctgauss_core::{CtSampler, SamplerSpec};
+use ctgauss_core::CtSampler;
 use ctgauss_pool::{
     replay_trace, submit_with_retry, FaultKind, FaultPlan, LaneWidth, MetricsSnapshot, Pool,
     PoolError, RetryPolicy, SampleRequest, TraceEntry, WaitError, FAULTS_ENV,
 };
-use ctgauss_prng::{RandomSource, SeedTree, SplitMix64};
-
-/// The registered sigma profiles, indexed by the trace's profile field.
-const PROFILES: [(&str, u32); 3] = [("2", 24), ("6.15543", 24), ("1.5", 24)];
+use ctgauss_prng::SeedTree;
+// Trace generation/parsing, percentiles, the response checksum, and the
+// watchdog are the shared harness in `ctgauss-rpc-client`: the same code
+// drives this in-process front end, the TCP `rpc_server` example, and
+// the `rpc_smoke` CI gate.
+use ctgauss_rpc_client::harness::{
+    arm_watchdog, build_standard_profiles, gen_trace, parse_trace, percentile, FnvChecksum,
+    TraceLine, STANDARD_PROFILES,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -94,9 +99,9 @@ fn generate(args: &[String]) -> ExitCode {
             "--profiles" => {
                 profiles = it.next().and_then(|v| v.parse().ok()).expect("--profiles");
                 assert!(
-                    (1..=PROFILES.len()).contains(&profiles),
+                    (1..=STANDARD_PROFILES.len()).contains(&profiles),
                     "--profiles must be 1..={}",
-                    PROFILES.len()
+                    STANDARD_PROFILES.len()
                 );
             }
             "--max-count" => {
@@ -108,83 +113,13 @@ fn generate(args: &[String]) -> ExitCode {
     }
     let Some(n) = n else { return usage() };
     assert!(max_count >= 1, "--max-count must be at least 1");
-    let mut rng = SplitMix64::new(seed);
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     writeln!(out, "# pool_server trace: {n} requests, seed {seed}").expect("stdout");
-    for _ in 0..n {
-        let profile = rng.next_u64() as usize % profiles;
-        // Long-tail sizes: mostly small draws, occasional bulk buffers.
-        // `--max-count` is a hard cap on every request size: the bulk arm
-        // draws uniformly from 512..max_count, and all arms clamp to it.
-        let count = match rng.next_u64() % 10 {
-            0..=5 => 1 + rng.next_u64() as usize % 64,
-            6..=8 => 64 + rng.next_u64() as usize % 512,
-            _ => 512 + rng.next_u64() as usize % max_count.saturating_sub(512).max(1),
-        }
-        .min(max_count);
-        writeln!(out, "{profile} {count}").expect("stdout");
+    for line in gen_trace(seed, n, profiles, max_count) {
+        writeln!(out, "{} {}", line.profile, line.count).expect("stdout");
     }
     ExitCode::SUCCESS
-}
-
-#[derive(Clone, Copy)]
-struct TraceLine {
-    profile: usize,
-    count: usize,
-}
-
-/// A parsed trace: the sample requests, plus the positions of `stats`
-/// line commands (each value is the number of requests submitted before
-/// that snapshot is emitted; may repeat, may equal `requests.len()`).
-struct ParsedTrace {
-    requests: Vec<TraceLine>,
-    stats_at: Vec<usize>,
-}
-
-fn parse_trace(reader: impl BufRead) -> ParsedTrace {
-    let mut trace = Vec::new();
-    let mut stats_at = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.expect("read trace line");
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line == "stats" {
-            stats_at.push(trace.len());
-            continue;
-        }
-        let mut fields = line.split_whitespace();
-        let first: usize = fields
-            .next()
-            .and_then(|f| f.parse().ok())
-            .unwrap_or_else(|| panic!("trace line {}: expected numbers", lineno + 1));
-        let entry = match fields.next() {
-            Some(second) => TraceLine {
-                profile: first,
-                count: second
-                    .parse()
-                    .unwrap_or_else(|_| panic!("trace line {}: bad count", lineno + 1)),
-            },
-            None => TraceLine {
-                profile: 0,
-                count: first,
-            },
-        };
-        assert!(
-            entry.profile < PROFILES.len(),
-            "trace line {}: profile {} out of range (max {})",
-            lineno + 1,
-            entry.profile,
-            PROFILES.len() - 1
-        );
-        trace.push(entry);
-    }
-    ParsedTrace {
-        requests: trace,
-        stats_at,
-    }
 }
 
 /// The `stats` line command (and `--metrics-out` body): the pool's live
@@ -288,7 +223,7 @@ fn replay(
     let mut latencies = Vec::with_capacity(trace.len());
     let mut live: Vec<Option<Vec<i32>>> = Vec::with_capacity(trace.len());
     let mut seen = vec![false; trace.len()];
-    let mut checksum = 0xcbf29ce484222325u64;
+    let mut checksum = FnvChecksum::new();
     let mut dropped = 0;
     let mut duplicated = 0;
     let mut hung = 0;
@@ -327,9 +262,7 @@ fn replay(
                 if response.samples.len() != trace[i].count {
                     dropped += 1;
                 }
-                for &s in &response.samples {
-                    checksum = (checksum ^ s as u32 as u64).wrapping_mul(0x100000001b3);
-                }
+                checksum.update(&response.samples);
                 latencies.push(response.latency);
                 live.push(Some(response.samples));
             }
@@ -385,7 +318,7 @@ fn replay(
     RunReport {
         elapsed,
         latencies,
-        checksum,
+        checksum: checksum.value(),
         samples,
         per_worker,
         dropped,
@@ -401,28 +334,6 @@ fn replay(
 /// trip is a hang, not load.
 const TICKET_DEADLINE: Duration = Duration::from_secs(60);
 
-/// Arms a watchdog that kills the process (exit 3) if `done` is not set
-/// within `deadline` — the non-hanging guarantee for `--verify`.
-fn arm_watchdog(deadline: Duration) -> Arc<AtomicBool> {
-    let done = Arc::new(AtomicBool::new(false));
-    let observed = Arc::clone(&done);
-    std::thread::spawn(move || {
-        let start = Instant::now();
-        while start.elapsed() < deadline {
-            std::thread::sleep(Duration::from_millis(100));
-            if observed.load(Ordering::Relaxed) {
-                return;
-            }
-        }
-        eprintln!(
-            "pool_server: watchdog deadline ({}s) exceeded — verification wedged, aborting",
-            deadline.as_secs()
-        );
-        std::process::exit(3);
-    });
-    done
-}
-
 /// The fault plan `--chaos` falls back to when neither an inline spec
 /// nor `CTGAUSS_FAULTS` provides one: two worker deaths (one early, one
 /// deep enough to land in a resurrected epoch on busy traces), a stall
@@ -430,14 +341,6 @@ fn arm_watchdog(deadline: Duration) -> Arc<AtomicBool> {
 /// Out-of-range workers are dropped on arming, so this is safe at any
 /// `--threads`.
 const DEFAULT_CHAOS_SPEC: &str = "panic@w0.req40;stall@w1.req120:25ms;panic@w1.req260;cacheload:1";
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
 
 fn run(args: &[String]) -> ExitCode {
     let mut threads = 4usize;
@@ -520,7 +423,7 @@ fn run(args: &[String]) -> ExitCode {
     };
 
     let stdin = std::io::stdin();
-    let parsed = parse_trace(stdin.lock());
+    let parsed = parse_trace(stdin.lock(), STANDARD_PROFILES.len());
     let trace = parsed.requests;
     if trace.is_empty() {
         eprintln!("pool_server: empty trace on stdin");
@@ -545,16 +448,9 @@ fn run(args: &[String]) -> ExitCode {
             plan.cache_load_failures()
         );
     }
-    let shared: Vec<Arc<CtSampler>> = PROFILES[..needed_profiles]
-        .iter()
-        .map(|&(sigma, n)| {
-            SamplerSpec::new(sigma, n)
-                .build_shared()
-                .expect("profile builds")
-        })
-        .collect();
+    let shared: Vec<Arc<CtSampler>> = build_standard_profiles(needed_profiles);
 
-    let watchdog = verify.then(|| arm_watchdog(deadline));
+    let watchdog = verify.then(|| arm_watchdog("pool_server", deadline));
     let thread_counts = sweep.unwrap_or_else(|| vec![threads]);
     let mut failed = false;
     let mut last_metrics: Option<MetricsSnapshot> = None;

@@ -3,10 +3,11 @@
 //! Implements the subset of the proptest 1.x API used by the workspace's
 //! tests: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
 //! `prop_assume!`, [`ProptestConfig::with_cases`], the [`Strategy`] trait
-//! with `prop_map`/`prop_recursive`/`boxed`, [`any`], [`prop_oneof!`],
-//! integer-range and tuple strategies, and [`collection::vec`]. Cases are
-//! driven by a deterministic SplitMix64 stream seeded from the test name,
-//! so runs are reproducible; there is no shrinking (see
+//! with `prop_map`/`prop_recursive`/`boxed`, [`any`], [`Just`],
+//! [`prop_oneof!`], integer-range strategies (half-open and inclusive),
+//! tuple strategies up to seven elements, and [`collection::vec`]. Cases
+//! are driven by a deterministic SplitMix64 stream seeded from the test
+//! name, so runs are reproducible; there is no shrinking (see
 //! `support/README.md`).
 
 #![forbid(unsafe_code)]
@@ -20,7 +21,7 @@ use std::rc::Rc;
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        BoxedStrategy, ProptestConfig, Strategy,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -265,6 +266,19 @@ pub fn any<T: ArbitraryValue>() -> Any<T> {
     }
 }
 
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {
         $(
@@ -285,6 +299,30 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = self.end().abs_diff(*self.start()) as u64;
+                    // A full-width inclusive range has span + 1 == 0 in
+                    // u64, so the modulus degenerates to the raw draw.
+                    let offset = match span.checked_add(1) {
+                        Some(values) => rng.next_u64() % values,
+                        None => rng.next_u64(),
+                    };
+                    self.start().wrapping_add(offset as $t)
+                }
+            }
+        )*
+    };
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident $idx:tt),+);)*) => {
         $(
@@ -303,6 +341,9 @@ impl_tuple_strategy! {
     (A 0, B 1);
     (A 0, B 1, C 2);
     (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
 }
 
 /// Element-count specification for [`collection::vec`]: an exact length or
