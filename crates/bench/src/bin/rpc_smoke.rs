@@ -1,6 +1,6 @@
 //! `rpc_smoke` — the CI gate for the networked front end.
 //!
-//! Three legs, each against a live in-process [`ctgauss_rpc_server`]
+//! Four legs, each against a live in-process [`ctgauss_rpc_server`]
 //! on a loopback ephemeral port:
 //!
 //! 1. **Plain**: replay a generated 10k-request trace through one
@@ -15,7 +15,12 @@
 //!    are fine; a response that fails to replay bit-exactly is not. The
 //!    failure log trails worker deaths slightly, so the audit fetch
 //!    retries until the replay closes or attempts run out.
-//! 3. **Drain**: hammer the server from several connections, shut it
+//! 3. **Coalesce**: a windowed pipelined stream of tiny mixed-profile
+//!    requests against a coalescing pool, with a profile hot-loaded
+//!    over the wire before the load and retired after it; every
+//!    response verifies bit-exactly against the clean coalesced replay
+//!    oracle, and the fill gauge must prove staging actually happened.
+//! 4. **Drain**: hammer the server from several connections, shut it
 //!    down mid-load, and demand [`DrainReport::lossless`] — every
 //!    accepted request resolved to exactly one outcome.
 //!
@@ -28,11 +33,12 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ctgauss_core::CtSampler;
-use ctgauss_pool::{FaultPlan, LaneWidth, Pool, ProfileId, FAULTS_ENV};
+use ctgauss_core::{CtSampler, SamplerSpec};
+use ctgauss_pool::{CoalesceConfig, FaultPlan, LaneWidth, Pool, ProfileId, FAULTS_ENV};
+use ctgauss_prng::{RandomSource, SplitMix64};
 use ctgauss_rpc_client::harness::{
-    arm_watchdog, build_standard_profiles, gen_trace, run_load, verify_replay, FnvChecksum,
-    LoadOptions, RequestOutcome, TraceLine,
+    arm_watchdog, build_standard_profiles, gen_trace, run_load, verify_replay,
+    verify_replay_coalesced, FnvChecksum, LoadOptions, RequestOutcome, TraceLine,
 };
 use ctgauss_rpc_client::{Client, ConnectOptions};
 use ctgauss_rpc_core::{CodecKind, ErrorKind};
@@ -57,6 +63,7 @@ fn start_server(
     cfg: &Config,
     shared: &[Arc<CtSampler>],
     faults: Option<&FaultPlan>,
+    coalesce: Option<CoalesceConfig>,
     server_cfg: ServerConfig,
 ) -> Server {
     let mut builder = Pool::builder()
@@ -66,6 +73,9 @@ fn start_server(
         .seed_u64(cfg.seed);
     if let Some(plan) = faults {
         builder = builder.faults(plan.clone());
+    }
+    if let Some(coalesce) = coalesce {
+        builder = builder.coalesce(coalesce);
     }
     let profile_ids: Vec<ProfileId> = shared
         .iter()
@@ -81,7 +91,7 @@ fn connect(server: &Server, codec: CodecKind) -> Client {
 
 /// Leg 1: plain replay, bit-exact end to end, endpoints sane.
 fn plain_leg(cfg: &Config, shared: &[Arc<CtSampler>], trace: &[TraceLine]) -> Result<(), String> {
-    let server = start_server(cfg, shared, None, ServerConfig::default());
+    let server = start_server(cfg, shared, None, None, ServerConfig::default());
     let mut client = connect(&server, cfg.codec);
 
     // Endpoint sanity before load: alive, not draining.
@@ -202,7 +212,7 @@ fn chaos_leg(cfg: &Config, shared: &[Arc<CtSampler>], trace: &[TraceLine]) -> Re
     };
     // Note: no `arm_cache_load_failures` here — the kernels were built
     // by the caller, shared across legs; worker faults are the point.
-    let server = start_server(cfg, shared, Some(&plan), ServerConfig::default());
+    let server = start_server(cfg, shared, Some(&plan), None, ServerConfig::default());
     let mut client = connect(&server, cfg.codec);
 
     let report = run_load(
@@ -262,9 +272,165 @@ fn chaos_leg(cfg: &Config, shared: &[Arc<CtSampler>], trace: &[TraceLine]) -> Re
     ))
 }
 
-/// Leg 3: shutdown mid-load must lose nothing that was accepted.
+/// Leg 3: cross-request coalescing over the wire. A windowed pipelined
+/// stream of tiny mixed-profile requests — the shape the v2 coalescer
+/// exists for — runs against a server whose pool stages submissions
+/// into gangs (stealing off), with a fourth profile hot-loaded over the
+/// wire before the load and retired after it. Every response must
+/// verify bit-exactly against the clean coalesced replay oracle, which
+/// re-derives each request purely from its position in the per-(shard,
+/// profile) draw stream: proof that gang packing never leaks into
+/// sample values end to end.
+fn coalesce_leg(cfg: &Config, shared: &[Arc<CtSampler>]) -> Result<(), String> {
+    let leg_cfg = Config {
+        requests: cfg.requests,
+        seed: cfg.seed,
+        // Two shards at W1: full gangs are 64 samples, so tiny requests
+        // actually coalesce instead of rattling around a W4 batch.
+        threads: 2,
+        width: LaneWidth::W1,
+        codec: cfg.codec,
+        deadline: cfg.deadline,
+    };
+    let coalesce = CoalesceConfig {
+        steal: false,
+        ..CoalesceConfig::default()
+    };
+    let server = start_server(
+        &leg_cfg,
+        shared,
+        None,
+        Some(coalesce),
+        ServerConfig::default(),
+    );
+    let mut client = connect(&server, cfg.codec);
+
+    // Hot-load a fourth profile over the wire; the verifier builds the
+    // same spec independently — the registry contract says the server's
+    // hot-built sampler is bit-identical to an offline build.
+    let hot = client
+        .add_profile("3.2", 16, RPC_TIMEOUT)
+        .map_err(|e| format!("add_profile failed: {e}"))?;
+    if hot as usize != shared.len() {
+        return Err(format!(
+            "hot-loaded profile landed at index {hot}, expected {}",
+            shared.len()
+        ));
+    }
+    let mut registered: Vec<Arc<CtSampler>> = shared.to_vec();
+    registered.push(
+        SamplerSpec::new("3.2", 16)
+            .build_shared()
+            .map_err(|e| format!("offline twin of hot profile failed to build: {e}"))?,
+    );
+
+    // Tiny requests only (1..=8 samples), all four profiles interleaved:
+    // without coalescing this workload runs one near-empty kernel batch
+    // per request.
+    let n = (cfg.requests / 4).max(500);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xC0A1);
+    let trace: Vec<TraceLine> = (0..n)
+        .map(|_| TraceLine {
+            profile: (rng.next_u64() % registered.len() as u64) as usize,
+            count: 1 + (rng.next_u64() % 8) as usize,
+        })
+        .collect();
+    let report = run_load(
+        &mut client,
+        &trace,
+        &LoadOptions {
+            window: 32,
+            deadline_ms: 30_000,
+            jitter_seed: cfg.seed ^ 0x0C0A,
+            ..LoadOptions::default()
+        },
+    )
+    .map_err(|e| format!("coalesced load failed: {e}"))?;
+    if report.fulfilled() != trace.len() {
+        return Err(format!(
+            "coalesce leg shed requests: {}/{} fulfilled, failures {:?}",
+            report.fulfilled(),
+            trace.len(),
+            report.failures()
+        ));
+    }
+
+    let audit = client
+        .replay_audit(RPC_TIMEOUT)
+        .map_err(|e| e.to_string())?;
+    if !audit.failures.is_empty() {
+        return Err(format!(
+            "coalesce leg saw {} failure events on a fault-free run",
+            audit.failures.len()
+        ));
+    }
+    if audit.submitted != trace.len() as u64 {
+        return Err(format!(
+            "audit says {} submissions for a {}-request trace",
+            audit.submitted,
+            trace.len()
+        ));
+    }
+    let verify = verify_replay_coalesced(cfg.seed, &audit, &report.outcomes, &registered);
+    if !verify.ok() {
+        return Err(format!(
+            "coalesce leg replay mismatch: {}/{} responses diverged",
+            verify.mismatches, verify.compared
+        ));
+    }
+
+    // The coalescer must actually have coalesced: the stats gauge
+    // reports kernel-batch fill from fresh draws, and tiny requests
+    // without staging cannot exceed 8/64.
+    let stats = client.stats(RPC_TIMEOUT).map_err(|e| e.to_string())?;
+    let json = ctgauss_telemetry::json::Json::parse(&stats)
+        .map_err(|e| format!("stats endpoint returned unparseable JSON: {e:?}"))?;
+    let fill = json
+        .get("pool")
+        .and_then(|p| p.get("dispatch_fill_ratio"))
+        .and_then(|v| v.as_f64())
+        .ok_or("stats JSON missing pool.dispatch_fill_ratio")?;
+    let gangs = json
+        .get("pool")
+        .and_then(|p| p.get("gangs_flushed"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    if fill <= 8.0 / 64.0 {
+        return Err(format!(
+            "dispatch_fill_ratio {fill:.3} is no better than uncoalesced tiny requests"
+        ));
+    }
+
+    // Registry teardown over the wire: retired means refused, politely.
+    client
+        .retire_profile(hot, RPC_TIMEOUT)
+        .map_err(|e| format!("retire_profile failed: {e}"))?;
+    match client.sample(hot, 4, 0) {
+        Err(ctgauss_rpc_client::ClientError::Server(error))
+            if error.kind == ErrorKind::UnknownProfile => {}
+        other => {
+            return Err(format!(
+                "sampling a retired profile must refuse with unknown_profile, got {other:?}"
+            ))
+        }
+    }
+
+    drop(client);
+    let drain = server.shutdown();
+    expect_lossless("coalesce", &drain)?;
+    println!(
+        "rpc_smoke: coalesce ok ({} tiny requests, fill {:.3}, {} gangs, {} compared)",
+        trace.len(),
+        fill,
+        gangs,
+        verify.compared
+    );
+    Ok(())
+}
+
+/// Leg 4: shutdown mid-load must lose nothing that was accepted.
 fn drain_leg(cfg: &Config, shared: &[Arc<CtSampler>]) -> Result<(), String> {
-    let server = start_server(cfg, shared, None, ServerConfig::default());
+    let server = start_server(cfg, shared, None, None, ServerConfig::default());
     let addr = server.local_addr();
     let codec = cfg.codec;
     let seed = cfg.seed;
@@ -376,9 +542,10 @@ fn main() -> ExitCode {
     let trace = gen_trace(cfg.seed, cfg.requests, 3, 4096);
 
     type Leg<'a> = Box<dyn Fn() -> Result<(), String> + 'a>;
-    let legs: [(&str, Leg<'_>); 3] = [
+    let legs: [(&str, Leg<'_>); 4] = [
         ("plain", Box::new(|| plain_leg(&cfg, &shared, &trace))),
         ("chaos", Box::new(|| chaos_leg(&cfg, &shared, &trace))),
+        ("coalesce", Box::new(|| coalesce_leg(&cfg, &shared))),
         ("drain", Box::new(|| drain_leg(&cfg, &shared))),
     ];
     let mut failed = false;

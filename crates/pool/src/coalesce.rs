@@ -1,0 +1,320 @@
+//! Cross-request batch coalescing: the v2 staging layer.
+//!
+//! The kernel only ever runs full `64·W`-sample batches, so a workload
+//! of tiny requests leaves most of every batch feeding the carry instead
+//! of a waiter. The [`Coalescer`] fixes that by *staging* small
+//! same-profile submissions in per-profile buckets and dispatching them
+//! as one **gang** ([`Job`]) once the bucket covers a full kernel batch
+//! — or once the oldest staged member has waited `max_wait`, whichever
+//! comes first. The serving worker runs one engine pass over the gang's
+//! total and scatters the samples back to the members in seq order.
+//!
+//! Determinism contract: all staging, seq assignment, and ring pushes
+//! happen under one stage lock, so per (shard, profile) the dispatched
+//! member order is exactly ascending seq order. Combined with the
+//! per-(shard, profile, epoch) stream layout
+//! ([`EngineStreams::PerProfile`](crate::worker::EngineStreams)) and the
+//! draw-order contract (a member's samples are a prefix-slice of its
+//! profile's stream, independent of gang partitioning), a run is fully
+//! reconstructed by [`replay_coalesced`](crate::replay_coalesced) from
+//! the per-shard [`DispatchRecord`] lists — *including* runs where gangs
+//! were stolen or rerouted, because the log records who actually served
+//! what, in order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::health::AbandonLog;
+use crate::pool::{Completion, PoolError};
+use crate::ring::{lock_recover, wait_recover, wait_timeout_recover, Ring};
+use crate::worker::{Job, Member};
+
+/// Tuning for the v2 coalescing pool
+/// ([`PoolBuilder::coalesce`](crate::PoolBuilder::coalesce)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Longest a staged submission waits for bucket-mates before the
+    /// flusher dispatches a partial gang. `Duration::ZERO` disables
+    /// staging entirely (every submission dispatches immediately as a
+    /// one-member gang) while keeping the v2 per-profile stream layout —
+    /// the "coalescing off" comparator the CI checksum diff runs.
+    pub max_wait: Duration,
+    /// Whether idle workers steal queued gangs from sibling shards.
+    pub steal: bool,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            max_wait: Duration::from_millis(1),
+            steal: true,
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// The "coalescing off" configuration: v2 stream layout and dispatch
+    /// logging, no staging, no stealing. At `threads = 1` a passthrough
+    /// run delivers bit-identical per-request samples to any coalesced
+    /// run of the same trace — the equivalence the CI `coalesce-smoke`
+    /// job diffs.
+    pub fn passthrough() -> Self {
+        CoalesceConfig {
+            max_wait: Duration::ZERO,
+            steal: false,
+        }
+    }
+}
+
+/// One serving decision, as recorded by the worker that made it: which
+/// members (by seq, in serve order) were satisfied by one engine pass on
+/// `shard`. The full per-shard record lists are the replay input that
+/// reconstructs a coalesced run bit-exactly — gang boundaries do not
+/// affect sample values (prefix property), so the record only has to pin
+/// *which* shard served *whose* samples *in what order*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The worker that served the gang.
+    pub shard: usize,
+    /// The shard whose ring the gang was queued on (`!= shard` exactly
+    /// when the gang was stolen).
+    pub home: usize,
+    /// The gang's profile slot.
+    pub profile_index: usize,
+    /// Member seqs in serve (= ascending submission) order.
+    pub members: Vec<u64>,
+}
+
+/// Per-shard append-only record of every gang served, across restart
+/// epochs. The failure log's `fulfilled` member counts are cursors into
+/// this sequence, which is how replay knows where each epoch's records
+/// end.
+#[derive(Debug, Default)]
+pub(crate) struct DispatchLog {
+    records: Mutex<Vec<DispatchRecord>>,
+}
+
+impl DispatchLog {
+    pub(crate) fn append(&self, record: DispatchRecord) {
+        lock_recover(&self.records).push(record);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<DispatchRecord> {
+        lock_recover(&self.records).clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Bucket {
+    members: Vec<Member>,
+    total: usize,
+}
+
+#[derive(Debug)]
+struct StageState {
+    buckets: Vec<Bucket>,
+    next_seq: u64,
+    sealed: bool,
+}
+
+/// The staging layer: per-profile buckets behind one lock, an inline
+/// flush on the submitter when a bucket covers a kernel batch, and a
+/// deadline flusher thread for stragglers.
+///
+/// Backpressure: gang pushes to a full ring block *while holding the
+/// stage lock*, which parks subsequent submitters on the lock — the same
+/// head-of-line policy as v1's submit lane. Workers never take the stage
+/// lock, so they always drain the rings out from under a blocked flush.
+#[derive(Debug)]
+pub(crate) struct Coalescer {
+    state: Mutex<StageState>,
+    /// Wakes the deadline flusher (new first member in a bucket, seal).
+    flusher_cv: Condvar,
+    /// Samples per full kernel batch (`64 * width.lanes()`).
+    batch: usize,
+    threads: usize,
+    max_wait: Duration,
+    rings: Vec<Arc<Ring<Job>>>,
+    abandons: Vec<Arc<AbandonLog>>,
+    gangs_flushed: AtomicU64,
+    members_flushed: AtomicU64,
+    /// Staging wait (submission to gang dispatch) in nanoseconds.
+    #[cfg(feature = "metrics")]
+    pub(crate) staging_wait: ctgauss_telemetry::Histogram,
+}
+
+impl Coalescer {
+    pub(crate) fn new(
+        cfg: &CoalesceConfig,
+        batch: usize,
+        rings: Vec<Arc<Ring<Job>>>,
+        abandons: Vec<Arc<AbandonLog>>,
+    ) -> Self {
+        let threads = rings.len();
+        Coalescer {
+            state: Mutex::new(StageState {
+                buckets: Vec::new(),
+                next_seq: 0,
+                sealed: false,
+            }),
+            flusher_cv: Condvar::new(),
+            batch,
+            threads,
+            max_wait: cfg.max_wait,
+            rings,
+            abandons,
+            gangs_flushed: AtomicU64::new(0),
+            members_flushed: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            staging_wait: ctgauss_telemetry::Histogram::default(),
+        }
+    }
+
+    /// Accepts one submission: assigns the next seq, stages the member,
+    /// and flushes its profile's bucket inline if it now covers a full
+    /// batch (a request of `count >= batch` therefore always dispatches
+    /// immediately, carrying any smaller staged members with it, in seq
+    /// order). Blocks on the stage lock and, when flushing into a full
+    /// ring, on ring space.
+    pub(crate) fn stage(
+        &self,
+        profile_index: usize,
+        count: usize,
+        submitted_at: Instant,
+        completion: Arc<Completion>,
+    ) -> Result<u64, PoolError> {
+        let mut st = lock_recover(&self.state);
+        if st.sealed {
+            return Err(PoolError::ShuttingDown);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if st.buckets.len() <= profile_index {
+            st.buckets.resize_with(profile_index + 1, Bucket::default);
+        }
+        let bucket = &mut st.buckets[profile_index];
+        bucket
+            .members
+            .push(Member::new(seq, count, submitted_at, completion));
+        bucket.total += count;
+        if bucket.total >= self.batch || self.max_wait.is_zero() {
+            self.flush_bucket_locked(&mut st, profile_index);
+        } else if bucket.members.len() == 1 {
+            // First member arms the bucket's deadline.
+            self.flusher_cv.notify_one();
+        }
+        Ok(seq)
+    }
+
+    /// Members currently staged (telemetry; racy by nature).
+    pub(crate) fn staged_now(&self) -> u64 {
+        lock_recover(&self.state)
+            .buckets
+            .iter()
+            .map(|b| b.members.len() as u64)
+            .sum()
+    }
+
+    pub(crate) fn gangs_flushed(&self) -> u64 {
+        self.gangs_flushed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn members_flushed(&self) -> u64 {
+        self.members_flushed.load(Ordering::Relaxed)
+    }
+
+    /// Seals staging (new submissions fail with
+    /// [`PoolError::ShuttingDown`]) and dispatches everything staged.
+    /// Because sealing and the final flush happen under one stage-lock
+    /// hold, no member can be staged after the seal: when this returns,
+    /// the staging layer is empty forever. Call *before* closing the
+    /// rings so the flushed gangs land on live workers.
+    pub(crate) fn seal_and_flush(&self) {
+        let mut st = lock_recover(&self.state);
+        st.sealed = true;
+        for profile in 0..st.buckets.len() {
+            self.flush_bucket_locked(&mut st, profile);
+        }
+        self.flusher_cv.notify_all();
+    }
+
+    /// Drains one bucket into a gang and pushes it to the profile's home
+    /// ring, rerouting to the next live ring if the home ring is closed
+    /// (dead shard). If every ring is closed the members are abandoned —
+    /// their tickets resolve with
+    /// [`PoolError::WorkerGone`](crate::PoolError::WorkerGone).
+    fn flush_bucket_locked(&self, st: &mut StageState, profile_index: usize) {
+        let Some(bucket) = st.buckets.get_mut(profile_index) else {
+            return;
+        };
+        if bucket.members.is_empty() {
+            return;
+        }
+        let members = std::mem::take(&mut bucket.members);
+        bucket.total = 0;
+        #[cfg(feature = "metrics")]
+        for member in &members {
+            self.staging_wait
+                .record_duration(member.submitted_at.elapsed());
+        }
+        self.gangs_flushed.fetch_add(1, Ordering::Relaxed);
+        self.members_flushed
+            .fetch_add(members.len() as u64, Ordering::Relaxed);
+        let home = profile_index % self.threads;
+        let mut gang = Job::gang(profile_index, home, members);
+        for offset in 0..self.threads {
+            let target = (home + offset) % self.threads;
+            gang.retag(target, &self.abandons[target]);
+            match self.rings[target].push(gang) {
+                Ok(()) => return,
+                Err(refused) => gang = refused,
+            }
+        }
+        for member in gang.members.drain(..) {
+            member.abandon();
+        }
+    }
+
+    /// Spawns the deadline flusher: wakes when a bucket gains its first
+    /// member and dispatches any bucket whose oldest member has waited
+    /// `max_wait`. Exits once sealed.
+    pub(crate) fn spawn_flusher(self: &Arc<Self>) -> JoinHandle<()> {
+        let coalescer = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("ctgauss-pool-flusher".into())
+            .spawn(move || coalescer.flusher_loop())
+            .expect("spawn coalesce flusher")
+    }
+
+    fn flusher_loop(&self) {
+        let mut st = lock_recover(&self.state);
+        loop {
+            if st.sealed {
+                return;
+            }
+            let now = Instant::now();
+            let mut earliest: Option<Instant> = None;
+            for profile in 0..st.buckets.len() {
+                let Some(first) = st.buckets[profile].members.first() else {
+                    continue;
+                };
+                let due = first.submitted_at + self.max_wait;
+                if due <= now {
+                    self.flush_bucket_locked(&mut st, profile);
+                } else {
+                    earliest = Some(earliest.map_or(due, |e| e.min(due)));
+                }
+            }
+            st = match earliest {
+                Some(due) => wait_timeout_recover(
+                    &self.flusher_cv,
+                    st,
+                    due.saturating_duration_since(Instant::now()),
+                ),
+                None => wait_recover(&self.flusher_cv, st),
+            };
+        }
+    }
+}

@@ -50,16 +50,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coalesce;
 mod falcon_base;
 mod fault;
 mod health;
 mod pool;
+mod registry;
 mod replay;
 mod retry;
 mod ring;
 mod supervisor;
 mod worker;
 
+pub use coalesce::{CoalesceConfig, DispatchRecord};
 pub use falcon_base::{falcon_profile_spec, PooledBase};
 pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpecError, WorkerFault, FAULTS_ENV};
 pub use health::{FailureEvent, FailureOutcome, PoolHealth, ShardHealth, ShardState};
@@ -67,9 +70,10 @@ pub use pool::{
     LaneWidth, Pool, PoolBuilder, PoolError, ProfileId, SampleRequest, SampleResponse, Ticket,
     WaitError,
 };
+pub use registry::ProfileInfo;
 // Re-exported so pool consumers read `Pool::metrics()` without naming
 // the telemetry crate themselves.
 pub use ctgauss_telemetry::{HistogramSnapshot, MetricsSnapshot};
-pub use replay::{replay_trace, TraceEntry};
+pub use replay::{replay_coalesced, replay_coalesced_clean, replay_trace, TraceEntry};
 pub use retry::{submit_with_retry, Backoff, RetryPolicy};
 pub use supervisor::RestartPolicy;

@@ -5,18 +5,22 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ctgauss_core::{BuildError, CtSampler, SamplerSpec};
+use ctgauss_core::{BuildError, CtSampler, KernelCache, SamplerSpec};
 use ctgauss_prng::SeedTree;
 
 use ctgauss_telemetry::MetricsSnapshot;
 
+use crate::coalesce::{CoalesceConfig, Coalescer, DispatchLog, DispatchRecord};
 use crate::fault::FaultPlan;
 use crate::health::{AbandonLog, FailureEvent, FailureLog, HealthBoard, PoolHealth, ShardState};
+use crate::registry::{ProfileInfo, ProfileRegistry, ProfileSource};
 use crate::ring::{
     lock_recover, wait_recover, wait_timeout_recover, PushTimeoutError, Ring, TryPushError,
 };
 use crate::supervisor::{DeathNotice, Event, RestartPolicy, Supervisor, SupervisorShared};
-use crate::worker::{spawn_worker, Job, WorkerStats};
+use crate::worker::{
+    epoch_streams, spawn_worker, Job, Member, StreamMode, WorkerContext, WorkerStats,
+};
 
 /// Lane-block width each worker executes the compiled kernel at:
 /// `64 * lanes()` samples per kernel pass.
@@ -314,11 +318,12 @@ pub struct PoolBuilder {
     /// recovery hazard. [`spawn`](PoolBuilder::spawn) refuses to run
     /// unseeded.
     seeds: Option<SeedTree>,
-    profiles: Vec<Arc<CtSampler>>,
+    profiles: Vec<(Arc<CtSampler>, String, u32)>,
     /// Process-unique token binding minted [`ProfileId`]s to this pool.
     token: u64,
     faults: FaultPlan,
     restart_policy: RestartPolicy,
+    coalesce: Option<CoalesceConfig>,
 }
 
 /// Source of process-unique pool tokens (see [`ProfileId`]).
@@ -385,6 +390,36 @@ impl PoolBuilder {
         self
     }
 
+    /// Enables the v2 coalescing pool: cross-request batch staging
+    /// ([`CoalesceConfig::max_wait`]), optional work stealing between
+    /// shards, per-(shard, profile, epoch) PRNG streams, and the
+    /// per-shard dispatch log that [`replay_coalesced`] reconstructs
+    /// runs from.
+    ///
+    /// Semantics that change versus the default (v1) pool:
+    ///
+    /// * Requests of the same profile may be served together (one engine
+    ///   pass, seq-tagged scatter) and a profile's home shard is
+    ///   `profile_index % threads` instead of `seq % threads`.
+    /// * Every submission variant accepts by staging under one stage
+    ///   lock — [`Pool::try_submit`] and [`Pool::submit_timeout`] block
+    ///   on that lock like [`Pool::submit`] does (staging itself is
+    ///   fast; ring backpressure parks the *flush*, which is the same
+    ///   head-of-line policy v1 had). Deadlines still bound the
+    ///   response wait via [`Ticket::wait_timeout`].
+    /// * Replay uses [`replay_coalesced`] over
+    ///   [`Pool::dispatch_log`] (or, for clean no-fault single-threaded
+    ///   runs, [`replay_coalesced_clean`]) instead of
+    ///   [`replay_trace`](crate::replay_trace).
+    ///
+    /// [`replay_coalesced`]: crate::replay_coalesced
+    /// [`replay_coalesced_clean`]: crate::replay_coalesced_clean
+    #[must_use]
+    pub fn coalesce(mut self, cfg: CoalesceConfig) -> Self {
+        self.coalesce = Some(cfg);
+        self
+    }
+
     /// Builds and registers a sampler profile (the expensive Figure-4
     /// pipeline runs here, once, on the calling thread).
     ///
@@ -392,13 +427,18 @@ impl PoolBuilder {
     ///
     /// Propagates [`BuildError`] from the pipeline.
     pub fn profile(&mut self, spec: &SamplerSpec) -> Result<ProfileId, BuildError> {
-        Ok(self.shared_profile(spec.build_shared()?))
+        let sampler = spec.build_shared()?;
+        Ok(self.register(sampler, spec.sigma().to_owned(), spec.precision()))
     }
 
     /// Registers an already-built shared sampler; all workers clone the
     /// `Arc`, never the lowered kernel.
     pub fn shared_profile(&mut self, sampler: Arc<CtSampler>) -> ProfileId {
-        self.profiles.push(sampler);
+        self.register(sampler, "shared".to_owned(), 0)
+    }
+
+    fn register(&mut self, sampler: Arc<CtSampler>, label: String, precision: u32) -> ProfileId {
+        self.profiles.push((sampler, label, precision));
         ProfileId {
             pool: self.token,
             index: self.profiles.len() - 1,
@@ -420,43 +460,71 @@ impl PoolBuilder {
         let seeds = self
             .seeds
             .expect("seed the pool (PoolBuilder::seeds / seed_u64) before spawning");
-        let profiles: Arc<[Arc<CtSampler>]> = self.profiles.into();
+        let registry = Arc::new(ProfileRegistry::new());
+        for (sampler, label, precision) in self.profiles {
+            registry.add(sampler, label, precision);
+        }
+        let source = ProfileSource::Registry(Arc::clone(&registry));
+        let mode = if self.coalesce.is_some() {
+            StreamMode::PerProfile
+        } else {
+            StreamMode::Legacy
+        };
+        let steal = self.threads > 1 && self.coalesce.as_ref().is_some_and(|cfg| cfg.steal);
         let armed = self.faults.arm_workers(self.threads);
         let shared = Arc::new(SupervisorShared::new());
         let health = Arc::new(HealthBoard::new(self.threads));
         let failures = Arc::new(FailureLog::default());
         let closing = Arc::new(AtomicBool::new(false));
-        let mut shards = Vec::with_capacity(self.threads);
-        let mut stats = Vec::with_capacity(self.threads);
-        let mut abandons = Vec::with_capacity(self.threads);
+        let shards: Vec<Arc<Ring<Job>>> = (0..self.threads)
+            .map(|_| Arc::new(Ring::new(self.queue_capacity)))
+            .collect();
+        let stats: Vec<Arc<WorkerStats>> = (0..self.threads)
+            .map(|_| Arc::new(WorkerStats::default()))
+            .collect();
+        let abandons: Vec<Arc<AbandonLog>> = (0..self.threads)
+            .map(|_| Arc::new(AbandonLog::default()))
+            .collect();
+        let dispatch: Vec<Arc<DispatchLog>> = if self.coalesce.is_some() {
+            (0..self.threads)
+                .map(|_| Arc::new(DispatchLog::default()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut contexts = Vec::with_capacity(self.threads);
         let mut handles = Vec::with_capacity(self.threads);
         for (w, worker_faults) in armed.iter().enumerate() {
-            let shard = Arc::new(Ring::new(self.queue_capacity));
-            let worker_stats = Arc::new(WorkerStats::default());
-            let abandon_log = Arc::new(AbandonLog::default());
+            let siblings = if steal {
+                (1..self.threads)
+                    .map(|offset| Arc::clone(&shards[(w + offset) % self.threads]))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let ctx = WorkerContext {
+                index: w,
+                width: self.width,
+                shard: Arc::clone(&shards[w]),
+                siblings,
+                abandons: Arc::clone(&abandons[w]),
+                source: source.clone(),
+                stats: Arc::clone(&stats[w]),
+                faults: Arc::clone(worker_faults),
+                dispatch: dispatch.get(w).map(Arc::clone),
+            };
             handles.push(Some(spawn_worker(
-                w,
-                self.width,
-                Arc::clone(&shard),
-                Arc::clone(&profiles),
-                seeds.fork_chacha(w as u64),
-                Arc::clone(&worker_stats),
-                Arc::clone(worker_faults),
+                ctx.clone(),
+                epoch_streams(mode, &seeds, w as u64, 0),
                 DeathNotice::new(&shared, w),
             )));
-            shards.push(shard);
-            stats.push(worker_stats);
-            abandons.push(abandon_log);
+            contexts.push(ctx);
         }
         let supervisor = Supervisor {
             shared: Arc::clone(&shared),
-            shards: shards.clone(),
-            profiles: Arc::clone(&profiles),
+            contexts,
             seeds,
-            width: self.width,
-            stats: stats.clone(),
-            faults: armed,
-            abandons: abandons.clone(),
+            mode,
             health: Arc::clone(&health),
             log: Arc::clone(&failures),
             policy: self.restart_policy,
@@ -464,6 +532,15 @@ impl PoolBuilder {
             handles,
         }
         .spawn();
+        let coalescer = self.coalesce.as_ref().map(|cfg| {
+            Arc::new(Coalescer::new(
+                cfg,
+                64 * self.width.lanes(),
+                shards.clone(),
+                abandons.clone(),
+            ))
+        });
+        let flusher = coalescer.as_ref().map(Coalescer::spawn_flusher);
         Pool {
             shards,
             stats,
@@ -472,7 +549,10 @@ impl PoolBuilder {
             supervisor_mail: shared,
             lane: SubmitLane::default(),
             submitted: AtomicU64::new(0),
-            profiles,
+            registry,
+            coalescer,
+            flusher: Mutex::new(flusher),
+            dispatch,
             width: self.width,
             token: self.token,
             closing,
@@ -546,7 +626,15 @@ pub struct Pool {
     /// Requests accepted so far (mirror of the lane seq readable without
     /// the lock, for stats).
     submitted: AtomicU64,
-    profiles: Arc<[Arc<CtSampler>]>,
+    /// The runtime profile table (hot-loadable in v2; the frozen builder
+    /// registrations otherwise).
+    registry: Arc<ProfileRegistry>,
+    /// The v2 staging layer (None for a v1 pool).
+    coalescer: Option<Arc<Coalescer>>,
+    /// The deadline-flusher thread, joined by shutdown after sealing.
+    flusher: Mutex<Option<JoinHandle<()>>>,
+    /// Per-shard gang dispatch logs (empty for a v1 pool).
+    dispatch: Vec<Arc<DispatchLog>>,
     width: LaneWidth,
     /// Matches the `pool` field of every [`ProfileId`] this pool minted.
     token: u64,
@@ -640,6 +728,7 @@ impl Pool {
             token: POOL_TOKENS.fetch_add(1, Ordering::Relaxed),
             faults: FaultPlan::default(),
             restart_policy: RestartPolicy::default(),
+            coalesce: None,
         }
     }
 
@@ -653,18 +742,120 @@ impl Pool {
         self.width
     }
 
-    /// The shared sampler behind a profile id.
+    /// The shared sampler behind a profile id. Resolves retired profiles
+    /// too — the id stays meaningful for auditing and replay after
+    /// [`retire_profile`](Self::retire_profile); only *submission* is
+    /// gated on liveness.
     ///
     /// # Errors
     ///
     /// [`PoolError::UnknownProfile`] for an id this pool did not mint.
-    pub fn profile_sampler(&self, profile: ProfileId) -> Result<&Arc<CtSampler>, PoolError> {
+    pub fn profile_sampler(&self, profile: ProfileId) -> Result<Arc<CtSampler>, PoolError> {
         if profile.pool != self.token {
             return Err(PoolError::UnknownProfile);
         }
-        self.profiles
-            .get(profile.index)
+        self.registry
+            .sampler(profile.index)
             .ok_or(PoolError::UnknownProfile)
+    }
+
+    /// Submission gate: the id must be this pool's and the slot live.
+    fn check_submittable(&self, profile: ProfileId) -> Result<(), PoolError> {
+        if profile.pool != self.token {
+            return Err(PoolError::UnknownProfile);
+        }
+        self.registry
+            .active_sampler(profile.index)
+            .map(|_| ())
+            .ok_or(PoolError::UnknownProfile)
+    }
+
+    /// Hot-loads a new profile into the running pool, building it
+    /// through the process-default [`KernelCache`] (honouring
+    /// `CTGAUSS_CACHE_DIR`, with transparent fallback to in-process
+    /// synthesis when the cached artifact is missing or corrupted). The
+    /// returned id is immediately submittable; existing ids are
+    /// unaffected (index stability).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the synthesis pipeline.
+    pub fn add_profile(&self, spec: &SamplerSpec) -> Result<ProfileId, BuildError> {
+        self.add_profile_with(spec, &KernelCache::from_env())
+    }
+
+    /// [`add_profile`](Self::add_profile) through an explicit
+    /// [`KernelCache`] (e.g. [`KernelCache::at`] for a pinned artifact
+    /// directory, or [`KernelCache::disabled`] to force synthesis).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the synthesis pipeline.
+    pub fn add_profile_with(
+        &self,
+        spec: &SamplerSpec,
+        cache: &KernelCache,
+    ) -> Result<ProfileId, BuildError> {
+        let (sampler, _trace) = spec.build_shared_with(cache)?;
+        let index = self
+            .registry
+            .add(sampler, spec.sigma().to_owned(), spec.precision());
+        Ok(ProfileId {
+            pool: self.token,
+            index,
+        })
+    }
+
+    /// Registers an already-built shared sampler at runtime.
+    pub fn add_shared_profile(&self, sampler: Arc<CtSampler>, label: &str) -> ProfileId {
+        let index = self.registry.add(sampler, label.to_owned(), 0);
+        ProfileId {
+            pool: self.token,
+            index,
+        }
+    }
+
+    /// Retires a profile: new submissions fail with
+    /// [`PoolError::UnknownProfile`], while requests already accepted
+    /// (staged, queued, or being served) complete normally. Idempotent;
+    /// the slot index is never reused, so the id stays stable for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownProfile`] for an id this pool did not mint.
+    pub fn retire_profile(&self, profile: ProfileId) -> Result<(), PoolError> {
+        if profile.pool != self.token {
+            return Err(PoolError::UnknownProfile);
+        }
+        if self.registry.retire(profile.index) {
+            Ok(())
+        } else {
+            Err(PoolError::UnknownProfile)
+        }
+    }
+
+    /// A snapshot of every registered profile (including retired slots),
+    /// in index order — what the RPC `profiles` endpoint serves.
+    pub fn profiles(&self) -> Vec<ProfileInfo> {
+        self.registry.snapshot()
+    }
+
+    /// The per-shard gang dispatch logs of a coalescing (v2) pool: for
+    /// each shard, every gang it served, in serve order. Together with
+    /// (seed, trace, width, failure log) this reconstructs every
+    /// delivered sample bit-exactly via
+    /// [`replay_coalesced`](crate::replay_coalesced) — including runs
+    /// with work stealing and worker deaths. Empty for a v1 pool.
+    ///
+    /// Complete (covers every serve) once [`shutdown`](Self::shutdown)
+    /// has returned; mid-run snapshots are valid prefixes.
+    pub fn dispatch_log(&self) -> Vec<Vec<DispatchRecord>> {
+        self.dispatch.iter().map(|log| log.snapshot()).collect()
+    }
+
+    /// Gangs served by a worker other than their home shard, so far.
+    pub fn steals(&self) -> u64 {
+        self.stats.iter().map(|s| s.steals()).sum()
     }
 
     /// Submits a request, blocking while the target shard is full.
@@ -716,9 +907,28 @@ impl Pool {
     }
 
     fn submit_inner(&self, request: SampleRequest, mode: SubmitMode) -> Result<Ticket, PoolError> {
-        self.profile_sampler(request.profile)?;
+        self.check_submittable(request.profile)?;
         let completion = Arc::new(Completion::default());
         let submitted_at = Instant::now();
+        if let Some(coalescer) = &self.coalescer {
+            // v2: all submission variants accept by staging. The stage
+            // lock (and, through an inline flush into a full ring, ring
+            // space) is the only wait — the same head-of-line policy as
+            // the v1 lane, so non-blocking/deadline modes share it.
+            let seq = coalescer.stage(
+                request.profile.index,
+                request.count,
+                submitted_at,
+                Arc::clone(&completion),
+            )?;
+            self.submitted.fetch_max(seq + 1, Ordering::Relaxed);
+            return Ok(Ticket {
+                completion,
+                submitted_at,
+                request,
+                seq,
+            });
+        }
         let (block, deadline) = match mode {
             SubmitMode::Block => (true, None),
             SubmitMode::NonBlock => (false, None),
@@ -727,11 +937,10 @@ impl Pool {
         let seq = self.lane.acquire(block, deadline)?;
         let shard_index = (seq % self.shards.len() as u64) as usize;
         let shard = &self.shards[shard_index];
-        let job = Job::new(
-            request,
-            seq,
-            submitted_at,
-            Arc::clone(&completion),
+        let job = Job::single(
+            request.profile.index,
+            shard_index,
+            Member::new(seq, request.count, submitted_at, Arc::clone(&completion)),
             Arc::clone(&self.abandons[shard_index]),
         );
         // A refused push comes back in three flavors with different seq
@@ -866,6 +1075,8 @@ impl Pool {
         let requests: u64 = self.stats.iter().map(|s| s.requests()).sum();
         let samples: u64 = self.stats.iter().map(|s| s.samples()).sum();
         let batches: u64 = self.stats.iter().map(|s| s.batches()).sum();
+        let fresh: u64 = self.stats.iter().map(|s| s.fresh()).sum();
+        let steals: u64 = self.stats.iter().map(|s| s.steals()).sum();
         let queue_depth: usize = self.shards.iter().map(|s| s.len()).sum();
         let health = self.health.snapshot();
         let uptime = self.started_at.elapsed().as_secs_f64();
@@ -923,6 +1134,29 @@ impl Pool {
                 },
             )
             .gauge("queue_depth", queue_depth as f64);
+        // Kernel-batch fill from *fresh* draws only: carried-over samples
+        // served from a previous batch's remainder don't count, so a
+        // tiny-request workload without coalescing shows its true
+        // underfill here while `batch_fill_ratio` (delivered / generated)
+        // stays an amortization gauge.
+        pool.counter("fresh_total", fresh)
+            .counter("steals_total", steals)
+            .gauge(
+                "dispatch_fill_ratio",
+                if batch_samples > 0 {
+                    fresh as f64 / batch_samples as f64
+                } else {
+                    0.0
+                },
+            );
+        let (active, retired) = self.registry.counts();
+        pool.counter("profiles_active", active)
+            .counter("profiles_retired", retired);
+        if let Some(coalescer) = &self.coalescer {
+            pool.counter("gangs_flushed", coalescer.gangs_flushed())
+                .counter("gang_members_flushed", coalescer.members_flushed())
+                .gauge("staged_depth", coalescer.staged_now() as f64);
+        }
         #[cfg(feature = "metrics")]
         {
             let mut latency = ctgauss_telemetry::HistogramSnapshot::empty();
@@ -930,6 +1164,9 @@ impl Pool {
                 latency.merge(&stats.latency.snapshot());
             }
             pool.histogram("latency_ns", latency);
+            if let Some(coalescer) = &self.coalescer {
+                pool.histogram("staging_wait_ns", coalescer.staging_wait.snapshot());
+            }
         }
 
         let shards = snap.section("pool_shards");
@@ -952,6 +1189,7 @@ impl Pool {
                 .counter(format!("shard{i}_batches"), stats.batches())
                 .counter(format!("shard{i}_restarts"), u64::from(health.restarts))
                 .counter(format!("shard{i}_abandoned"), health.abandoned)
+                .counter(format!("shard{i}_steals"), stats.steals())
                 .gauge(format!("shard{i}_queue_depth"), shard.len() as f64);
         }
         snap
@@ -983,6 +1221,20 @@ impl Pool {
     /// drop; call it explicitly to observe completion.
     pub fn shutdown(&self) {
         self.closing.store(true, Ordering::Release);
+        // v2: seal staging (new submissions now fail ShuttingDown) and
+        // dispatch everything staged *before* closing the rings, so the
+        // final gangs land on live workers; then join the flusher (it
+        // exits on the seal).
+        if let Some(coalescer) = &self.coalescer {
+            coalescer.seal_and_flush();
+        }
+        if let Some(handle) = lock_recover(&self.flusher).take() {
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
         for shard in &self.shards {
             shard.close();
         }

@@ -1,0 +1,158 @@
+//! The hot-load profile registry: the pool's runtime table of sampler
+//! profiles.
+//!
+//! v1 froze the profile set at [`PoolBuilder::spawn`] time into an
+//! `Arc<[Arc<CtSampler>]>`; the registry replaces that slice with an
+//! append-only table that can **add** profiles while the pool is serving
+//! (hot-loading prebuilt [`KernelArtifact`]s through the
+//! content-addressed `KernelCache`, with transparent fallback to
+//! in-process synthesis when an artifact is missing or corrupted) and
+//! **retire** them without restart.
+//!
+//! Invariants the rest of the pool leans on:
+//!
+//! * **Index stability.** Slots are never removed or reordered, so a
+//!   [`ProfileId`] minted at registration keeps meaning the same
+//!   distribution forever — retirement tombstones the slot, it does not
+//!   free the index. This is what keeps replay of old traces and
+//!   in-flight requests well-defined across registry churn.
+//! * **Retire is submission-side only.** A retired slot keeps its
+//!   sampler `Arc`: requests already accepted (staged, queued, or being
+//!   served) complete normally; only *new* submissions observe
+//!   [`PoolError::UnknownProfile`]. Replay likewise resolves retired
+//!   profiles.
+//!
+//! [`PoolBuilder::spawn`]: crate::PoolBuilder::spawn
+//! [`ProfileId`]: crate::ProfileId
+//! [`PoolError::UnknownProfile`]: crate::PoolError
+//! [`KernelArtifact`]: ctgauss_core::KernelArtifact
+
+use std::sync::Arc;
+
+use ctgauss_core::CtSampler;
+
+use crate::ring::lock_recover;
+use std::sync::Mutex;
+
+/// One registry slot: the sampler plus the display metadata surfaced
+/// through the RPC front end and telemetry.
+#[derive(Debug)]
+struct Slot {
+    sampler: Arc<CtSampler>,
+    label: String,
+    precision: u32,
+    retired: bool,
+}
+
+/// A point-in-time description of one registered profile, as surfaced by
+/// [`Pool::profiles`](crate::Pool::profiles) and the RPC `profiles`
+/// endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileInfo {
+    /// The slot index (equals `ProfileId::index`).
+    pub index: usize,
+    /// Human-readable distribution label (the sigma string for profiles
+    /// registered from a [`SamplerSpec`](ctgauss_core::SamplerSpec)).
+    pub label: String,
+    /// Probability-matrix precision in bits (0 when unknown — profiles
+    /// registered from a bare sampler handle).
+    pub precision: u32,
+    /// Whether the slot is tombstoned for new submissions.
+    pub retired: bool,
+}
+
+/// The append-only, retire-tombstoning profile table shared by the
+/// submit path, every worker, and the supervisor's respawn path.
+#[derive(Debug, Default)]
+pub(crate) struct ProfileRegistry {
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl ProfileRegistry {
+    pub(crate) fn new() -> Self {
+        ProfileRegistry::default()
+    }
+
+    /// Appends a slot and returns its (stable) index.
+    pub(crate) fn add(&self, sampler: Arc<CtSampler>, label: String, precision: u32) -> usize {
+        let mut slots = lock_recover(&self.slots);
+        slots.push(Slot {
+            sampler,
+            label,
+            precision,
+            retired: false,
+        });
+        slots.len() - 1
+    }
+
+    /// The sampler in slot `index`, retired or not — the worker/replay
+    /// resolution path (in-flight work on a retired profile completes).
+    pub(crate) fn sampler(&self, index: usize) -> Option<Arc<CtSampler>> {
+        lock_recover(&self.slots)
+            .get(index)
+            .map(|s| Arc::clone(&s.sampler))
+    }
+
+    /// The sampler in slot `index` if the slot is live — the submission
+    /// gate (`None` for out-of-range *and* retired slots).
+    pub(crate) fn active_sampler(&self, index: usize) -> Option<Arc<CtSampler>> {
+        lock_recover(&self.slots)
+            .get(index)
+            .filter(|s| !s.retired)
+            .map(|s| Arc::clone(&s.sampler))
+    }
+
+    /// Tombstones slot `index`. `false` if the index was never
+    /// registered (already-retired slots return `true`: idempotent).
+    pub(crate) fn retire(&self, index: usize) -> bool {
+        let mut slots = lock_recover(&self.slots);
+        match slots.get_mut(index) {
+            Some(slot) => {
+                slot.retired = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `(active, retired)` slot counts, for telemetry.
+    pub(crate) fn counts(&self) -> (u64, u64) {
+        let slots = lock_recover(&self.slots);
+        let retired = slots.iter().filter(|s| s.retired).count() as u64;
+        (slots.len() as u64 - retired, retired)
+    }
+
+    /// A snapshot of every slot's metadata, in index order.
+    pub(crate) fn snapshot(&self) -> Vec<ProfileInfo> {
+        lock_recover(&self.slots)
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ProfileInfo {
+                index,
+                label: s.label.clone(),
+                precision: s.precision,
+                retired: s.retired,
+            })
+            .collect()
+    }
+}
+
+/// Where a [`ShardEngine`](crate::worker::ShardEngine) resolves profile
+/// indices: the live registry (workers — sees hot-loaded additions), or
+/// a frozen slice (replay — the verifier's locally built profile list).
+#[derive(Debug, Clone)]
+pub(crate) enum ProfileSource {
+    /// Frozen list, e.g. an offline replay's locally built samplers.
+    Static(Arc<[Arc<CtSampler>]>),
+    /// The pool's live registry (retired slots still resolve).
+    Registry(Arc<ProfileRegistry>),
+}
+
+impl ProfileSource {
+    pub(crate) fn sampler(&self, index: usize) -> Option<Arc<CtSampler>> {
+        match self {
+            ProfileSource::Static(list) => list.get(index).map(Arc::clone),
+            ProfileSource::Registry(reg) => reg.sampler(index),
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Offline, bit-exact replay of a pool run from its replay triple:
-//! **(seed, request trace, failure log)**.
+//! **(seed, request trace, failure log)** — plus, for coalescing (v2)
+//! pools, the per-shard **dispatch log**.
 //!
 //! Without failures, (seed, trace) alone determines every response —
 //! that is the pool's determinism contract. Worker deaths add exactly
@@ -13,13 +14,30 @@
 //!
 //! The replay runs the same [`ShardEngine`](crate::worker::ShardEngine)
 //! the workers run, at the live pool's [`LaneWidth`](crate::LaneWidth).
-//! The width matters once a shard serves more than one profile: each
-//! profile keeps its own sample carry, but all of a shard's profiles
-//! draw from one generator, so the *order* bits are consumed across
-//! profiles follows the batch size (64·W samples per kernel pass). A
-//! single-profile trace replays width-independently (the draw-order
-//! contract: every width yields the same per-stream sample order), but
-//! only the run's own width reproduces a multi-profile interleaving.
+//! The width matters once a stream serves more than one consumer run:
+//! each profile keeps its own sample carry, but (in the v1 layout) all
+//! of a shard's profiles draw from one generator, so the *order* bits
+//! are consumed across profiles follows the batch size (64·W samples
+//! per kernel pass). A single-profile trace replays width-independently
+//! (the draw-order contract: every width yields the same per-stream
+//! sample order), but only the run's own width reproduces a
+//! multi-profile interleaving.
+//!
+//! # Coalesced runs
+//!
+//! A v2 pool routes by profile (home shard = `profile_index % threads`),
+//! gangs requests together, steals across shards, and reroutes around
+//! dead rings — so "which shard served seq `i`" is no longer a pure
+//! function of the trace. What *is* recorded is the per-shard
+//! [`DispatchRecord`] list: every gang a worker served, in serve order.
+//! By the draw-order contract a member's samples are a prefix-slice of
+//! its (shard, profile, epoch) stream regardless of gang boundaries, so
+//! those lists (plus seed, trace, width, failure log) pin every
+//! delivered sample: that is [`replay_coalesced`]. For clean runs —
+//! no faults, no stealing — the dispatch order per (shard, profile) is
+//! provably ascending seq order, so [`replay_coalesced_clean`] can
+//! reconstruct the run from the trace alone, which is what an offline
+//! verifier with no access to the server's logs checks against.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -27,10 +45,12 @@ use std::sync::Arc;
 use ctgauss_core::{Backend, CtSampler};
 use ctgauss_prng::SeedTree;
 
+use crate::coalesce::DispatchRecord;
 use crate::fault::ArmedFaults;
 use crate::health::{FailureEvent, FailureOutcome};
 use crate::pool::LaneWidth;
-use crate::worker::{ShardEngine, WorkerStats};
+use crate::registry::ProfileSource;
+use crate::worker::{epoch_streams, ShardEngine, StreamMode, WorkerStats};
 
 /// One entry of a recorded request trace, in submission order: entry
 /// `i` was accepted under sequence number `i` (and therefore served by
@@ -43,6 +63,10 @@ pub struct TraceEntry {
     pub profile_index: usize,
     /// Requested sample count.
     pub count: usize,
+}
+
+fn static_source(profiles: &[Arc<CtSampler>]) -> ProfileSource {
+    ProfileSource::Static(profiles.to_vec().into())
 }
 
 /// Replays a recorded run. Returns, for each trace entry in order,
@@ -69,6 +93,7 @@ pub fn replay_trace(
         .flat_map(|event| event.abandoned.iter().copied())
         .collect();
     let backend = Backend::select_for_width(width.lanes());
+    let source = static_source(profiles);
     let stats = WorkerStats::default();
     let no_faults = ArmedFaults::none();
     let mut out: Vec<Option<Vec<i32>>> = vec![None; trace.len()];
@@ -82,8 +107,11 @@ pub fn replay_trace(
             .iter()
             .filter(|event| event.worker == worker)
             .peekable();
-        let mut engine =
-            ShardEngine::new(backend, profiles, seeds.fork_chacha_epoch(worker as u64, 0));
+        let mut engine = ShardEngine::new(
+            backend,
+            source.clone(),
+            epoch_streams(StreamMode::Legacy, seeds, worker as u64, 0),
+        );
         let mut served = 0u64;
         let mut dead = false;
         for (seq, entry) in trace.iter().enumerate().skip(worker).step_by(threads) {
@@ -98,8 +126,8 @@ pub fn replay_trace(
                     FailureOutcome::Restarted { new_epoch } => {
                         engine = ShardEngine::new(
                             backend,
-                            profiles,
-                            seeds.fork_chacha_epoch(worker as u64, new_epoch),
+                            source.clone(),
+                            epoch_streams(StreamMode::Legacy, seeds, worker as u64, new_epoch),
                         );
                     }
                     FailureOutcome::Exhausted | FailureOutcome::ShuttingDown => dead = true,
@@ -114,4 +142,128 @@ pub fn replay_trace(
         }
     }
     out
+}
+
+/// Replays a **coalescing (v2)** pool run from its extended replay
+/// tuple: (seed, trace, width, failure log, dispatch log). Returns, per
+/// trace entry, `Some(samples)` bit-exactly as delivered, or `None` for
+/// requests no dispatch record covers — abandoned members, purged
+/// rings, and staged members lost to shutdown all land there, so the
+/// dispatch log is the single authority on what was delivered.
+///
+/// `dispatch` is [`Pool::dispatch_log`](crate::Pool::dispatch_log)
+/// taken after shutdown: `dispatch[s]` lists every gang shard `s`
+/// *served* (not merely queued), in serve order. Work stealing and
+/// rerouting are therefore already folded in — a stolen gang appears in
+/// the thief's list, and since v2 streams are per (shard, profile,
+/// epoch) and a member's samples are a prefix-slice of that stream, the
+/// serve order per (shard, profile) is all that has to be pinned.
+///
+/// The failure log gates restart epochs exactly as in [`replay_trace`],
+/// except the `fulfilled` cursor counts gang *members*, which is what
+/// the live worker counts too.
+pub fn replay_coalesced(
+    seeds: &SeedTree,
+    profiles: &[Arc<CtSampler>],
+    width: LaneWidth,
+    trace: &[TraceEntry],
+    failures: &[FailureEvent],
+    dispatch: &[Vec<DispatchRecord>],
+) -> Vec<Option<Vec<i32>>> {
+    let backend = Backend::select_for_width(width.lanes());
+    let source = static_source(profiles);
+    let stats = WorkerStats::default();
+    let no_faults = ArmedFaults::none();
+    let mut out: Vec<Option<Vec<i32>>> = vec![None; trace.len()];
+    for (worker, records) in dispatch.iter().enumerate() {
+        let mut events = failures
+            .iter()
+            .filter(|event| event.worker == worker)
+            .peekable();
+        let mut engine = ShardEngine::new(
+            backend,
+            source.clone(),
+            epoch_streams(StreamMode::PerProfile, seeds, worker as u64, 0),
+        );
+        let mut served = 0u64;
+        for record in records {
+            while let Some(event) = events.peek() {
+                if served < event.fulfilled {
+                    break;
+                }
+                if let FailureOutcome::Restarted { new_epoch } = event.outcome {
+                    engine = ShardEngine::new(
+                        backend,
+                        source.clone(),
+                        epoch_streams(StreamMode::PerProfile, seeds, worker as u64, new_epoch),
+                    );
+                }
+                // Exhausted/ShuttingDown: a retired shard appends no
+                // further records, so there is nothing to skip — the
+                // remaining records (if any) predate the event.
+                events.next();
+            }
+            let total: usize = record
+                .members
+                .iter()
+                .map(|&seq| trace[seq as usize].count)
+                .sum();
+            let mut samples = engine.serve(record.profile_index, total, &stats, &no_faults);
+            // Scatter back to the members in serve order, exactly as
+            // Job::scatter did live.
+            for &seq in record.members.iter().rev().skip(1).rev() {
+                let rest = samples.split_off(trace[seq as usize].count);
+                out[seq as usize] = Some(std::mem::replace(&mut samples, rest));
+            }
+            if let Some(&last) = record.members.last() {
+                out[last as usize] = Some(samples);
+            }
+            served += record.members.len() as u64;
+        }
+    }
+    out
+}
+
+/// Replays a **clean** coalesced run — no injected faults, no worker
+/// deaths, and stealing disabled — from (seed, trace, threads, width)
+/// alone, no dispatch log needed.
+///
+/// Why this is sound: with stealing off, every gang of profile `p` is
+/// served by its home shard `p % threads`, and the coalescer stages,
+/// flushes, and enqueues under one stage lock, so shard `s` serves each
+/// profile's members in ascending seq order. By the draw-order contract
+/// a member's samples are then the next `count`-sample prefix-slice of
+/// the (shard, profile) stream *regardless of how the run ganged them*
+/// — so serving each trace entry individually, in seq order, on its
+/// home shard's engine reproduces every delivered buffer bit-exactly.
+/// This is the offline verifier's tool: it needs only what the client
+/// already knows.
+pub fn replay_coalesced_clean(
+    seeds: &SeedTree,
+    profiles: &[Arc<CtSampler>],
+    threads: usize,
+    width: LaneWidth,
+    trace: &[TraceEntry],
+) -> Vec<Vec<i32>> {
+    assert!(threads > 0, "a pool has at least one shard");
+    let backend = Backend::select_for_width(width.lanes());
+    let source = static_source(profiles);
+    let stats = WorkerStats::default();
+    let no_faults = ArmedFaults::none();
+    let mut engines: Vec<ShardEngine> = (0..threads)
+        .map(|worker| {
+            ShardEngine::new(
+                backend,
+                source.clone(),
+                epoch_streams(StreamMode::PerProfile, seeds, worker as u64, 0),
+            )
+        })
+        .collect();
+    trace
+        .iter()
+        .map(|entry| {
+            let home = entry.profile_index % threads;
+            engines[home].serve(entry.profile_index, entry.count, &stats, &no_faults)
+        })
+        .collect()
 }

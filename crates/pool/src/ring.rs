@@ -75,6 +75,17 @@ pub(crate) enum PushTimeoutError<T> {
     Closed(T),
 }
 
+/// Outcome of a timed consumer wait ([`Ring::pop_many_timeout`]).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PopWait {
+    /// At least one item was moved into `out`.
+    Items,
+    /// The ring stayed empty past the deadline (steal-scan window).
+    TimedOut,
+    /// The ring is closed and drained; end of stream.
+    Closed,
+}
+
 impl<T> Ring<T> {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
@@ -160,6 +171,49 @@ impl<T> Ring<T> {
         out.extend(state.queue.drain(..take));
         self.not_full.notify_all();
         true
+    }
+
+    /// Like [`Ring::pop_many`], but bounds the empty-ring wait: a worker
+    /// in stealing mode polls its own ring with a short deadline and
+    /// scans sibling rings on [`PopWait::TimedOut`] instead of parking
+    /// forever. A closed-and-drained ring still reports
+    /// [`PopWait::Closed`] immediately, whatever the deadline.
+    pub(crate) fn pop_many_timeout(
+        &self,
+        max: usize,
+        out: &mut Vec<T>,
+        timeout: Duration,
+    ) -> PopWait {
+        debug_assert!(out.is_empty() && max > 0);
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_recover(&self.state);
+        while state.queue.is_empty() {
+            if state.closed {
+                return PopWait::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return PopWait::TimedOut;
+            }
+            state = wait_timeout_recover(&self.not_empty, state, remaining);
+        }
+        let take = state.queue.len().min(max);
+        out.extend(state.queue.drain(..take));
+        self.not_full.notify_all();
+        PopWait::Items
+    }
+
+    /// Non-blocking front pop for work stealing: hands the *oldest*
+    /// queued item to a sibling worker. Unlike [`Ring::pop_many`] this
+    /// drains a closed-but-nonempty ring too — a thief may rescue work
+    /// queued ahead of a shard that is sitting out a restart backoff.
+    pub(crate) fn steal_one(&self) -> Option<T> {
+        let mut state = lock_recover(&self.state);
+        let item = state.queue.pop_front();
+        if item.is_some() {
+            self.not_full.notify_all();
+        }
+        item
     }
 
     /// Closes the ring: producers fail fast, consumers drain what is
@@ -383,6 +437,56 @@ mod tests {
             let result = p.join().expect("producer must wake, not hang");
             assert!(result.is_err(), "closed ring must refuse the item");
         }
+    }
+
+    #[test]
+    fn pop_many_timeout_times_out_pops_and_reports_close() {
+        let ring = Ring::new(4);
+        let mut out = Vec::new();
+        let start = Instant::now();
+        assert_eq!(
+            ring.pop_many_timeout(4, &mut out, Duration::from_millis(20)),
+            PopWait::TimedOut
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        ring.push(9u32).unwrap();
+        assert_eq!(
+            ring.pop_many_timeout(4, &mut out, Duration::from_secs(5)),
+            PopWait::Items
+        );
+        assert_eq!(out, [9]);
+        out.clear();
+        ring.close();
+        let start = Instant::now();
+        assert_eq!(
+            ring.pop_many_timeout(4, &mut out, Duration::from_secs(60)),
+            PopWait::Closed
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn steal_one_takes_the_oldest_even_from_a_closed_ring() {
+        let ring = Ring::new(4);
+        ring.push(1u32).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(ring.steal_one(), Some(1));
+        ring.close();
+        assert_eq!(ring.steal_one(), Some(2), "closed-but-nonempty drains");
+        assert_eq!(ring.steal_one(), None);
+    }
+
+    #[test]
+    fn steal_one_wakes_a_blocked_producer() {
+        let ring = Arc::new(Ring::new(1));
+        ring.push(0u32).unwrap();
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(1).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ring.steal_one(), Some(0));
+        assert!(producer.join().unwrap());
     }
 
     /// A panic while holding the ring lock poisons the mutex; every ring

@@ -23,16 +23,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ctgauss_core::CtSampler;
 use ctgauss_prng::SeedTree;
 
-use crate::fault::ArmedFaults;
-use crate::health::{
-    AbandonLog, FailureEvent, FailureLog, FailureOutcome, HealthBoard, ShardState,
-};
-use crate::pool::LaneWidth;
-use crate::ring::{lock_recover, wait_recover, Ring};
-use crate::worker::{spawn_worker, Job, WorkerStats};
+use crate::health::{FailureEvent, FailureLog, FailureOutcome, HealthBoard, ShardState};
+use crate::ring::{lock_recover, wait_recover};
+use crate::worker::{epoch_streams, spawn_worker, StreamMode, WorkerContext};
 
 /// Restart budget and backoff schedule for worker resurrection.
 ///
@@ -157,13 +152,14 @@ impl Drop for DeathNotice {
 /// Everything the supervisor needs to judge a death and respawn a worker.
 pub(crate) struct Supervisor {
     pub(crate) shared: Arc<SupervisorShared>,
-    pub(crate) shards: Vec<Arc<Ring<Job>>>,
-    pub(crate) profiles: Arc<[Arc<CtSampler>]>,
+    /// Per-shard spawn contexts (ring, siblings, profile source, stats,
+    /// faults, dispatch log) — cloned into every resurrection epoch so a
+    /// replacement serves exactly the same shard resources.
+    pub(crate) contexts: Vec<WorkerContext>,
     pub(crate) seeds: SeedTree,
-    pub(crate) width: LaneWidth,
-    pub(crate) stats: Vec<Arc<WorkerStats>>,
-    pub(crate) faults: Vec<Arc<ArmedFaults>>,
-    pub(crate) abandons: Vec<Arc<AbandonLog>>,
+    /// Which PRNG stream layout resurrection epochs fork (must match
+    /// what `PoolBuilder::spawn` chose for epoch 0).
+    pub(crate) mode: StreamMode,
     pub(crate) health: Arc<HealthBoard>,
     pub(crate) log: Arc<FailureLog>,
     pub(crate) policy: RestartPolicy,
@@ -198,7 +194,7 @@ impl Supervisor {
             Ok(()) => "worker exited without panicking".to_owned(),
         };
         let epoch = self.health.epoch(worker);
-        let fulfilled = self.stats[worker].requests();
+        let fulfilled = self.contexts[worker].stats.requests();
         let restarts = self.health.restarts(worker);
 
         if self.closing.load(Ordering::Acquire) {
@@ -219,7 +215,7 @@ impl Supervisor {
         }
 
         let new_epoch = epoch + 1;
-        let abandoned = self.abandons[worker].drain();
+        let abandoned = self.contexts[worker].abandons.drain();
         self.health.note_restart(worker, abandoned.len() as u64);
         self.health
             .set_state(worker, ShardState::Restarting { epoch: new_epoch });
@@ -233,16 +229,11 @@ impl Supervisor {
         });
         std::thread::sleep(self.policy.backoff(restarts));
         // The replacement shares the shard's lifetime counters and armed
-        // faults, but draws from a fresh domain-separated stream with an
+        // faults, but draws from fresh domain-separated stream(s) with an
         // empty carry: the dead epoch's randomness is gone for good.
         self.handles[worker] = Some(spawn_worker(
-            worker,
-            self.width,
-            Arc::clone(&self.shards[worker]),
-            Arc::clone(&self.profiles),
-            self.seeds.fork_chacha_epoch(worker as u64, new_epoch),
-            Arc::clone(&self.stats[worker]),
-            Arc::clone(&self.faults[worker]),
+            self.contexts[worker].clone(),
+            epoch_streams(self.mode, &self.seeds, worker as u64, new_epoch),
             DeathNotice::new(&self.shared, worker),
         ));
         self.health
@@ -260,8 +251,8 @@ impl Supervisor {
         outcome: FailureOutcome,
         cause: String,
     ) {
-        self.shards[worker].close_and_purge();
-        let abandoned = self.abandons[worker].drain();
+        self.contexts[worker].shard.close_and_purge();
+        let abandoned = self.contexts[worker].abandons.drain();
         self.health.note_abandoned(worker, abandoned.len() as u64);
         self.health.set_state(worker, ShardState::Dead);
         self.log.record(FailureEvent {
@@ -291,7 +282,7 @@ impl Supervisor {
             if let Err(payload) = handle.join() {
                 let cause = payload_text(payload.as_ref());
                 let epoch = self.health.epoch(worker);
-                let fulfilled = self.stats[worker].requests();
+                let fulfilled = self.contexts[worker].stats.requests();
                 self.retire(
                     worker,
                     epoch,

@@ -1,82 +1,195 @@
-//! Worker threads: coalesced batch execution over one forked stream.
+//! Worker threads: coalesced batch execution over deterministic streams.
+//!
+//! v1 served one request per [`Job`]; v2 generalizes the job to a
+//! **gang** — one or more same-profile requests served by a single
+//! engine pass and scattered back to their waiters in seq order. A v1
+//! submission is simply a one-member gang, so both pool modes share one
+//! ring type, one worker loop, and one serving engine.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use ctgauss_core::{Backend, CtSampler, LaneScratch};
-use ctgauss_prng::ChaChaRng;
+use ctgauss_prng::{ChaChaRng, SeedTree};
 
+use crate::coalesce::{DispatchLog, DispatchRecord};
 use crate::fault::{ArmedFaults, FaultSite};
 use crate::health::AbandonLog;
-use crate::pool::{Completion, LaneWidth, SampleRequest};
-use crate::ring::Ring;
+use crate::pool::{Completion, LaneWidth};
+use crate::registry::ProfileSource;
+use crate::ring::{PopWait, Ring};
 use crate::supervisor::DeathNotice;
 
-/// How many queued requests a worker claims per ring pass. Requests are
-/// served strictly in FIFO order either way; claiming a run of them just
+/// How many queued gangs a worker claims per ring pass. Gangs are served
+/// strictly in FIFO order either way; claiming a run of them just
 /// amortizes the ring lock.
 const CLAIM: usize = 64;
 
-/// One queued request plus its response slot. If the job is dropped
-/// unfulfilled (worker panic unwinding, or a ring purge after budget
-/// exhaustion), the waiting ticket is released with
+/// How long a stealing worker parks on its own empty ring before
+/// scanning sibling rings for work.
+const STEAL_POLL: Duration = Duration::from_micros(500);
+
+/// One request's slice of a gang: its response slot plus the sample
+/// count it is owed. If the member is dropped unfulfilled (worker panic
+/// unwinding, or a ring purge after budget exhaustion), the waiting
+/// ticket is released with
 /// [`PoolError::WorkerGone`](crate::PoolError::WorkerGone) instead of
-/// hanging, and the seq is recorded in the shard's [`AbandonLog`] so the
-/// failure log fully accounts for it.
+/// hanging, and the seq is recorded in the serving shard's
+/// [`AbandonLog`] so the failure log fully accounts for it.
 #[derive(Debug)]
-pub(crate) struct Job {
-    request: SampleRequest,
+pub(crate) struct Member {
     /// Pool-wide submission sequence number, echoed back on fulfillment
     /// so response auditing is end to end (a completion delivered by the
-    /// wrong job carries the wrong seq and is caught by the front end).
-    seq: u64,
-    /// When the submitter created the job — the start of the
+    /// wrong member carries the wrong seq and is caught by the front
+    /// end).
+    pub(crate) seq: u64,
+    pub(crate) count: usize,
+    /// When the submitter created the member — the start of the
     /// submit-to-completion latency the serving worker records.
     #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
-    submitted_at: std::time::Instant,
+    pub(crate) submitted_at: Instant,
     completion: Arc<Completion>,
-    abandons: Arc<AbandonLog>,
+    /// The abandon log of the shard currently responsible for the
+    /// member. `None` while staged (no shard yet); set when the gang is
+    /// enqueued on a ring, and re-tagged by a thief so a mid-serve panic
+    /// attributes the loss to the shard that actually held the work.
+    abandons: Option<Arc<AbandonLog>>,
     fulfilled: bool,
 }
 
-impl Job {
+impl Member {
     pub(crate) fn new(
-        request: SampleRequest,
         seq: u64,
-        submitted_at: std::time::Instant,
+        count: usize,
+        submitted_at: Instant,
         completion: Arc<Completion>,
-        abandons: Arc<AbandonLog>,
     ) -> Self {
-        Job {
-            request,
+        Member {
             seq,
+            count,
             submitted_at,
             completion,
-            abandons,
+            abandons: None,
             fulfilled: false,
         }
     }
 
-    fn fulfill(mut self, samples: Vec<i32>) {
+    fn fulfill(&mut self, samples: Vec<i32>) {
+        debug_assert_eq!(samples.len(), self.count);
         self.completion.fulfill(self.seq, samples);
         self.fulfilled = true;
+    }
+
+    /// Resolves the waiting ticket with an abandon *now* (shutdown path
+    /// for staged members that no live ring would accept).
+    pub(crate) fn abandon(mut self) {
+        // Drop does the work; this method only names the intent.
+        self.fulfilled = false;
+    }
+}
+
+impl Drop for Member {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.completion.abandon();
+            if let Some(log) = &self.abandons {
+                log.record(self.seq);
+            }
+        }
+    }
+}
+
+/// One queued unit of work: a gang of same-profile members served by a
+/// single engine pass over `total` samples, scattered to the members in
+/// seq order on the way out.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) profile_index: usize,
+    /// The shard whose ring the gang was enqueued on. A gang served by a
+    /// different worker was stolen.
+    pub(crate) home: usize,
+    pub(crate) members: Vec<Member>,
+    pub(crate) total: usize,
+}
+
+impl Job {
+    /// A v1 submission: a one-member gang.
+    pub(crate) fn single(
+        profile_index: usize,
+        home: usize,
+        mut member: Member,
+        abandons: Arc<AbandonLog>,
+    ) -> Self {
+        member.abandons = Some(abandons);
+        let total = member.count;
+        Job {
+            profile_index,
+            home,
+            members: vec![member],
+            total,
+        }
+    }
+
+    /// A coalesced gang. `members` must be in ascending seq order and
+    /// share the profile.
+    pub(crate) fn gang(profile_index: usize, home: usize, members: Vec<Member>) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0].seq < w[1].seq));
+        let total = members.iter().map(|m| m.count).sum();
+        Job {
+            profile_index,
+            home,
+            members,
+            total,
+        }
+    }
+
+    /// Points every member's abandon attribution at the shard now
+    /// holding the gang, *without* touching `home` — the thief's hook.
+    /// A stolen gang keeps its origin ring's identity: `home != serving
+    /// shard` is exactly the steal marker the dispatch log records.
+    pub(crate) fn adopt(&mut self, abandons: &Arc<AbandonLog>) {
+        for member in &mut self.members {
+            member.abandons = Some(Arc::clone(abandons));
+        }
+    }
+
+    /// [`adopt`](Self::adopt) plus re-homing — called when a flush
+    /// (re)routes the gang onto a ring: that ring's shard becomes the
+    /// gang's home.
+    pub(crate) fn retag(&mut self, home: usize, abandons: &Arc<AbandonLog>) {
+        self.home = home;
+        self.adopt(abandons);
     }
 
     /// Discards a job that was never accepted by a ring (a refused
     /// push): the submission failed synchronously, so neither the
     /// abandon log nor the ticket should hear about it.
     pub(crate) fn defuse(mut self) {
-        self.fulfilled = true;
+        for member in &mut self.members {
+            member.fulfilled = true;
+        }
     }
-}
 
-impl Drop for Job {
-    fn drop(&mut self) {
-        if !self.fulfilled {
-            self.completion.abandon();
-            self.abandons.record(self.seq);
+    /// Delivers `samples` to the members in order. A one-member gang
+    /// hands the whole buffer over without copying.
+    fn scatter(mut self, mut samples: Vec<i32>, stats: &WorkerStats) {
+        #[cfg(not(feature = "metrics"))]
+        let _ = stats;
+        debug_assert_eq!(samples.len(), self.total);
+        let last = self.members.len() - 1;
+        for (i, member) in self.members.iter_mut().enumerate() {
+            let part = if i == last {
+                std::mem::take(&mut samples)
+            } else {
+                let rest = samples.split_off(member.count);
+                std::mem::replace(&mut samples, rest)
+            };
+            #[cfg(feature = "metrics")]
+            stats.latency.record_duration(member.submitted_at.elapsed());
+            member.fulfill(part);
         }
     }
 }
@@ -87,12 +200,21 @@ impl Drop for Job {
 /// The same instance is handed to every restart epoch of a worker, so
 /// the counters are *lifetime* counters of the shard — which is what
 /// makes fault triggers (`panic@w0.batch3`) and the failure log's
-/// `fulfilled` field well-defined across resurrections.
+/// `fulfilled` field well-defined across resurrections. `requests`
+/// counts gang *members* (i.e. submissions), not gangs, so its meaning
+/// is unchanged from v1.
 #[derive(Debug, Default)]
 pub(crate) struct WorkerStats {
     requests: AtomicU64,
     samples: AtomicU64,
     batches: AtomicU64,
+    /// Samples delivered by the serve that generated them (`count -
+    /// carry_taken` per serve). `fresh / (batches * 64W)` is the
+    /// *dispatch fill ratio*: how full kernel batches are with samples
+    /// someone is actually waiting on — the metric coalescing moves.
+    fresh: AtomicU64,
+    /// Gangs this worker served from a sibling's ring.
+    steals: AtomicU64,
     /// Submit-to-completion latency in nanoseconds, recorded at
     /// fulfillment. Lock-free and off the sample path (after the kernel
     /// ran, before the completion wakes the waiter); compiled out
@@ -113,48 +235,134 @@ impl WorkerStats {
     pub(crate) fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
+
+    pub(crate) fn fresh(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
 }
 
 /// Per-profile execution state: reusable kernel scratch plus the carry
 /// of samples left over from the last partially-consumed batch. The
-/// carry is what coalesces small requests — the kernel only ever runs
-/// full `64 * W`-sample batches, and whatever a request does not consume
-/// is handed to the next request on this shard, in draw order, with no
-/// randomness discarded.
+/// carry is what coalesces small requests within one shard's stream —
+/// the kernel only ever runs full `64 * W`-sample batches, and whatever
+/// a request does not consume is handed to the next request on this
+/// shard, in draw order, with no randomness discarded.
 struct ProfileState {
     sampler: Arc<CtSampler>,
     scratch: LaneScratch,
     carry: VecDeque<i32>,
     /// Reused staging buffer for the final partial batch of a request.
     tail: Vec<i32>,
+    /// The profile's own PRNG stream (per-profile stream layout only;
+    /// `None` under the legacy shared-stream layout).
+    rng: Option<ChaChaRng>,
+}
+
+/// Which PRNG stream layout a [`ShardEngine`] draws from.
+///
+/// * `Legacy` — v1: one stream per (shard, epoch), shared by every
+///   profile in submission order. Byte-compatible with every pre-v2
+///   trace.
+/// * `PerProfile` — v2: one stream per (shard, profile, epoch), forked
+///   as `seeds.fork_subtree(shard).fork_chacha_epoch(profile, epoch)`.
+///   Decoupling profiles is what lets coalescing reorder *across*
+///   profiles (and lets a thief serve a stolen gang bit-identically):
+///   only the per-(shard, profile) member order matters, and the
+///   coalescer preserves exactly that.
+pub(crate) enum EngineStreams {
+    Legacy(Box<ChaChaRng>),
+    PerProfile {
+        /// `seeds.fork_subtree(shard)`.
+        subtree: SeedTree,
+        epoch: u64,
+    },
+}
+
+/// The pool-wide stream-layout choice, fixed at spawn: legacy (v1) or
+/// per-profile (v2 / coalescing). The supervisor replays the same choice
+/// for every resurrection epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StreamMode {
+    Legacy,
+    PerProfile,
+}
+
+/// The epoch streams worker `worker` draws from at `epoch` — one place
+/// defines the fork schedule for spawn, resurrection, and replay alike.
+pub(crate) fn epoch_streams(
+    mode: StreamMode,
+    seeds: &SeedTree,
+    worker: u64,
+    epoch: u64,
+) -> EngineStreams {
+    match mode {
+        StreamMode::Legacy => {
+            EngineStreams::Legacy(Box::new(seeds.fork_chacha_epoch(worker, epoch)))
+        }
+        StreamMode::PerProfile => EngineStreams::PerProfile {
+            subtree: seeds.fork_subtree(worker),
+            epoch,
+        },
+    }
 }
 
 /// One shard's deterministic serving engine: the per-profile carry
-/// coalescers plus the epoch's PRNG stream.
+/// coalescers plus the epoch's PRNG stream(s).
 ///
 /// Extracted from the worker loop so that
-/// [`replay_trace`](crate::replay_trace) can drive the *identical*
-/// code path without threads or rings — the engine, fed the same
-/// (profile, count) sequence over the same stream, is the definition of
-/// what a shard's responses are.
+/// [`replay_trace`](crate::replay_trace) and
+/// [`replay_coalesced`](crate::replay_coalesced) can drive the
+/// *identical* code path without threads or rings — the engine, fed the
+/// same (profile, count) sequence over the same streams, is the
+/// definition of what a shard's responses are.
+///
+/// Profile states are created lazily on first use. State creation draws
+/// no randomness (scratch allocation only), so laziness is
+/// determinism-neutral — which is also what makes hot-loaded registry
+/// additions visible to already-running workers.
 pub(crate) struct ShardEngine {
-    states: Vec<ProfileState>,
-    rng: ChaChaRng,
+    backend: Backend,
+    source: ProfileSource,
+    states: Vec<Option<ProfileState>>,
+    streams: EngineStreams,
 }
 
 impl ShardEngine {
-    pub(crate) fn new(backend: Backend, profiles: &[Arc<CtSampler>], rng: ChaChaRng) -> Self {
+    pub(crate) fn new(backend: Backend, source: ProfileSource, streams: EngineStreams) -> Self {
         ShardEngine {
-            states: profiles
-                .iter()
-                .map(|sampler| ProfileState {
-                    sampler: Arc::clone(sampler),
-                    scratch: sampler.lane_scratch_for(backend),
-                    carry: VecDeque::new(),
-                    tail: vec![0i32; 64 * backend.width()],
-                })
-                .collect(),
-            rng,
+            backend,
+            source,
+            states: Vec::new(),
+            streams,
+        }
+    }
+
+    fn ensure_state(&mut self, profile_index: usize) {
+        if self.states.len() <= profile_index {
+            self.states.resize_with(profile_index + 1, || None);
+        }
+        if self.states[profile_index].is_none() {
+            let sampler = self
+                .source
+                .sampler(profile_index)
+                .expect("profile validated at submission");
+            let rng = match &self.streams {
+                EngineStreams::Legacy(_) => None,
+                EngineStreams::PerProfile { subtree, epoch } => {
+                    Some(subtree.fork_chacha_epoch(profile_index as u64, *epoch))
+                }
+            };
+            self.states[profile_index] = Some(ProfileState {
+                scratch: sampler.lane_scratch_for(self.backend),
+                sampler,
+                carry: VecDeque::new(),
+                tail: vec![0i32; 64 * self.backend.width()],
+                rng,
+            });
         }
     }
 
@@ -170,18 +378,31 @@ impl ShardEngine {
         stats: &WorkerStats,
         faults: &ArmedFaults,
     ) -> Vec<i32> {
-        let state = &mut self.states[profile_index];
+        self.ensure_state(profile_index);
+        let state = self.states[profile_index]
+            .as_mut()
+            .expect("state ensured above");
+        let rng = match &mut self.streams {
+            EngineStreams::Legacy(rng) => &mut **rng,
+            EngineStreams::PerProfile { .. } => state
+                .rng
+                .as_mut()
+                .expect("per-profile layout forks a stream"),
+        };
         let mut out = vec![0i32; count];
         // Drain the carry (leftovers of the previous request's last batch).
         let take = count.min(state.carry.len());
         for (slot, v) in out[..take].iter_mut().zip(state.carry.drain(..take)) {
             *slot = v;
         }
+        stats
+            .fresh
+            .fetch_add((count - take) as u64, Ordering::Relaxed);
         let mut filled = take;
         let batch = 64 * state.scratch.width();
         while count - filled >= batch {
             state.sampler.sample_batch_lanes(
-                &mut self.rng,
+                rng,
                 &mut state.scratch,
                 &mut out[filled..filled + batch],
             );
@@ -192,7 +413,7 @@ impl ShardEngine {
         if filled < count {
             state
                 .sampler
-                .sample_batch_lanes(&mut self.rng, &mut state.scratch, &mut state.tail);
+                .sample_batch_lanes(rng, &mut state.scratch, &mut state.tail);
             let batches = stats.batches.fetch_add(1, Ordering::Relaxed) + 1;
             faults.check(FaultSite::Batch, batches);
             let need = count - filled;
@@ -204,9 +425,30 @@ impl ShardEngine {
     }
 }
 
-/// Spawns worker `index` at the configured lane width, drawing from
-/// `rng` (the epoch stream picked by the caller — `fork_chacha(w)` for
-/// epoch 0, `fork_chacha_epoch(w, e)` for resurrections). The width is
+/// Everything a worker thread (and the supervisor's respawn path) needs
+/// besides the epoch streams: the shard's queue, sibling queues to steal
+/// from (empty disables stealing), the profile source, and the shared
+/// accounting surfaces.
+#[derive(Clone)]
+pub(crate) struct WorkerContext {
+    pub(crate) index: usize,
+    pub(crate) width: LaneWidth,
+    pub(crate) shard: Arc<Ring<Job>>,
+    /// Sibling rings in scan order (pre-rotated: `index + 1, ...`,
+    /// wrapping, self excluded). Empty when stealing is off.
+    pub(crate) siblings: Vec<Arc<Ring<Job>>>,
+    /// This shard's abandon log, re-tagged onto stolen gangs.
+    pub(crate) abandons: Arc<AbandonLog>,
+    pub(crate) source: ProfileSource,
+    pub(crate) stats: Arc<WorkerStats>,
+    pub(crate) faults: Arc<ArmedFaults>,
+    /// The per-shard dispatch log (coalescing mode only): the replay
+    /// record of which members this worker served, in order.
+    pub(crate) dispatch: Option<Arc<DispatchLog>>,
+}
+
+/// Spawns worker `ctx.index` at the configured lane width, drawing from
+/// `streams` (the epoch streams picked by the caller). The width is
 /// mapped onto the preferred available SIMD [`Backend`] of that exact
 /// width (`CTGAUSS_FORCE_BACKEND` wins when it matches), so `LaneWidth`
 /// keeps its meaning — batch units of `64 * W` samples — while the
@@ -217,55 +459,85 @@ impl ShardEngine {
 ///
 /// `notice` reports a panicking exit to the supervisor; a graceful exit
 /// (ring closed and drained) reports nothing.
-#[allow(clippy::too_many_arguments)] // one per shard resource, spawn-site only
 pub(crate) fn spawn_worker(
-    index: usize,
-    width: LaneWidth,
-    shard: Arc<Ring<Job>>,
-    profiles: Arc<[Arc<CtSampler>]>,
-    rng: ChaChaRng,
-    stats: Arc<WorkerStats>,
-    faults: Arc<ArmedFaults>,
+    ctx: WorkerContext,
+    streams: EngineStreams,
     notice: DeathNotice,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(format!("ctgauss-pool-{index}"))
+        .name(format!("ctgauss-pool-{}", ctx.index))
         .spawn(move || {
             // Declared first, so it drops *last* during a panic unwind:
             // by the time the supervisor learns of the death, every
             // claimed-but-unserved Job (local to worker_loop) has already
-            // resolved its ticket and recorded its seq.
+            // resolved its tickets and recorded its seqs.
             let _notice = notice;
-            let backend = Backend::select_for_width(width.lanes());
-            let mut engine = ShardEngine::new(backend, &profiles, rng);
-            worker_loop(&mut engine, &shard, &stats, &faults)
+            let backend = Backend::select_for_width(ctx.width.lanes());
+            let mut engine = ShardEngine::new(backend, ctx.source.clone(), streams);
+            worker_loop(&mut engine, &ctx)
         })
         .expect("spawn pool worker")
 }
 
-fn worker_loop(
-    engine: &mut ShardEngine,
-    shard: &Ring<Job>,
-    stats: &WorkerStats,
-    faults: &ArmedFaults,
-) {
-    let mut jobs: Vec<Job> = Vec::with_capacity(CLAIM);
+fn worker_loop(engine: &mut ShardEngine, ctx: &WorkerContext) {
+    let mut gangs: Vec<Job> = Vec::with_capacity(CLAIM);
     // `pop_many` blocks for work and returns false only once the ring is
-    // closed *and* drained, so shutdown never drops a queued request.
-    while shard.pop_many(CLAIM, &mut jobs) {
-        for job in jobs.drain(..) {
-            // The request-site fault point: fires while the Nth lifetime
-            // request is claimed but unserved, so a panic here abandons
-            // exactly that request (and the rest of the claimed run).
-            faults.check(FaultSite::Request, stats.requests() + 1);
-            let samples = engine.serve(job.request.profile.index, job.request.count, stats, faults);
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            stats
-                .samples
-                .fetch_add(samples.len() as u64, Ordering::Relaxed);
-            #[cfg(feature = "metrics")]
-            stats.latency.record_duration(job.submitted_at.elapsed());
-            job.fulfill(samples);
+    // closed *and* drained, so shutdown never drops a queued request. In
+    // stealing mode the wait is bounded so an idle worker can scan
+    // sibling rings instead of parking while a hot profile backs a
+    // neighbor up (or a dead neighbor sits in restart backoff).
+    loop {
+        if ctx.siblings.is_empty() {
+            if !ctx.shard.pop_many(CLAIM, &mut gangs) {
+                return;
+            }
+        } else {
+            match ctx.shard.pop_many_timeout(CLAIM, &mut gangs, STEAL_POLL) {
+                PopWait::Items => {}
+                PopWait::Closed => return,
+                PopWait::TimedOut => {
+                    if let Some(mut gang) = ctx.siblings.iter().find_map(|ring| ring.steal_one()) {
+                        gang.adopt(&ctx.abandons);
+                        serve_gang(engine, gang, ctx);
+                    }
+                    continue;
+                }
+            }
+        }
+        for gang in gangs.drain(..) {
+            serve_gang(engine, gang, ctx);
         }
     }
+}
+
+fn serve_gang(engine: &mut ShardEngine, gang: Job, ctx: &WorkerContext) {
+    let stats = &ctx.stats;
+    // The request-site fault points: one per member, fired while the
+    // members are claimed but unserved, so a panic here abandons exactly
+    // this gang (and the rest of the claimed run) — member counts stay
+    // on gang boundaries, which is what keeps the failure log's
+    // `fulfilled` field a valid dispatch-log cursor.
+    let base = stats.requests();
+    for m in 1..=gang.members.len() as u64 {
+        ctx.faults.check(FaultSite::Request, base + m);
+    }
+    let samples = engine.serve(gang.profile_index, gang.total, stats, &ctx.faults);
+    if let Some(log) = &ctx.dispatch {
+        log.append(DispatchRecord {
+            shard: ctx.index,
+            home: gang.home,
+            profile_index: gang.profile_index,
+            members: gang.members.iter().map(|m| m.seq).collect(),
+        });
+    }
+    if gang.home != ctx.index {
+        stats.steals.fetch_add(1, Ordering::Relaxed);
+    }
+    stats
+        .requests
+        .fetch_add(gang.members.len() as u64, Ordering::Relaxed);
+    stats
+        .samples
+        .fetch_add(samples.len() as u64, Ordering::Relaxed);
+    gang.scatter(samples, stats);
 }

@@ -8,10 +8,12 @@
 //!    pure function of (seed, request trace), equal to a per-shard
 //!    scalar simulation.
 
-use ctgauss_core::SamplerSpec;
+use std::sync::Arc;
+
+use ctgauss_core::{CtSampler, SamplerSpec};
 use ctgauss_pool::{
-    replay_trace, FaultPlan, LaneWidth, Pool, PoolError, ProfileId, SampleRequest, TraceEntry,
-    WaitError,
+    replay_coalesced, replay_coalesced_clean, replay_trace, CoalesceConfig, FaultPlan, LaneWidth,
+    Pool, PoolError, ProfileId, SampleRequest, TraceEntry, WaitError,
 };
 use ctgauss_prng::SeedTree;
 
@@ -245,6 +247,309 @@ fn crashed_run_replays_bit_exactly_from_its_failure_log() {
         for (seq, (got, want)) in live.iter().zip(&replayed).enumerate() {
             assert_eq!(got, want, "width {width:?} diverged at request seq {seq}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coalescing (v2) determinism: dispatch-log replay, trace-only clean
+// replay, passthrough equivalence, stealing, and chaos.
+// ---------------------------------------------------------------------
+
+/// The specs the v2 tests register, in index order.
+fn v2_specs() -> [SamplerSpec; 2] {
+    [SamplerSpec::new("2", 16), SamplerSpec::new("1.5", 16)]
+}
+
+fn v2_profiles() -> Vec<Arc<CtSampler>> {
+    v2_specs()
+        .iter()
+        .map(|spec| spec.build_shared().expect("profile builds"))
+        .collect()
+}
+
+/// A deterministic tiny-request mixed-profile trace: counts 1..=16,
+/// profiles alternating pseudo-randomly — the workload coalescing
+/// exists for.
+fn tiny_mixed_trace(seed: u64, len: usize) -> Vec<TraceEntry> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..len)
+        .map(|_| TraceEntry {
+            profile_index: (next() % 2) as usize,
+            count: 1 + (next() % 16) as usize,
+        })
+        .collect()
+}
+
+fn v2_pool(
+    threads: usize,
+    width: LaneWidth,
+    seed: u64,
+    cfg: CoalesceConfig,
+) -> (Pool, Vec<ProfileId>) {
+    let mut builder = Pool::builder()
+        .threads(threads)
+        .width(width)
+        .seed_u64(seed)
+        .coalesce(cfg);
+    let ids = v2_specs()
+        .iter()
+        .map(|spec| builder.profile(spec).expect("profile builds"))
+        .collect();
+    (builder.spawn(), ids)
+}
+
+/// Submits the trace and waits every ticket out, `None` where the pool
+/// answered `WorkerGone`.
+fn run_v2_trace(pool: &Pool, ids: &[ProfileId], trace: &[TraceEntry]) -> Vec<Option<Vec<i32>>> {
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|entry| {
+            pool.submit(SampleRequest {
+                profile: ids[entry.profile_index],
+                count: entry.count,
+            })
+            .expect("v2 submission stages")
+        })
+        .collect();
+    tickets
+        .into_iter()
+        .map(
+            |ticket| match ticket.wait_timeout(std::time::Duration::from_secs(30)) {
+                Ok(response) => Some(response.samples),
+                Err(WaitError::Pool(PoolError::WorkerGone)) => None,
+                Err(other) => panic!("ticket must resolve, got {other:?}"),
+            },
+        )
+        .collect()
+}
+
+/// The tentpole contract: a coalesced run — requests ganged across
+/// submissions, served batch-at-a-time — replays bit-exactly from
+/// (seed, trace, width, dispatch log), at more than one width, and the
+/// trace-only clean replay agrees too.
+#[test]
+fn coalesced_tiny_requests_replay_bit_exactly_from_dispatch_log() {
+    let seed = 7171;
+    let threads = 2;
+    let trace = tiny_mixed_trace(0xC0A1_E5CE, 400);
+    for width in [LaneWidth::W1, LaneWidth::W4] {
+        let (pool, ids) = v2_pool(
+            threads,
+            width,
+            seed,
+            CoalesceConfig {
+                steal: false,
+                ..CoalesceConfig::default()
+            },
+        );
+        let live = run_v2_trace(&pool, &ids, &trace);
+        pool.shutdown();
+        assert!(pool.failure_log().is_empty(), "clean run");
+
+        // Coalescing actually happened: fewer gangs than members.
+        let metrics = pool.metrics();
+        let gangs = metrics.counter("pool", "gangs_flushed").unwrap();
+        let members = metrics.counter("pool", "gang_members_flushed").unwrap();
+        assert_eq!(members, trace.len() as u64);
+        assert!(
+            gangs < members,
+            "width {width:?}: {gangs} gangs for {members} members — nothing coalesced"
+        );
+
+        let dispatch = pool.dispatch_log();
+        let profiles = v2_profiles();
+        let replayed = replay_coalesced(
+            &SeedTree::from_u64_seed(seed),
+            &profiles,
+            width,
+            &trace,
+            &pool.failure_log(),
+            &dispatch,
+        );
+        for (seq, (got, want)) in live.iter().zip(&replayed).enumerate() {
+            assert_eq!(got, want, "width {width:?} diverged at seq {seq}");
+        }
+
+        // Clean run, stealing off: the trace-only replay (what an
+        // offline verifier without server logs uses) agrees too.
+        let clean = replay_coalesced_clean(
+            &SeedTree::from_u64_seed(seed),
+            &profiles,
+            threads,
+            width,
+            &trace,
+        );
+        for (seq, (got, want)) in live.iter().zip(&clean).enumerate() {
+            assert_eq!(
+                got.as_ref(),
+                Some(want),
+                "width {width:?} clean replay diverged at seq {seq}"
+            );
+        }
+    }
+}
+
+/// Coalescing must change latency, not values: at one thread, a
+/// passthrough run (staging disabled, same v2 stream layout) delivers
+/// bit-identical per-request samples to a coalesced run of the same
+/// trace.
+#[test]
+fn passthrough_matches_coalesced_at_one_thread() {
+    let seed = 909;
+    let trace = tiny_mixed_trace(0xFADE, 300);
+    let (pool, ids) = v2_pool(1, LaneWidth::W4, seed, CoalesceConfig::default());
+    let coalesced = run_v2_trace(&pool, &ids, &trace);
+    let (pool, ids) = v2_pool(1, LaneWidth::W4, seed, CoalesceConfig::passthrough());
+    let passthrough = run_v2_trace(&pool, &ids, &trace);
+    for (seq, (a, b)) in coalesced.iter().zip(&passthrough).enumerate() {
+        assert_eq!(a, b, "coalesced vs passthrough diverged at seq {seq}");
+    }
+}
+
+/// Work stealing: a hot profile backs up its home shard, the idle
+/// sibling steals — and because the dispatch log records who served
+/// what, the run still replays bit-exactly. A stall fault pins worker 0
+/// mid-serve so the steal is guaranteed, not scheduling luck.
+#[test]
+fn stolen_gangs_are_recorded_and_replay_bit_exactly() {
+    let seed = 5150;
+    let threads = 2;
+    // Every request on profile 0 → home shard 0; worker 0 stalls on its
+    // first member while the rest of the trace queues behind it.
+    let trace: Vec<TraceEntry> = (0..40)
+        .map(|_| TraceEntry {
+            profile_index: 0,
+            count: 64,
+        })
+        .collect();
+    let mut builder = Pool::builder()
+        .threads(threads)
+        .width(LaneWidth::W1)
+        .seed_u64(seed)
+        .coalesce(CoalesceConfig::default())
+        .faults(FaultPlan::new().stall_at_request(0, 1, std::time::Duration::from_millis(300)));
+    let ids: Vec<ProfileId> = v2_specs()
+        .iter()
+        .map(|spec| builder.profile(spec).expect("profile builds"))
+        .collect();
+    let pool = builder.spawn();
+
+    // Submit the first request alone and wait for worker 0 to claim it
+    // (queue drained): the stall then pins worker 0 *mid-serve* with an
+    // empty claim buffer, so everything submitted next queues on ring 0
+    // where the idle worker 1 finds it.
+    let first = pool
+        .submit(SampleRequest {
+            profile: ids[0],
+            count: trace[0].count,
+        })
+        .expect("submit");
+    while pool
+        .metrics()
+        .gauge("pool_shards", "shard0_queue_depth")
+        .unwrap()
+        > 0.0
+    {
+        std::thread::yield_now();
+    }
+    let rest: Vec<_> = trace[1..]
+        .iter()
+        .map(|entry| {
+            pool.submit(SampleRequest {
+                profile: ids[entry.profile_index],
+                count: entry.count,
+            })
+            .expect("submit")
+        })
+        .collect();
+    let mut live = vec![Some(
+        first
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("served")
+            .samples,
+    )];
+    live.extend(rest.into_iter().map(|ticket| {
+        Some(
+            ticket
+                .wait_timeout(std::time::Duration::from_secs(30))
+                .expect("served")
+                .samples,
+        )
+    }));
+    pool.shutdown();
+    assert!(pool.failure_log().is_empty(), "a stall is not a death");
+    assert!(
+        pool.steals() > 0,
+        "worker 1 must have stolen from the stalled shard 0"
+    );
+    let dispatch = pool.dispatch_log();
+    assert!(
+        dispatch[1].iter().any(|record| record.home == 0),
+        "the dispatch log attributes stolen gangs to the thief"
+    );
+
+    let replayed = replay_coalesced(
+        &SeedTree::from_u64_seed(seed),
+        &v2_profiles(),
+        LaneWidth::W1,
+        &trace,
+        &pool.failure_log(),
+        &dispatch,
+    );
+    for (seq, (got, want)) in live.iter().zip(&replayed).enumerate() {
+        assert_eq!(got, want, "stolen run diverged at seq {seq}");
+    }
+}
+
+/// Chaos: a worker panic mid-run (restart epoch) must leave the
+/// coalesced run reconstructible from (seed, trace, width, failure log,
+/// dispatch log) — abandoned gang members land on `None` exactly as the
+/// live tickets resolved.
+#[test]
+fn coalesced_chaos_run_replays_from_failure_and_dispatch_logs() {
+    let seed = 6007;
+    let threads = 2;
+    let trace = tiny_mixed_trace(0xDEAD_BEEF, 300);
+    let mut builder = Pool::builder()
+        .threads(threads)
+        .width(LaneWidth::W1)
+        .seed_u64(seed)
+        .coalesce(CoalesceConfig {
+            steal: false,
+            ..CoalesceConfig::default()
+        })
+        .faults(FaultPlan::new().panic_at_batch(0, 4));
+    let ids: Vec<ProfileId> = v2_specs()
+        .iter()
+        .map(|spec| builder.profile(spec).expect("profile builds"))
+        .collect();
+    let pool = builder.spawn();
+
+    let live = run_v2_trace(&pool, &ids, &trace);
+    pool.shutdown();
+    let failures = pool.failure_log();
+    assert_eq!(failures.len(), 1, "exactly one injected death");
+    assert_eq!(failures[0].worker, 0);
+    let abandoned = live.iter().filter(|r| r.is_none()).count();
+    assert!(abandoned >= 1, "the panicking gang was abandoned");
+
+    let replayed = replay_coalesced(
+        &SeedTree::from_u64_seed(seed),
+        &v2_profiles(),
+        LaneWidth::W1,
+        &trace,
+        &failures,
+        &pool.dispatch_log(),
+    );
+    for (seq, (got, want)) in live.iter().zip(&replayed).enumerate() {
+        assert_eq!(got, want, "chaos coalesced run diverged at seq {seq}");
     }
 }
 

@@ -1,0 +1,226 @@
+//! Profile-registry lifecycle: hot-loading and retiring profiles on a
+//! *running* pool, and the edges the registry's invariants promise —
+//! retire-while-in-flight completes, corrupted cached artifacts fall
+//! back to synthesis, and `ProfileId`s stay stable across churn.
+
+use std::fs;
+
+use ctgauss_core::{KernelCache, SamplerSpec};
+use ctgauss_pool::{CoalesceConfig, LaneWidth, Pool, PoolError, SampleRequest};
+
+fn test_spec() -> SamplerSpec {
+    SamplerSpec::new("2", 16)
+}
+
+fn other_spec() -> SamplerSpec {
+    SamplerSpec::new("1.5", 16)
+}
+
+/// A scratch cache directory unique to this test binary run.
+fn scratch_cache(tag: &str) -> KernelCache {
+    let dir = std::env::temp_dir().join(format!(
+        "ctgauss-pool-registry-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    KernelCache::at(dir)
+}
+
+#[test]
+fn hot_loaded_profile_is_immediately_servable() {
+    let mut builder = Pool::builder()
+        .threads(2)
+        .width(LaneWidth::W1)
+        .seed_u64(11)
+        .coalesce(CoalesceConfig::default());
+    let base = builder.profile(&test_spec()).expect("base profile");
+    let pool = builder.spawn();
+
+    let hot = pool
+        .add_profile_with(&other_spec(), &KernelCache::disabled())
+        .expect("hot-load builds");
+    assert_ne!(base, hot);
+    assert_eq!(hot.index(), 1, "slots append in order");
+
+    let samples = pool.sample_vec(hot, 200).expect("hot profile serves");
+    assert_eq!(samples.len(), 200);
+    assert!(samples.iter().any(|&s| s != 0));
+
+    let profiles = pool.profiles();
+    assert_eq!(profiles.len(), 2);
+    assert_eq!(profiles[1].label, "1.5");
+    assert_eq!(profiles[1].precision, 16);
+    assert!(!profiles[1].retired);
+}
+
+#[test]
+fn retire_while_in_flight_completes_and_gates_new_submissions() {
+    let mut builder = Pool::builder()
+        .threads(1)
+        .width(LaneWidth::W4)
+        .seed_u64(22)
+        .coalesce(CoalesceConfig::default());
+    let doomed = builder.profile(&test_spec()).expect("profile");
+    let survivor = builder.profile(&other_spec()).expect("profile");
+    let pool = builder.spawn();
+
+    // A large request is accepted, then the profile is retired while the
+    // request is (at best) still staged or being served.
+    let ticket = pool
+        .submit(SampleRequest {
+            profile: doomed,
+            count: 200_000,
+        })
+        .expect("accepted before retirement");
+    pool.retire_profile(doomed).expect("retire");
+
+    // Retirement is submission-side only: the in-flight request
+    // completes normally...
+    let response = ticket.wait().expect("in-flight request completes");
+    assert_eq!(response.samples.len(), 200_000);
+
+    // ...new submissions on the retired id are refused...
+    assert_eq!(
+        pool.submit(SampleRequest {
+            profile: doomed,
+            count: 8,
+        })
+        .unwrap_err(),
+        PoolError::UnknownProfile
+    );
+
+    // ...and unrelated profiles are untouched.
+    assert_eq!(pool.sample_vec(survivor, 64).expect("serves").len(), 64);
+
+    // The id still resolves for auditing/replay, and the snapshot shows
+    // the tombstone.
+    assert!(pool.profile_sampler(doomed).is_ok());
+    let profiles = pool.profiles();
+    assert!(profiles[doomed.index()].retired);
+    assert!(!profiles[survivor.index()].retired);
+
+    // Retire is idempotent.
+    pool.retire_profile(doomed).expect("idempotent retire");
+}
+
+#[test]
+fn profile_ids_stay_stable_across_add_and_retire() {
+    let mut builder = Pool::builder().threads(1).seed_u64(33);
+    let first = builder.profile(&test_spec()).expect("profile");
+    let pool = builder.spawn();
+
+    let second = pool
+        .add_profile_with(&other_spec(), &KernelCache::disabled())
+        .expect("add");
+    pool.retire_profile(first).expect("retire");
+    let third = pool
+        .add_profile_with(&SamplerSpec::new("3", 16), &KernelCache::disabled())
+        .expect("add after retire");
+
+    // Retirement never frees an index: slots only append.
+    assert_eq!(first.index(), 0);
+    assert_eq!(second.index(), 1);
+    assert_eq!(third.index(), 2);
+
+    let profiles = pool.profiles();
+    assert_eq!(profiles.len(), 3);
+    assert!(profiles[0].retired);
+    assert!(!profiles[1].retired);
+    assert!(!profiles[2].retired);
+    // Snapshot indices equal slot positions (what the RPC front end
+    // serves as wire profile indices).
+    for (i, info) in profiles.iter().enumerate() {
+        assert_eq!(info.index, i);
+    }
+
+    // Ids minted before the churn still submit (and the retired one
+    // still resolves but does not submit).
+    assert_eq!(pool.sample_vec(second, 32).expect("serves").len(), 32);
+    assert_eq!(pool.sample_vec(third, 32).expect("serves").len(), 32);
+    assert_eq!(
+        pool.submit(SampleRequest {
+            profile: first,
+            count: 8,
+        })
+        .unwrap_err(),
+        PoolError::UnknownProfile
+    );
+}
+
+/// A corrupted cached artifact must not poison a hot-load: the cache
+/// load is revalidated, rejected, and the build falls back to in-process
+/// synthesis — producing a sampler bit-identical to a cache-less build.
+#[test]
+fn hot_load_from_corrupted_artifact_falls_back_to_synthesis() {
+    let cache = scratch_cache("corrupt");
+    let spec = other_spec();
+
+    // Warm the cache with the real artifact, then corrupt it in place.
+    spec.build_shared_with(&cache).expect("warm the cache");
+    let path = cache
+        .entry_path(spec.fingerprint())
+        .expect("cache is enabled");
+    assert!(path.exists(), "warming stored an artifact");
+    fs::write(&path, b"not a kernel artifact").expect("corrupt the entry");
+
+    let mut builder = Pool::builder()
+        .threads(1)
+        .width(LaneWidth::W1)
+        .seed_u64(44)
+        .coalesce(CoalesceConfig::default());
+    builder.profile(&test_spec()).expect("base profile");
+    let pool = builder.spawn();
+
+    let hot = pool
+        .add_profile_with(&spec, &cache)
+        .expect("corrupted artifact falls back to synthesis");
+    let via_corrupted = pool.sample_vec(hot, 300).expect("serves");
+
+    // Reference pool: same seed and shape, profile built with no cache
+    // at all. The corrupted-cache pool must match it bit for bit.
+    let mut builder = Pool::builder()
+        .threads(1)
+        .width(LaneWidth::W1)
+        .seed_u64(44)
+        .coalesce(CoalesceConfig::default());
+    builder.profile(&test_spec()).expect("base profile");
+    let pool = builder.spawn();
+    let clean = pool
+        .add_profile_with(&spec, &KernelCache::disabled())
+        .expect("synthesis");
+    assert_eq!(
+        via_corrupted,
+        pool.sample_vec(clean, 300).expect("serves"),
+        "fallback synthesis must equal a cache-less build"
+    );
+
+    if let Some(dir) = cache.dir() {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+/// `ProfileId`s are bound to their minting pool even through the
+/// runtime-add path.
+#[test]
+fn foreign_hot_loaded_ids_are_rejected() {
+    let mut builder_a = Pool::builder().threads(1).seed_u64(1);
+    builder_a.profile(&test_spec()).expect("profile");
+    let pool_a = builder_a.spawn();
+    let mut builder_b = Pool::builder().threads(1).seed_u64(1);
+    builder_b.profile(&test_spec()).expect("profile");
+    let pool_b = builder_b.spawn();
+
+    let foreign = pool_a
+        .add_profile_with(&other_spec(), &KernelCache::disabled())
+        .expect("add");
+    assert_eq!(
+        pool_b
+            .submit(SampleRequest {
+                profile: foreign,
+                count: 8,
+            })
+            .unwrap_err(),
+        PoolError::UnknownProfile
+    );
+    assert!(pool_b.retire_profile(foreign).is_err());
+}

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ctgauss_core::{CtSampler, SamplerSpec};
-use ctgauss_pool::{replay_trace, Backoff};
+use ctgauss_pool::{replay_coalesced_clean, replay_trace, Backoff};
 use ctgauss_prng::{RandomSource, SeedTree, SplitMix64};
 use ctgauss_rpc_core::{ReplayAudit, RequestBody, ResponseBody, WireError};
 
@@ -494,6 +494,53 @@ pub fn verify_replay(
             compared += 1;
             match offline.get(*seq as usize) {
                 Some(Some(expected)) if expected == samples => {}
+                _ => mismatches += 1,
+            }
+        }
+    }
+    VerifyReport {
+        compared,
+        mismatches,
+    }
+}
+
+/// [`verify_replay`] for a server whose pool runs the v2 coalescer with
+/// stealing disabled: the offline oracle is
+/// [`replay_coalesced_clean`], which re-derives each request's samples
+/// purely from its position in the per-(shard, profile) draw stream —
+/// the draw-order contract makes gang packing invisible. Valid only for
+/// a failure-free audit (clean replay has no failure log to honor);
+/// a chaos leg must verify through the dispatch-log path instead.
+///
+/// # Panics
+///
+/// Panics if the audit carries failure events or an invalid lane width
+/// — both harness-configuration bugs for a coalescing leg.
+pub fn verify_replay_coalesced(
+    seed: u64,
+    audit: &ReplayAudit,
+    outcomes: &[RequestOutcome],
+    profiles: &[Arc<CtSampler>],
+) -> VerifyReport {
+    assert!(
+        audit.failures.is_empty(),
+        "clean coalesced verification requires a failure-free audit"
+    );
+    let width = audit.width().expect("codec-validated lane width");
+    let offline = replay_coalesced_clean(
+        &SeedTree::from_u64_seed(seed),
+        profiles,
+        audit.threads as usize,
+        width,
+        &audit.trace_entries(),
+    );
+    let mut compared = 0;
+    let mut mismatches = 0;
+    for outcome in outcomes {
+        if let RequestOutcome::Samples { seq, samples, .. } = outcome {
+            compared += 1;
+            match offline.get(*seq as usize) {
+                Some(expected) if expected == samples => {}
                 _ => mismatches += 1,
             }
         }

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 use ctgauss_pool::Backoff;
 use ctgauss_rpc_core::{
     codec, frame, CodecKind, DecodeError, FrameError, FrameOutcome, ReplayAudit, Request,
-    RequestBody, Response, ResponseBody, WireError, WireHealth,
+    RequestBody, Response, ResponseBody, WireError, WireHealth, WireProfile,
 };
 
 /// How [`Client::connect`] should retry a refused connection.
@@ -338,6 +338,64 @@ impl Client {
     pub fn replay_audit(&mut self, timeout: Duration) -> Result<ReplayAudit, ClientError> {
         match self.call(RequestBody::ReplayAudit, timeout)?.body {
             ResponseBody::ReplayAudit(audit) => Ok(audit),
+            ResponseBody::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::WrongBody),
+        }
+    }
+
+    /// Lists the server's profile registry: every slot ever minted, in
+    /// wire-index order, including retired slots (tombstones).
+    ///
+    /// # Errors
+    ///
+    /// As for [`sample`](Self::sample).
+    pub fn profiles(&mut self, timeout: Duration) -> Result<Vec<WireProfile>, ClientError> {
+        match self.call(RequestBody::Profiles, timeout)?.body {
+            ResponseBody::Profiles(profiles) => Ok(profiles),
+            ResponseBody::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::WrongBody),
+        }
+    }
+
+    /// Hot-loads a new profile into the server's pool, returning the
+    /// wire index subsequent [`sample`](Self::sample) calls address it
+    /// by. The build resolves through the server's kernel cache, so a
+    /// pre-warmed `CTGAUSS_CACHE_DIR` makes this a load, not a compile.
+    ///
+    /// # Errors
+    ///
+    /// A `BadRequest` wire error if the parameters do not build;
+    /// otherwise as for [`sample`](Self::sample).
+    pub fn add_profile(
+        &mut self,
+        sigma: &str,
+        precision: u32,
+        timeout: Duration,
+    ) -> Result<u32, ClientError> {
+        let body = RequestBody::AddProfile {
+            sigma: sigma.to_owned(),
+            precision,
+        };
+        match self.call(body, timeout)?.body {
+            ResponseBody::ProfileAdded { profile } => Ok(profile),
+            ResponseBody::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::WrongBody),
+        }
+    }
+
+    /// Retires a profile: new submissions are refused while in-flight
+    /// work completes. Idempotent — retiring a retired slot succeeds.
+    ///
+    /// # Errors
+    ///
+    /// An `unknown_profile` wire error for an index never minted;
+    /// otherwise as for [`sample`](Self::sample).
+    pub fn retire_profile(&mut self, profile: u32, timeout: Duration) -> Result<(), ClientError> {
+        match self
+            .call(RequestBody::RetireProfile { profile }, timeout)?
+            .body
+        {
+            ResponseBody::ProfileRetired { .. } => Ok(()),
             ResponseBody::Error(error) => Err(ClientError::Server(error)),
             _ => Err(ClientError::WrongBody),
         }

@@ -42,7 +42,8 @@ use ctgauss_telemetry::json::Json;
 use crate::error::{ErrorKind, WireError};
 use crate::model::{
     ReplayAudit, Request, RequestBody, Response, ResponseBody, WireFailure, WireHealth,
-    WireOutcome, WireShard, WireShardState, WireTraceEntry, MAX_SAMPLE_COUNT,
+    WireOutcome, WireProfile, WireShard, WireShardState, WireTraceEntry, MAX_PROFILE_LABEL_LEN,
+    MAX_SAMPLE_COUNT,
 };
 
 /// Which encoding a connection speaks (negotiated by the hello; see
@@ -184,6 +185,30 @@ fn check_width(lanes: u8) -> Result<u8, DecodeError> {
     }
 }
 
+/// Semantic bound shared by both codecs: profile labels stay short.
+fn check_label(label: String) -> Result<String, DecodeError> {
+    if label.len() > MAX_PROFILE_LABEL_LEN {
+        return Err(DecodeError::Malformed("profile label exceeds the maximum"));
+    }
+    Ok(label)
+}
+
+/// Semantic bounds for an `add_profile` request: a sigma string must be
+/// present (and short), and precision must be at least one bit.
+fn check_sigma(sigma: String) -> Result<String, DecodeError> {
+    if sigma.is_empty() {
+        return Err(DecodeError::Malformed("sigma must be non-empty"));
+    }
+    check_label(sigma)
+}
+
+fn check_precision(precision: u32) -> Result<u32, DecodeError> {
+    if precision == 0 {
+        return Err(DecodeError::Malformed("precision must be positive"));
+    }
+    Ok(precision)
+}
+
 /// FNV-1a over `bytes` (same constants as the kernel-artifact format).
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -206,11 +231,17 @@ mod binary {
         pub(super) const REQ_STATS: u8 = 0x03;
         pub(super) const REQ_REPLAY_AUDIT: u8 = 0x04;
         pub(super) const REQ_PING: u8 = 0x05;
+        pub(super) const REQ_PROFILES: u8 = 0x06;
+        pub(super) const REQ_ADD_PROFILE: u8 = 0x07;
+        pub(super) const REQ_RETIRE_PROFILE: u8 = 0x08;
         pub(super) const RESP_SAMPLES: u8 = 0x81;
         pub(super) const RESP_HEALTH: u8 = 0x82;
         pub(super) const RESP_STATS: u8 = 0x83;
         pub(super) const RESP_REPLAY_AUDIT: u8 = 0x84;
         pub(super) const RESP_PONG: u8 = 0x85;
+        pub(super) const RESP_PROFILES: u8 = 0x86;
+        pub(super) const RESP_PROFILE_ADDED: u8 = 0x87;
+        pub(super) const RESP_PROFILE_RETIRED: u8 = 0x88;
         pub(super) const RESP_ERROR: u8 = 0xEE;
     }
 
@@ -373,6 +404,21 @@ mod binary {
                 w = header(kind::REQ_PING);
                 w.u64(request.id);
             }
+            RequestBody::Profiles => {
+                w = header(kind::REQ_PROFILES);
+                w.u64(request.id);
+            }
+            RequestBody::AddProfile { sigma, precision } => {
+                w = header(kind::REQ_ADD_PROFILE);
+                w.u64(request.id);
+                w.str(sigma);
+                w.u32(*precision);
+            }
+            RequestBody::RetireProfile { profile } => {
+                w = header(kind::REQ_RETIRE_PROFILE);
+                w.u64(request.id);
+                w.u32(*profile);
+            }
         }
         w.seal()
     }
@@ -395,6 +441,12 @@ mod binary {
             kind::REQ_STATS => RequestBody::Stats,
             kind::REQ_REPLAY_AUDIT => RequestBody::ReplayAudit,
             kind::REQ_PING => RequestBody::Ping,
+            kind::REQ_PROFILES => RequestBody::Profiles,
+            kind::REQ_ADD_PROFILE => RequestBody::AddProfile {
+                sigma: check_sigma(r.str()?)?,
+                precision: check_precision(r.u32()?)?,
+            },
+            kind::REQ_RETIRE_PROFILE => RequestBody::RetireProfile { profile: r.u32()? },
             _ => return Err(DecodeError::Malformed("unknown request kind")),
         };
         r.finish()?;
@@ -485,6 +537,22 @@ mod binary {
         })
     }
 
+    fn encode_profile(w: &mut Writer, profile: &WireProfile) {
+        w.u32(profile.index);
+        w.str(&profile.label);
+        w.u32(profile.precision);
+        w.u8(u8::from(profile.retired));
+    }
+
+    fn decode_profile(r: &mut Reader<'_>) -> Result<WireProfile, DecodeError> {
+        Ok(WireProfile {
+            index: r.u32()?,
+            label: check_label(r.str()?)?,
+            precision: r.u32()?,
+            retired: r.bool()?,
+        })
+    }
+
     pub(super) fn encode_response(response: &Response) -> Vec<u8> {
         let mut w;
         match &response.body {
@@ -535,6 +603,24 @@ mod binary {
                 w = header(kind::RESP_PONG);
                 w.u64(response.id);
                 w.u8(u8::from(*draining));
+            }
+            ResponseBody::Profiles(profiles) => {
+                w = header(kind::RESP_PROFILES);
+                w.u64(response.id);
+                w.u32(u32::try_from(profiles.len()).expect("profile count fits u32"));
+                for profile in profiles {
+                    encode_profile(&mut w, profile);
+                }
+            }
+            ResponseBody::ProfileAdded { profile } => {
+                w = header(kind::RESP_PROFILE_ADDED);
+                w.u64(response.id);
+                w.u32(*profile);
+            }
+            ResponseBody::ProfileRetired { profile } => {
+                w = header(kind::RESP_PROFILE_RETIRED);
+                w.u64(response.id);
+                w.u32(*profile);
             }
             ResponseBody::Error(error) => {
                 w = header(kind::RESP_ERROR);
@@ -620,6 +706,18 @@ mod binary {
             kind::RESP_PONG => ResponseBody::Pong {
                 draining: r.bool()?,
             },
+            kind::RESP_PROFILES => {
+                // Minimum slot size: index(4) + empty label(4) +
+                // precision(4) + retired(1).
+                let n = r.len_prefix(13)?;
+                let mut profiles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    profiles.push(decode_profile(&mut r)?);
+                }
+                ResponseBody::Profiles(profiles)
+            }
+            kind::RESP_PROFILE_ADDED => ResponseBody::ProfileAdded { profile: r.u32()? },
+            kind::RESP_PROFILE_RETIRED => ResponseBody::ProfileRetired { profile: r.u32()? },
             kind::RESP_ERROR => {
                 let error_kind = match r.u8()? {
                     0 => ErrorKind::UnknownProfile,
@@ -687,6 +785,21 @@ mod json {
                 pairs.push(("t", Json::str("ping")));
                 pairs.push(("id", num(request.id)));
             }
+            RequestBody::Profiles => {
+                pairs.push(("t", Json::str("profiles")));
+                pairs.push(("id", num(request.id)));
+            }
+            RequestBody::AddProfile { sigma, precision } => {
+                pairs.push(("t", Json::str("add_profile")));
+                pairs.push(("id", num(request.id)));
+                pairs.push(("sigma", Json::str(sigma)));
+                pairs.push(("precision", num(u64::from(*precision))));
+            }
+            RequestBody::RetireProfile { profile } => {
+                pairs.push(("t", Json::str("retire_profile")));
+                pairs.push(("id", num(request.id)));
+                pairs.push(("profile", num(u64::from(*profile))));
+            }
         }
         Json::obj(pairs).to_string_compact()
     }
@@ -719,6 +832,23 @@ mod json {
             "ping" => {
                 expect_keys(&doc, &["t", "id"])?;
                 RequestBody::Ping
+            }
+            "profiles" => {
+                expect_keys(&doc, &["t", "id"])?;
+                RequestBody::Profiles
+            }
+            "add_profile" => {
+                expect_keys(&doc, &["t", "id", "sigma", "precision"])?;
+                RequestBody::AddProfile {
+                    sigma: check_sigma(get_str(&doc, "sigma")?.to_owned())?,
+                    precision: check_precision(get_u32(&doc, "precision")?)?,
+                }
+            }
+            "retire_profile" => {
+                expect_keys(&doc, &["t", "id", "profile"])?;
+                RequestBody::RetireProfile {
+                    profile: get_u32(&doc, "profile")?,
+                }
             }
             _ => return Err(DecodeError::Malformed("unknown request tag")),
         };
@@ -832,6 +962,25 @@ mod json {
         })
     }
 
+    fn profile_to_json(profile: &WireProfile) -> Json {
+        Json::obj(vec![
+            ("index", num(u64::from(profile.index))),
+            ("label", Json::str(&profile.label)),
+            ("precision", num(u64::from(profile.precision))),
+            ("retired", Json::Bool(profile.retired)),
+        ])
+    }
+
+    fn profile_from_json(value: &Json) -> Result<WireProfile, DecodeError> {
+        expect_keys(value, &["index", "label", "precision", "retired"])?;
+        Ok(WireProfile {
+            index: get_u32(value, "index")?,
+            label: check_label(get_str(value, "label")?.to_owned())?,
+            precision: get_u32(value, "precision")?,
+            retired: get_bool(value, "retired")?,
+        })
+    }
+
     pub(super) fn encode_response(response: &Response) -> String {
         let mut pairs: Vec<(&str, Json)> = Vec::new();
         match &response.body {
@@ -889,6 +1038,24 @@ mod json {
                 pairs.push(("t", Json::str("pong")));
                 pairs.push(("id", num(response.id)));
                 pairs.push(("draining", Json::Bool(*draining)));
+            }
+            ResponseBody::Profiles(profiles) => {
+                pairs.push(("t", Json::str("profiles")));
+                pairs.push(("id", num(response.id)));
+                pairs.push((
+                    "profiles",
+                    Json::Arr(profiles.iter().map(profile_to_json).collect()),
+                ));
+            }
+            ResponseBody::ProfileAdded { profile } => {
+                pairs.push(("t", Json::str("profile_added")));
+                pairs.push(("id", num(response.id)));
+                pairs.push(("profile", num(u64::from(*profile))));
+            }
+            ResponseBody::ProfileRetired { profile } => {
+                pairs.push(("t", Json::str("profile_retired")));
+                pairs.push(("id", num(response.id)));
+                pairs.push(("profile", num(u64::from(*profile))));
             }
             ResponseBody::Error(error) => {
                 pairs.push(("t", Json::str("error")));
@@ -1010,6 +1177,30 @@ mod json {
                 expect_keys(&doc, &["t", "id", "draining"])?;
                 ResponseBody::Pong {
                     draining: get_bool(&doc, "draining")?,
+                }
+            }
+            "profiles" => {
+                expect_keys(&doc, &["t", "id", "profiles"])?;
+                let raw = doc
+                    .get("profiles")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Malformed("profiles must be an array"))?;
+                let mut profiles = Vec::with_capacity(raw.len());
+                for item in raw {
+                    profiles.push(profile_from_json(item)?);
+                }
+                ResponseBody::Profiles(profiles)
+            }
+            "profile_added" => {
+                expect_keys(&doc, &["t", "id", "profile"])?;
+                ResponseBody::ProfileAdded {
+                    profile: get_u32(&doc, "profile")?,
+                }
+            }
+            "profile_retired" => {
+                expect_keys(&doc, &["t", "id", "profile"])?;
+                ResponseBody::ProfileRetired {
+                    profile: get_u32(&doc, "profile")?,
                 }
             }
             "error" => {

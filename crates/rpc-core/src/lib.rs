@@ -47,5 +47,5 @@ pub use error::{ErrorKind, WireError};
 pub use frame::{read_frame, write_frame, FrameError, FrameOutcome, MAX_FRAME_LEN};
 pub use model::{
     ReplayAudit, Request, RequestBody, Response, ResponseBody, WireFailure, WireHealth,
-    WireOutcome, WireShard, WireShardState, WireTraceEntry,
+    WireOutcome, WireProfile, WireShard, WireShardState, WireTraceEntry,
 };

@@ -19,6 +19,11 @@ use crate::error::WireError;
 /// allocation happens — the bound is the anti-amplification guard.
 pub const MAX_SAMPLE_COUNT: u32 = 1 << 22;
 
+/// Ceiling on profile label / sigma strings: registry labels are short
+/// decimal strings ("2", "6.15543"); anything past this bound is a
+/// malformed message, not a distribution.
+pub const MAX_PROFILE_LABEL_LEN: usize = 64;
+
 /// A client-to-server message: a correlation id (echoed verbatim on the
 /// response) plus the request body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +64,28 @@ pub enum RequestBody {
     ReplayAudit,
     /// Liveness probe; also reports whether the server is draining.
     Ping,
+    /// The profile table: every registered profile slot, live or
+    /// retired, in stable index order.
+    Profiles,
+    /// Hot-load a new profile onto the running pool: build (or load from
+    /// the server's kernel cache) the sampler for `sigma` at `precision`
+    /// bits and append it to the registry. Answered with
+    /// [`ResponseBody::ProfileAdded`] carrying the new wire index.
+    AddProfile {
+        /// The distribution's sigma, as the exact decimal string the
+        /// synthesis pipeline parses (1..=[`MAX_PROFILE_LABEL_LEN`]
+        /// bytes).
+        sigma: String,
+        /// Probability-matrix precision in bits (>= 1).
+        precision: u32,
+    },
+    /// Retire profile `profile`: new submissions on it are refused with
+    /// `unknown_profile`, in-flight requests complete, the index is
+    /// never reused.
+    RetireProfile {
+        /// Wire profile index to tombstone.
+        profile: u32,
+    },
 }
 
 /// A server-to-client message: the echoed correlation id plus the
@@ -102,8 +129,37 @@ pub enum ResponseBody {
         /// True once the server has stopped accepting new work.
         draining: bool,
     },
+    /// Answer to [`RequestBody::Profiles`]: the registry snapshot, in
+    /// stable index order (position == wire profile index).
+    Profiles(Vec<WireProfile>),
+    /// Answer to [`RequestBody::AddProfile`]: the hot-load succeeded.
+    ProfileAdded {
+        /// The new profile's wire index (stable forever).
+        profile: u32,
+    },
+    /// Answer to [`RequestBody::RetireProfile`]: the slot is
+    /// tombstoned (idempotent — retiring twice also answers this).
+    ProfileRetired {
+        /// The retired wire index.
+        profile: u32,
+    },
     /// The request failed; see the [`WireError`] taxonomy.
     Error(WireError),
+}
+
+/// One registry slot over the wire (mirror of
+/// [`ProfileInfo`](ctgauss_pool::ProfileInfo)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireProfile {
+    /// The stable wire/registry index.
+    pub index: u32,
+    /// Display label (the sigma string for spec-built profiles;
+    /// 0..=[`MAX_PROFILE_LABEL_LEN`] bytes).
+    pub label: String,
+    /// Probability-matrix precision in bits (0 when unknown).
+    pub precision: u32,
+    /// Whether the slot is tombstoned for new submissions.
+    pub retired: bool,
 }
 
 /// One shard's liveness over the wire (mirror of

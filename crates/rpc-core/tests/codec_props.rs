@@ -8,7 +8,7 @@
 use ctgauss_rpc_core::{
     decode_request, decode_response, encode_request, encode_response, CodecKind, ErrorKind,
     ReplayAudit, Request, RequestBody, Response, ResponseBody, WireError, WireFailure, WireHealth,
-    WireOutcome, WireShard, WireShardState, WireTraceEntry,
+    WireOutcome, WireProfile, WireShard, WireShardState, WireTraceEntry,
 };
 use proptest::prelude::*;
 
@@ -27,6 +27,13 @@ fn arb_text() -> impl Strategy<Value = String> {
         .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
 }
 
+/// Non-empty labels within the codecs' length bound (`check_sigma`
+/// demands at least one byte).
+fn arb_sigma() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 1..40)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is UTF-8"))
+}
+
 fn arb_request_body() -> impl Strategy<Value = RequestBody> {
     prop_oneof![
         (any::<u32>(), 1u32..=MAX_COUNT, any::<u32>()).prop_map(|(profile, count, deadline_ms)| {
@@ -40,6 +47,10 @@ fn arb_request_body() -> impl Strategy<Value = RequestBody> {
         Just(RequestBody::Stats),
         Just(RequestBody::ReplayAudit),
         Just(RequestBody::Ping),
+        Just(RequestBody::Profiles),
+        (arb_sigma(), 1u32..=u32::MAX)
+            .prop_map(|(sigma, precision)| RequestBody::AddProfile { sigma, precision }),
+        any::<u32>().prop_map(|profile| RequestBody::RetireProfile { profile }),
     ]
 }
 
@@ -134,6 +145,17 @@ fn arb_audit() -> impl Strategy<Value = ReplayAudit> {
         })
 }
 
+fn arb_profile() -> impl Strategy<Value = WireProfile> {
+    (any::<u32>(), arb_text(), any::<u32>(), any::<bool>()).prop_map(
+        |(index, label, precision, retired)| WireProfile {
+            index,
+            label,
+            precision,
+            retired,
+        },
+    )
+}
+
 fn arb_response_body() -> impl Strategy<Value = ResponseBody> {
     prop_oneof![
         (
@@ -151,6 +173,9 @@ fn arb_response_body() -> impl Strategy<Value = ResponseBody> {
         arb_text().prop_map(|json| ResponseBody::Stats { json }),
         arb_audit().prop_map(ResponseBody::ReplayAudit),
         any::<bool>().prop_map(|draining| ResponseBody::Pong { draining }),
+        proptest::collection::vec(arb_profile(), 0..6).prop_map(ResponseBody::Profiles),
+        any::<u32>().prop_map(|profile| ResponseBody::ProfileAdded { profile }),
+        any::<u32>().prop_map(|profile| ResponseBody::ProfileRetired { profile }),
         arb_error().prop_map(ResponseBody::Error),
     ]
 }

@@ -56,10 +56,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ctgauss_core::SamplerSpec;
 use ctgauss_pool::{Pool, PoolError, ProfileId, SampleRequest, Ticket, WaitError};
 use ctgauss_rpc_core::{
     codec, frame, model::width_to_lanes, CodecKind, ErrorKind, FrameOutcome, ReplayAudit,
-    RequestBody, Response, ResponseBody, WireError, WireFailure, WireHealth, WireTraceEntry,
+    RequestBody, Response, ResponseBody, WireError, WireFailure, WireHealth, WireProfile,
+    WireTraceEntry,
 };
 
 /// Tunables for the overload-survival envelope. The defaults suit the
@@ -141,7 +143,12 @@ impl DrainReport {
 struct Shared {
     pool: Arc<Pool>,
     /// Wire profile index → pool profile id (registration order).
-    profiles: Vec<ProfileId>,
+    /// Mutable at runtime: `add_profile` appends under this lock, which
+    /// also spans the pool-side registry append so the wire index always
+    /// equals the registry index. Entries are never removed — a retired
+    /// profile keeps its slot (index stability is what keeps in-flight
+    /// requests and replay traces meaningful across registry churn).
+    profiles: Mutex<Vec<ProfileId>>,
     cfg: ServerConfig,
     draining: AtomicBool,
     /// Sample requests currently holding admission slots.
@@ -277,7 +284,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             pool,
-            profiles,
+            profiles: Mutex::new(profiles),
             cfg,
             draining: AtomicBool::new(false),
             global_inflight: AtomicUsize::new(0),
@@ -510,6 +517,28 @@ fn read_loop(
                 id,
                 body: ResponseBody::ReplayAudit(shared.replay_audit()),
             }),
+            RequestBody::Profiles => Work::Reply(Response {
+                id,
+                body: ResponseBody::Profiles(
+                    shared
+                        .pool
+                        .profiles()
+                        .into_iter()
+                        .map(|info| WireProfile {
+                            index: info.index as u32,
+                            label: info.label,
+                            precision: info.precision,
+                            retired: info.retired,
+                        })
+                        .collect(),
+                ),
+            }),
+            RequestBody::AddProfile { sigma, precision } => {
+                Work::Reply(add_profile_work(shared, id, &sigma, precision))
+            }
+            RequestBody::RetireProfile { profile } => {
+                Work::Reply(retire_profile_work(shared, id, profile))
+            }
             RequestBody::Sample {
                 profile,
                 count,
@@ -541,7 +570,7 @@ fn sample_work(
     if shared.draining.load(Ordering::Acquire) {
         return refuse(ErrorKind::ShuttingDown, "server is draining");
     }
-    let Some(&profile_id) = shared.profiles.get(profile as usize) else {
+    let Some(profile_id) = lock_clean(&shared.profiles).get(profile as usize).copied() else {
         return refuse(ErrorKind::UnknownProfile, "no such profile index");
     };
     // Per-connection quota first: it is this connection's own doing and
@@ -617,6 +646,72 @@ fn sample_work(
                 body: ResponseBody::Error(WireError::from_pool(&error)),
             })
         }
+    }
+}
+
+/// Hot-load for one `add_profile` request. The profiles-table lock is
+/// held across the pool-side registry append so the new wire index
+/// (table position) equals the registry index the pool minted — the
+/// alignment the `profiles` endpoint and replay verification rely on.
+/// The build itself also runs inside the lock: registry mutations are
+/// rare control-plane operations, and briefly blocking a concurrent
+/// profile lookup is preferable to ever misaligning the two tables.
+fn add_profile_work(shared: &Shared, id: u64, sigma: &str, precision: u32) -> Response {
+    let error = |kind: ErrorKind, message: String| Response {
+        id,
+        body: ResponseBody::Error(WireError::new(kind).with_message(message)),
+    };
+    if shared.draining.load(Ordering::Acquire) {
+        return error(ErrorKind::ShuttingDown, "server is draining".into());
+    }
+    let spec = SamplerSpec::new(sigma, precision);
+    let mut profiles = lock_clean(&shared.profiles);
+    match shared.pool.add_profile(&spec) {
+        Ok(profile_id) => {
+            debug_assert_eq!(
+                profile_id.index(),
+                profiles.len(),
+                "wire/registry profile index drift"
+            );
+            profiles.push(profile_id);
+            Response {
+                id,
+                body: ResponseBody::ProfileAdded {
+                    profile: profile_id.index() as u32,
+                },
+            }
+        }
+        // A build refusal is the caller's parameters, not server state:
+        // nothing was consumed, the registry is untouched.
+        Err(build_error) => error(
+            ErrorKind::BadRequest,
+            format!("profile build failed: {build_error}"),
+        ),
+    }
+}
+
+/// Retirement for one `retire_profile` request. Submission-side only:
+/// in-flight requests on the slot complete normally, the index is never
+/// reused, and retiring an already-retired slot answers success
+/// (idempotent, mirroring the pool).
+fn retire_profile_work(shared: &Shared, id: u64, profile: u32) -> Response {
+    let Some(profile_id) = lock_clean(&shared.profiles).get(profile as usize).copied() else {
+        return Response {
+            id,
+            body: ResponseBody::Error(
+                WireError::new(ErrorKind::UnknownProfile).with_message("no such profile index"),
+            ),
+        };
+    };
+    match shared.pool.retire_profile(profile_id) {
+        Ok(()) => Response {
+            id,
+            body: ResponseBody::ProfileRetired { profile },
+        },
+        Err(pool_error) => Response {
+            id,
+            body: ResponseBody::Error(WireError::from_pool(&pool_error)),
+        },
     }
 }
 

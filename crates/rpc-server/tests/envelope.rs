@@ -128,6 +128,100 @@ fn both_codecs_round_trip_against_a_live_server() {
 }
 
 #[test]
+fn registry_lifecycle_over_the_wire() {
+    let fixture = fixture(2, 64, 47, None, ServerConfig::default());
+    let mut client = connect(&fixture, CodecKind::Binary);
+
+    // The boot-time profile is listed at wire index 0.
+    let listed = client.profiles(RPC_TIMEOUT).expect("profiles");
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].index, 0);
+    assert!(!listed[0].retired);
+
+    // Hot-load a second profile and draw from it immediately.
+    let added = client
+        .add_profile("1.5", 16, RPC_TIMEOUT)
+        .expect("add_profile");
+    assert_eq!(added, 1, "wire index follows registration order");
+    let (hot_seq, hot_samples) = client.sample(added, 32, 0).expect("sample new profile");
+    assert_eq!(hot_samples.len(), 32);
+
+    // Both codecs see the same registry; JSON exercises the other codec
+    // path for the new message kinds.
+    let mut json_client = connect(&fixture, CodecKind::Json);
+    let listed = json_client.profiles(RPC_TIMEOUT).expect("profiles");
+    assert_eq!(listed.len(), 2);
+    assert_eq!(listed[1].label, "1.5");
+    assert_eq!(listed[1].precision, 16);
+
+    // A build refusal is a BadRequest, not a connection error, and
+    // mints no registry slot.
+    let refused = client.add_profile("not-a-number", 16, RPC_TIMEOUT);
+    match refused {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::BadRequest, "{error:?}");
+            assert!(!error.retryable);
+        }
+        other => panic!("bad sigma must refuse, got {other:?}"),
+    }
+    assert_eq!(client.profiles(RPC_TIMEOUT).expect("profiles").len(), 2);
+
+    // Retire the hot-loaded profile: new submissions refuse with
+    // unknown_profile, the slot stays listed as a tombstone, and the
+    // operation is idempotent.
+    client
+        .retire_profile(added, RPC_TIMEOUT)
+        .expect("retire_profile");
+    match client.sample(added, 8, 0) {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::UnknownProfile, "{error:?}");
+        }
+        other => panic!("retired profile must refuse, got {other:?}"),
+    }
+    let listed = client.profiles(RPC_TIMEOUT).expect("profiles");
+    assert_eq!(listed.len(), 2);
+    assert!(listed[1].retired);
+    assert!(!listed[0].retired);
+    client
+        .retire_profile(added, RPC_TIMEOUT)
+        .expect("retiring a tombstone is idempotent");
+
+    // An index never minted refuses rather than panicking the server.
+    match client.retire_profile(99, RPC_TIMEOUT) {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.kind, ErrorKind::UnknownProfile, "{error:?}");
+        }
+        other => panic!("unknown index must refuse, got {other:?}"),
+    }
+
+    // Every delivered draw replays bit-exactly offline, including the
+    // one served by the hot-loaded (now retired) profile — retirement
+    // is submission-side only and never disturbs the replay record.
+    let (seq, samples) = client.sample(0, 16, 0).expect("sample");
+    let audit = client.replay_audit(RPC_TIMEOUT).expect("audit");
+    let registered = vec![
+        Arc::clone(&fixture.shared),
+        SamplerSpec::new("1.5", 16).build_shared().expect("profile"),
+    ];
+    let offline = replay_trace(
+        &SeedTree::from_u64_seed(fixture.seed),
+        &registered,
+        fixture.threads,
+        audit.width().expect("valid width"),
+        &audit.trace_entries(),
+        &audit.failure_events(),
+    );
+    for (seq, samples) in [(hot_seq, hot_samples), (seq, samples)] {
+        assert_eq!(
+            offline.get(seq as usize),
+            Some(&Some(samples)),
+            "seq {seq} does not replay"
+        );
+    }
+    assert!(fixture.server.shutdown().lossless());
+}
+
+#[test]
 fn per_connection_quota_sheds_with_retryable_errors() {
     let cfg = ServerConfig {
         conn_inflight: 2,

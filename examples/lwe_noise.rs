@@ -1,16 +1,27 @@
 //! Using the constant-time sampler as an LWE noise source — the original
 //! motivation for discrete Gaussian sampling in lattice cryptography
-//! (Section 1 of the paper).
+//! (Section 1 of the paper) — driven the way a real encryption service
+//! would drive it: many independent callers each asking the shared v2
+//! pool for a *handful* of noise samples at a time.
 //!
-//! Builds a toy LWE instance `b = A s + e mod q` with Gaussian error `e`,
-//! then shows that decryption-style inner products stay within the noise
-//! budget, and validates the error distribution with a chi-square test.
+//! Each of 256 toy encryptions submits its own tiny request (one error
+//! term per LWE row), the pool's cross-request coalescer packs those
+//! tiny requests into full kernel batches, and the example prints the
+//! dispatch fill ratio to show the batches actually ran full. The noise
+//! profile is hot-loaded into the running pool through the profile
+//! registry — with `CTGAUSS_CACHE_DIR` pointing at a warmed kernel
+//! cache, that load skips synthesis entirely. The error distribution is
+//! then validated with a chi-square test, and the profile is retired to
+//! show the registry's end-of-life path.
 //!
 //! ```sh
 //! cargo run --release --bin lwe_noise
+//! # with a warm kernel cache (second run hot-loads the prebuilt kernel):
+//! CTGAUSS_CACHE_DIR=/tmp/ctgauss-cache cargo run --release --bin lwe_noise
 //! ```
 
-use ctgauss_core::SamplerBuilder;
+use ctgauss_core::SamplerSpec;
+use ctgauss_pool::{CoalesceConfig, LaneWidth, Pool, PoolError, SampleRequest};
 use ctgauss_prng::{ChaChaRng, RandomSource};
 use ctgauss_stats::{chi_square_test, discrete_gaussian_pmf, Histogram};
 
@@ -18,26 +29,66 @@ const Q: i64 = 12289;
 const DIM: usize = 64;
 
 fn main() {
-    // sigma = 3.2 is a common LWE noise width (e.g. in FHE parameter sets).
-    let sampler = SamplerBuilder::new("3.2", 64).build().expect("builds");
-    let mut rng = ChaChaRng::from_u64_seed(0x1_3E);
+    // A coalescing pool booted with one stock profile: the service
+    // starts first, workload-specific noise profiles arrive at runtime
+    // through the registry.
+    let mut builder = Pool::builder()
+        .threads(2)
+        .width(LaneWidth::W1)
+        .queue_capacity(1024)
+        .seed_u64(0x13E)
+        .coalesce(CoalesceConfig {
+            steal: false,
+            ..CoalesceConfig::default()
+        });
+    let _boot = builder
+        .profile(&SamplerSpec::new("2", 16))
+        .expect("boot profile builds");
+    let pool = builder.spawn();
 
-    // Secret and public matrix (uniform), error from the Gaussian.
+    // sigma = 3.2 is a common LWE noise width (e.g. in FHE parameter
+    // sets). Hot-loaded through the process-default kernel cache: with
+    // CTGAUSS_CACHE_DIR set and warm, this is a file load, not a
+    // synthesis run.
+    let start = std::time::Instant::now();
+    let profile = pool
+        .add_profile(&SamplerSpec::new("3.2", 64))
+        .expect("noise profile builds");
+    println!(
+        "hot-loaded sigma = 3.2 profile into the running pool in {:.2?}",
+        start.elapsed()
+    );
+
+    let mut rng = ChaChaRng::from_u64_seed(0x1_3E);
     let secret: Vec<i64> = (0..DIM)
         .map(|_| i64::from(rng.next_u32() % 3) - 1)
         .collect();
+
+    // 256 independent "encryptions", each submitting its own one-sample
+    // noise request — the tiny-request shape that, uncoalesced, would
+    // run one 64-slot kernel batch per single sample. Submissions are
+    // pipelined (all tickets in flight at once) so the coalescer has
+    // cross-request material to gang up.
     let rows = 256;
-    let mut stream = sampler.stream();
+    let tickets: Vec<_> = (0..rows)
+        .map(|_| {
+            pool.submit(SampleRequest { profile, count: 1 })
+                .expect("pool accepts")
+        })
+        .collect();
+    let errors: Vec<i64> = tickets
+        .into_iter()
+        .map(|t| i64::from(t.wait().expect("noise served").samples[0]))
+        .collect();
+
+    // Build b = A s + e mod q from the pooled noise.
     let mut a_rows = Vec::with_capacity(rows);
     let mut b_vals = Vec::with_capacity(rows);
-    let mut errors = Vec::with_capacity(rows);
-    for _ in 0..rows {
+    for &e in &errors {
         let a: Vec<i64> = (0..DIM).map(|_| i64::from(rng.next_u32()) % Q).collect();
-        let e = i64::from(stream.next(&mut rng));
         let dot: i64 = a.iter().zip(&secret).map(|(x, s)| x * s % Q).sum::<i64>() % Q;
         b_vals.push((dot + e).rem_euclid(Q));
         a_rows.push(a);
-        errors.push(e);
     }
     println!("built {rows} LWE samples over Z_{Q}^{DIM} with sigma = 3.2 noise");
 
@@ -62,16 +113,42 @@ fn main() {
     let max_err = errors.iter().map(|e| e.abs()).max().unwrap();
     println!("max |error| = {max_err} (tail cut at 13 * 3.2 = 41)");
 
-    // Validate the noise distribution at scale.
+    // The coalescer's receipt: 256 one-sample requests, far fewer
+    // kernel batches. dispatch_fill_ratio counts only fresh draws
+    // someone waited on, so uncoalesced this workload would sit at
+    // 1/64 ≈ 0.016.
+    let metrics = pool.metrics();
+    let fill = metrics
+        .gauge("pool", "dispatch_fill_ratio")
+        .unwrap_or_default();
+    let gangs = metrics.counter("pool", "gangs_flushed").unwrap_or(0);
+    println!(
+        "coalescer packed {rows} tiny requests into {gangs} gangs, dispatch fill ratio {fill:.3}"
+    );
+
+    // Validate the noise distribution at scale (bulk requests this
+    // time — the pool serves both shapes from the same draw streams).
     let mut hist = Histogram::new(-41, 41);
     let big = 200_000;
-    for _ in 0..big {
-        hist.add(stream.next(&mut rng));
+    let bulk: Vec<_> = (0..big / 512)
+        .map(|_| {
+            pool.submit(SampleRequest {
+                profile,
+                count: 512,
+            })
+            .expect("pool accepts")
+        })
+        .collect();
+    for ticket in bulk {
+        for &s in &ticket.wait().expect("bulk served").samples {
+            hist.add(s);
+        }
     }
     let pmf = discrete_gaussian_pmf(3.2, 41);
     let gof = chi_square_test(&hist, &pmf);
     println!(
-        "\nnoise distribution over {big} draws: chi2 = {:.1}, dof = {}, p = {:.3} ({})",
+        "\nnoise distribution over {} draws: chi2 = {:.1}, dof = {}, p = {:.3} ({})",
+        (big / 512) * 512,
         gof.statistic,
         gof.dof,
         gof.p_value,
@@ -82,4 +159,14 @@ fn main() {
         }
     );
     assert!(!gof.rejects_at(0.001));
+
+    // End of life: retire the profile. In-flight work is done; new
+    // submissions are refused while the pool keeps serving any other
+    // registered profile.
+    pool.retire_profile(profile).expect("profile was live");
+    assert!(matches!(
+        pool.submit(SampleRequest { profile, count: 1 }),
+        Err(PoolError::UnknownProfile)
+    ));
+    println!("profile retired: new submissions refused, slot index stays reserved");
 }
